@@ -1,0 +1,123 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Every ``benchmarks/test_*.py`` regenerates one table or figure of the
+paper.  Full-timing figures (12/13/14/17) share one sweep of simulation
+results through the session-scoped ``results_cache`` so the expensive
+runs happen once.  Each bench prints its table and also writes it to
+``benchmarks/out/<name>.txt`` so results survive pytest's capture.
+
+Scale: benches default to the ``fast`` preset (capacities and footprints
+scaled down 32x together — see DESIGN.md section 6 and
+``repro.sim.runner.ExperimentScale``).  Set ``REPRO_BENCH_SCALE=tiny``
+for smoke runs or ``REPRO_BENCH_RECORDS`` to change trace length.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core.blem import BlemConfig
+from repro.core.copr import CoprConfig
+from repro.sim.runner import ExperimentScale, run_benchmark
+from repro.sim.simulator import SimulationResult
+from repro.workloads.profiles import all_benchmark_names
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Figure order for per-benchmark tables.
+ALL_WORKLOADS = all_benchmark_names()
+TIMING_SYSTEMS = ("baseline", "metadata_cache", "attache", "ideal")
+
+
+def bench_scale() -> ExperimentScale:
+    """The simulation scale used by the timing benches."""
+    preset = os.environ.get("REPRO_BENCH_SCALE", "fast")
+    records = int(os.environ.get("REPRO_BENCH_RECORDS", "0"))
+    if preset == "tiny":
+        # Keep 8 cores: the bandwidth pressure that drives the paper's
+        # results needs the full core count even in smoke runs.
+        return ExperimentScale(
+            name="tiny", factor=64, cores=8,
+            records_per_core=records or 600,
+        )
+    if preset == "full":
+        return ExperimentScale(
+            name="full", factor=8, cores=8,
+            records_per_core=records or 8000,
+        )
+    return ExperimentScale(
+        name="fast", factor=32, cores=8, records_per_core=records or 2000,
+    )
+
+
+def functional_workload_kwargs() -> Dict[str, object]:
+    """Workload sizing for the functional (timing-free) benches."""
+    scale = bench_scale()
+    return dict(
+        cores=scale.cores,
+        records_per_core=max(4 * scale.records_per_core, 6000),
+        seed=2018,
+        footprint_scale=scale.footprint_scale,
+        llc_bytes=scale.llc_bytes,
+    )
+
+
+class ResultsCache:
+    """Memoises full-timing simulation results across bench modules."""
+
+    def __init__(self) -> None:
+        self._results: Dict[tuple, SimulationResult] = {}
+
+    def get(
+        self,
+        workload: str,
+        system: str,
+        copr_config: Optional[CoprConfig] = None,
+        blem_config: BlemConfig = BlemConfig(),
+        seed: int = 2018,
+    ) -> SimulationResult:
+        key = (workload, system, copr_config, blem_config, seed,
+               bench_scale().name, bench_scale().records_per_core)
+        if key not in self._results:
+            self._results[key] = run_benchmark(
+                workload, system, scale=bench_scale(), seed=seed,
+                copr_config=copr_config, blem_config=blem_config,
+            )
+        return self._results[key]
+
+    def sweep(
+        self,
+        workloads: List[str],
+        systems: List[str],
+        **kwargs,
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """results[workload][system] for the full cross product."""
+        return {
+            workload: {
+                system: self.get(workload, system, **kwargs)
+                for system in systems
+            }
+            for workload in workloads
+        }
+
+
+@pytest.fixture(scope="session")
+def results_cache() -> ResultsCache:
+    return ResultsCache()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def publish(report_dir: pathlib.Path, name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    print()
+    print(table)
+    (report_dir / f"{name}.txt").write_text(table + "\n", encoding="utf-8")

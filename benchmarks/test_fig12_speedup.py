@@ -1,0 +1,62 @@
+"""Figure 12 — speedup over the no-compression baseline.
+
+The paper's headline result: on average, Attaché achieves 15.3 % speedup
+(close to the ideal 17 %), while a 1 MB metadata-cache system reaches
+only 8 % and *slows down* metadata-hostile workloads (RAND: -17 %,
+bc.kron negative).  This bench runs every benchmark and mix through all
+four systems on the cycle-level simulator and reports the speedups; the
+shape to check is the ordering (ideal >= Attaché > metadata-cache on
+average) and the metadata-cache pathologies.
+"""
+
+from conftest import ALL_WORKLOADS, TIMING_SYSTEMS, publish
+
+from repro.analysis import bar_chart, format_table, geometric_mean
+
+
+def test_fig12_speedup_over_baseline(benchmark, results_cache, report_dir):
+    def collect():
+        sweep = results_cache.sweep(list(ALL_WORKLOADS), list(TIMING_SYSTEMS))
+        rows = []
+        for name in ALL_WORKLOADS:
+            base = sweep[name]["baseline"].runtime_core_cycles
+            rows.append(
+                [
+                    name,
+                    base / sweep[name]["metadata_cache"].runtime_core_cycles,
+                    base / sweep[name]["attache"].runtime_core_cycles,
+                    base / sweep[name]["ideal"].runtime_core_cycles,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    md_mean = geometric_mean([r[1] for r in rows])
+    attache_mean = geometric_mean([r[2] for r in rows])
+    ideal_mean = geometric_mean([r[3] for r in rows])
+
+    # Shape assertions (paper: md ~1.08, attache ~1.153, ideal ~1.17).
+    assert attache_mean > md_mean, "Attaché must beat metadata caching"
+    assert ideal_mean >= attache_mean - 0.01, "ideal upper-bounds Attaché"
+    assert attache_mean > 1.02, "Attaché must show a clear speedup"
+    assert ideal_mean > 1.05
+    # Metadata caching hurts its pathological workloads.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["RAND"][1] < 1.0, "metadata cache must slow RAND down"
+    assert by_name["RAND"][2] > by_name["RAND"][1] + 0.05
+    # Attaché tracks ideal within a few percent on average.
+    assert ideal_mean - attache_mean < 0.08
+
+    rows.append(["GEOMEAN", md_mean, attache_mean, ideal_mean])
+    table = format_table(
+        ["benchmark", "metadata-cache", "attache", "ideal"],
+        rows,
+        title="Figure 12: Speedup over no-compression baseline",
+    )
+    table += "\n\n" + bar_chart(
+        [r[0] for r in rows], [r[2] for r in rows],
+        title="Attaché speedup (| marks 1.0 = baseline)",
+        baseline=1.0, unit="x",
+    )
+    publish(report_dir, "fig12_speedup", table)

@@ -1,0 +1,54 @@
+"""Figure 16 — metadata-cache hit rate under LRU, DRRIP and SHiP.
+
+The paper's point: the metadata cache already enjoys a high hit rate
+under plain LRU (77 %), so state-of-the-art replacement buys only ~2 %
+— replacement policy is not the fix for metadata overheads.
+"""
+
+from conftest import bench_scale, functional_workload_kwargs, publish
+
+from repro.analysis import format_table
+from repro.core.controllers import DEFAULT_METADATA_BASE
+from repro.core.metadata_cache import MetadataCache
+from repro.sim import run_functional
+from repro.workloads.profiles import all_benchmark_names
+
+WORKLOADS = all_benchmark_names(include_mixes=False)
+POLICIES = ("lru", "drrip", "ship")
+
+
+def test_fig16_replacement_policies(benchmark, report_dir):
+    kwargs = functional_workload_kwargs()
+    scale = bench_scale()
+
+    def collect():
+        means = {}
+        for policy in POLICIES:
+            rates = []
+            for name in WORKLOADS:
+                cache = MetadataCache(
+                    capacity_bytes=scale.metadata_cache_bytes,
+                    policy=policy,
+                    metadata_base=DEFAULT_METADATA_BASE,
+                )
+                run = run_functional(name, metadata_cache=cache, **kwargs)
+                rates.append(run.metadata_hit_rate)
+            means[policy] = 100.0 * sum(rates) / len(rates)
+        return means
+
+    means = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    # LRU is already high; fancier policies move the needle only a
+    # little in either direction (paper: +2 %).
+    assert means["lru"] > 55.0
+    for policy in ("drrip", "ship"):
+        assert abs(means[policy] - means["lru"]) < 8.0
+
+    rows = [[policy.upper(), means[policy]] for policy in POLICIES]
+    table = format_table(
+        ["replacement policy", "mean hit rate %"],
+        rows,
+        title="Figure 16: Metadata-cache hit rate by replacement policy",
+        float_format="{:.1f}",
+    )
+    publish(report_dir, "fig16_replacement", table)

@@ -1,0 +1,116 @@
+"""Library micro-benchmarks: component throughput.
+
+Not paper figures — these time the library's own hot paths (codec
+throughput, predictor updates, channel scheduling) so performance
+regressions in the substrate are visible in CI.  These use
+pytest-benchmark's statistical timing (multiple rounds) since the
+operations are microseconds each.
+"""
+
+import pytest
+
+from repro.compression import BdiCompressor, CompressionEngine, FpcCompressor
+from repro.core.copr import CoprPredictor
+from repro.dram import AddressMapper, DramOrganization, DramTiming, RequestKind
+from repro.dram.channel import Channel
+from repro.dram.request import DramRequest
+from repro.util.rng import DeterministicRng
+
+ORG = DramOrganization()
+MAPPER = AddressMapper(ORG)
+
+
+def _sample_lines(n=64):
+    rng = DeterministicRng(17)
+    lines = []
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            lines.append(bytes(64))
+        elif kind == 1:
+            base = rng.next_u64()
+            lines.append(b"".join(
+                ((base + j) % 2**64).to_bytes(8, "little") for j in range(8)
+            ))
+        elif kind == 2:
+            lines.append(b"".join(
+                (rng.next_below(256)).to_bytes(4, "little") for __ in range(16)
+            ))
+        else:
+            lines.append(rng.next_bytes(64))
+    return lines
+
+
+def test_micro_bdi_compression_throughput(benchmark):
+    bdi = BdiCompressor()
+    lines = _sample_lines()
+
+    def run():
+        return sum(1 for line in lines if bdi.compress(line) is not None)
+
+    compressed = benchmark(run)
+    assert 0 < compressed < len(lines)
+
+
+def test_micro_fpc_compression_throughput(benchmark):
+    fpc = FpcCompressor()
+    lines = _sample_lines()
+
+    def run():
+        return sum(1 for line in lines if fpc.compress(line) is not None)
+
+    compressed = benchmark(run)
+    assert 0 < compressed <= len(lines)
+
+
+def test_micro_engine_with_cache(benchmark):
+    engine = CompressionEngine()
+    lines = _sample_lines(16)
+
+    def run():
+        # Hot loop: repeated lookups hit the memoisation cache.
+        return sum(engine.compressed_size(line) for line in lines)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_micro_copr_predict_update(benchmark):
+    copr = CoprPredictor(64 * 1024 * 1024)
+    rng = DeterministicRng(3)
+    addresses = [rng.next_below(1 << 20) * 64 for __ in range(256)]
+
+    def run():
+        correct = 0
+        for i, address in enumerate(addresses):
+            predicted = copr.predict(address)
+            actual = (address // 4096) % 2 == 0
+            copr.update(address, actual, predicted=predicted)
+            correct += predicted == actual
+        return correct
+
+    benchmark(run)
+
+
+def test_micro_channel_scheduling(benchmark):
+    timing = DramTiming()
+    rng = DeterministicRng(5)
+
+    def run():
+        channel = Channel(timing, ORG)
+        for i in range(64):
+            address = rng.next_below(1 << 18) * 64 * 2
+            decoded = MAPPER.decode(address)
+            if decoded.channel != 0:
+                address ^= 256  # flip a channel bit deterministically
+                decoded = MAPPER.decode(address)
+            channel.enqueue(DramRequest(
+                byte_address=address, decoded=decoded, is_write=False,
+                subrank_mask=(0, 1), data_beats=4,
+                kind=RequestKind.DEMAND_READ, arrival_cycle=float(i),
+            ))
+        done = channel.advance(1_000_000.0)
+        return len(done)
+
+    completed = benchmark(run)
+    assert completed > 0

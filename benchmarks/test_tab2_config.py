@@ -1,0 +1,49 @@
+"""Table II — baseline system configuration.
+
+Asserts that the library's defaults reproduce the paper's Table II and
+prints the configuration table.
+"""
+
+from conftest import publish
+
+from repro.analysis import format_table
+from repro.dram import DramOrganization, DramTiming, SystemConfig
+
+
+def test_tab2_baseline_configuration(benchmark, report_dir):
+    def collect():
+        config = SystemConfig(organization=DramOrganization(subranks=1))
+        org = config.organization
+        timing = config.timing
+        return [
+            ["Number of cores (OoO)", config.cores, 8],
+            ["Processor clock speed (GHz)", config.cpu_clock_ghz, 4.0],
+            ["Issue width", config.issue_width, 4],
+            ["LLC size (MB)", config.llc_bytes // 1024**2, 8],
+            ["LLC ways", config.llc_ways, 8],
+            ["LLC access latency (cycles)", config.llc_latency_cycles, 20],
+            ["Memory bus speed (MHz)", config.bus_clock_mhz, 1600.0],
+            ["Memory channels", org.channels, 2],
+            ["Ranks per channel", org.ranks_per_channel, 1],
+            ["Bank groups", org.bank_groups, 4],
+            ["Banks per bank group", org.banks_per_group, 4],
+            ["Rows per bank (K)", org.rows_per_bank // 1024, 64],
+            ["Blocks (64 B) per row", org.blocks_per_row, 128],
+            ["tRCD (cycles)", timing.t_rcd, 22],
+            ["tRP (cycles)", timing.t_rp, 22],
+            ["tCAS (cycles)", timing.t_cas, 22],
+            ["tRFC (ns)", timing.t_rfc * 0.625, 350.0],
+            ["tREFI (us)", timing.t_refi * 0.625 / 1000, 7.8],
+            ["Total capacity (GB)", org.total_bytes // 1024**3, 16],
+        ]
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for __, actual, expected in rows:
+        assert actual == expected, f"config mismatch: {actual} != {expected}"
+    table = format_table(
+        ["parameter", "library default", "paper (Table II)"],
+        rows,
+        title="Table II: Baseline System Configuration",
+        float_format="{:g}",
+    )
+    publish(report_dir, "tab2_config", table)

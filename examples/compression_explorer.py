@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Explore which data patterns BDI and FPC capture.
+
+The paper's Figure 4 rests on real workload data being compressible:
+pointers share high bits, numeric arrays have low dynamic range, sparse
+structures are mostly zero.  This example builds archetypal cachelines
+for several application data shapes and shows how each codec fares and
+whether the line fits the 30-byte sub-rank budget.
+
+Run:  python examples/compression_explorer.py
+"""
+
+import hashlib
+
+from repro.analysis import format_table
+from repro.compression import BdiCompressor, CompressionEngine, FpcCompressor
+
+
+def make_lines():
+    """(label, 64-byte line) pairs covering common data shapes."""
+    pointer_base = 0x7FFF_A000_0000
+    float_bits = [0x3FF0000000000000 + (i << 44) for i in range(8)]
+    yield "zero-initialised page", bytes(64)
+    yield "repeated sentinel", (0xDEADBEEF).to_bytes(8, "little") * 8
+    yield "heap pointers (shared base)", b"".join(
+        (pointer_base + 0x40 * i).to_bytes(8, "little") for i in range(8)
+    )
+    yield "int32 loop counters", b"".join(
+        (1000 + i).to_bytes(4, "little") for i in range(16)
+    )
+    yield "small signed deltas", b"".join(
+        ((-5 + i) % (1 << 32)).to_bytes(4, "little") for i in range(16)
+    )
+    yield "sparse CSR indices", b"".join(
+        (v).to_bytes(4, "little")
+        for v in [0, 0, 17, 0, 0, 0, 345, 0, 0, 2, 0, 0, 0, 89, 0, 0]
+    )
+    yield "doubles, similar exponents", b"".join(
+        b.to_bytes(8, "little") for b in float_bits
+    )
+    yield "compressed media (random)", b"".join(
+        hashlib.sha256(bytes([i])).digest()[:8] for i in range(8)
+    )
+
+
+def main() -> None:
+    bdi = BdiCompressor()
+    fpc = FpcCompressor()
+    engine = CompressionEngine()
+
+    rows = []
+    for label, line in make_lines():
+        bdi_block = bdi.compress(line)
+        fpc_block = fpc.compress(line)
+        best = engine.compress(line)
+        rows.append(
+            [
+                label,
+                bdi_block.size if bdi_block else "-",
+                fpc_block.size if fpc_block else "-",
+                best.algorithm if best else "none",
+                "yes" if best is not None else "no",
+            ]
+        )
+
+    print(format_table(
+        ["data shape", "BDI bytes", "FPC bytes", "winner", "fits 30 B"],
+        rows,
+        title="Cacheline compressibility by data shape (64-byte lines)",
+    ))
+    print()
+    stats = engine.stats
+    print(f"engine saw {stats.blocks_compressed + stats.blocks_incompressible} "
+          f"lines, {100 * stats.compressible_fraction:.0f}% sub-rank "
+          f"compressible, mean ratio {stats.mean_ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

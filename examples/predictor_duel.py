@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Metadata-cache vs COPR on real miss streams (the paper's core duel).
+
+Streams the LLC-filtered misses of three very different workloads —
+streaming (STREAM), graph-irregular (bc.kron) and adversarially random
+(RAND) — through both metadata mechanisms and compares:
+
+* the metadata cache's hit rate and, crucially, the *extra memory
+  requests* its misses generate (installs + dirty evictions);
+* COPR's prediction accuracy, which costs at most a corrective data
+  access on a miss — never a metadata access (BLEM carries the
+  metadata inside the line).
+
+Run:  python examples/predictor_duel.py
+"""
+
+from repro.analysis import format_table
+from repro.core.controllers import DEFAULT_METADATA_BASE
+from repro.core.copr import CoprConfig
+from repro.core.metadata_cache import MetadataCache
+from repro.sim import run_functional
+
+WORKLOADS = ("STREAM", "bc.kron", "RAND")
+SCALE = 1 / 32  # footprint scale; capacities shrink to match
+
+
+def main() -> None:
+    rows = []
+    for name in WORKLOADS:
+        kwargs = dict(
+            cores=8, records_per_core=8000, seed=2018,
+            footprint_scale=SCALE, llc_bytes=256 * 1024,
+        )
+        md_run = run_functional(
+            name,
+            metadata_cache=MetadataCache(
+                capacity_bytes=32 * 1024,  # the paper's 1 MB, scaled
+                metadata_base=DEFAULT_METADATA_BASE,
+            ),
+            **kwargs,
+        )
+        copr_run = run_functional(
+            name,
+            copr_config=CoprConfig(papr_entries=2048, lipr_entries=512),
+            **kwargs,
+        )
+        rows.append(
+            [
+                name,
+                100.0 * md_run.metadata_hit_rate,
+                md_run.metadata_extra_requests,
+                100.0 * md_run.metadata_traffic_overhead,
+                100.0 * copr_run.copr_accuracy,
+                0,  # COPR never issues metadata requests
+            ]
+        )
+
+    print(format_table(
+        ["workload", "md-cache hit %", "extra md requests",
+         "traffic overhead %", "COPR accuracy %", "COPR md requests"],
+        rows,
+        title="Metadata cache vs COPR (LLC-filtered miss streams)",
+        float_format="{:.1f}",
+    ))
+    print()
+    print("The metadata cache pays real memory requests for every miss;")
+    print("COPR mispredictions only cost a corrective sub-rank access,")
+    print("because BLEM already delivered the metadata with the data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Workload atlas: characterise the whole synthetic benchmark suite.
+
+Measures every SPEC/GAP/synthetic profile the way an architect would
+characterise a Pin trace — MPKI, read/write mix, spatial locality,
+footprint, realized compressibility — and prints the suite table.  This
+is the audit trail for the calibrations in
+``repro/workloads/profiles.py`` (see DESIGN.md §6.8).
+
+Run:  python examples/workload_atlas.py
+"""
+
+from repro.analysis import bar_chart, format_table
+from repro.workloads import characterize_benchmark
+from repro.workloads.profiles import all_benchmark_names
+
+
+def main() -> None:
+    rows = []
+    names = all_benchmark_names()
+    print(f"characterising {len(names)} workloads ...")
+    for name in names:
+        stats = characterize_benchmark(
+            name, cores=4, records_per_core=4000, seed=2018,
+            footprint_scale=1 / 32, llc_bytes=256 * 1024,
+        )
+        rows.append(
+            [
+                name,
+                stats.llc_mpki,
+                100.0 * stats.store_fraction,
+                100.0 * stats.sequential_fraction,
+                stats.footprint_bytes // 1024,
+                100.0 * stats.compressible_fraction,
+            ]
+        )
+
+    print()
+    print(format_table(
+        ["benchmark", "LLC MPKI", "stores %", "sequential %",
+         "footprint KB", "compressible %"],
+        rows,
+        title="Synthetic workload atlas (scaled 1/32)",
+        float_format="{:.1f}",
+    ))
+    print()
+    print(bar_chart(
+        [r[0] for r in rows], [r[5] for r in rows],
+        title="Compressible fraction by benchmark (Fig. 4 shape)",
+        unit="%",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Attaché: metadata-free main-memory compression (MICRO 2018) — a
+from-scratch Python reproduction.
+
+Public API layers:
+
+* :mod:`repro.compression` — BDI/FPC cacheline codecs and the best-of
+  engine (30-byte sub-rank target).
+* :mod:`repro.core` — the paper's contribution: BLEM (blended metadata),
+  COPR (compression predictor), metadata-cache baselines, and the four
+  memory-controller front-ends.
+* :mod:`repro.dram` — cycle-level sub-ranked DDR4 model.
+* :mod:`repro.cpu` / :mod:`repro.workloads` — trace-driven cores, LLC,
+  and synthetic SPEC/GAP-like workload generators.
+* :mod:`repro.sim` — the full-system simulator and experiment runners.
+* :mod:`repro.energy` — DRAM energy accounting.
+
+Quick start::
+
+    from repro.sim import run_comparison
+    outcome = run_comparison("mcf", systems=["baseline", "attache"])
+    print(outcome.speedup("attache"))
+"""
+
+from repro.compression import CompressionEngine
+from repro.core import (
+    AttacheController,
+    BaselineController,
+    BlemConfig,
+    BlemEngine,
+    CoprConfig,
+    CoprPredictor,
+    IdealController,
+    MetadataCache,
+    MetadataCacheController,
+)
+from repro.dram import SystemConfig
+from repro.sim import (
+    ExperimentScale,
+    Simulator,
+    run_benchmark,
+    run_comparison,
+    run_functional,
+)
+from repro.workloads import build_workload, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttacheController",
+    "BaselineController",
+    "BlemConfig",
+    "BlemEngine",
+    "CompressionEngine",
+    "CoprConfig",
+    "CoprPredictor",
+    "ExperimentScale",
+    "IdealController",
+    "MetadataCache",
+    "MetadataCacheController",
+    "Simulator",
+    "SystemConfig",
+    "build_workload",
+    "get_profile",
+    "run_benchmark",
+    "run_comparison",
+    "run_functional",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analytics and reporting: CID collision math and result tables."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.analysis.collision import (
+    cid_collision_probability,
+    cid_table,
+    expected_accesses_per_collision,
+    measure_collision_rate,
+    probability_of_collision_within,
+)
+from repro.analysis.report import format_table, geometric_mean, normalise
+
+__all__ = [
+    "bar_chart",
+    "cid_collision_probability",
+    "cid_table",
+    "expected_accesses_per_collision",
+    "format_table",
+    "geometric_mean",
+    "grouped_bar_chart",
+    "measure_collision_rate",
+    "normalise",
+    "probability_of_collision_within",
+]

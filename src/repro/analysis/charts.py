@@ -1,0 +1,78 @@
+"""ASCII bar charts for figure benches.
+
+The paper's figures are bar charts per benchmark; the bench harness
+renders equivalent ASCII charts alongside the numeric tables so the
+*shape* can be eyeballed in a terminal or a text diff, without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    When *baseline* is given, a ``|`` marker is drawn at its position —
+    used for "1.0 = no speedup" reference lines.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("chart needs at least one bar")
+    if width < 10:
+        raise ValueError("width too small to render")
+    peak = max(list(values) + ([baseline] if baseline is not None else []))
+    if peak <= 0:
+        raise ValueError("chart values must include something positive")
+    label_width = max(len(label) for label in labels)
+    scale = (width - 1) / peak
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    marker = int(round(baseline * scale)) if baseline is not None else None
+    for label, value in zip(labels, values):
+        length = max(0, int(round(value * scale)))
+        bar = list("#" * length + " " * (width - length))
+        if marker is not None and 0 <= marker < width:
+            bar[marker] = "|" if bar[marker] == " " else "+"
+        lines.append(
+            f"{label.ljust(label_width)}  {''.join(bar)}  {value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+    baseline: Optional[float] = None,
+) -> str:
+    """Render several series per label (one row per series, grouped)."""
+    if not series:
+        raise ValueError("at least one series is required")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    series_width = max(len(name) for name in series)
+    blocks: List[str] = [title] if title else []
+    for index, label in enumerate(labels):
+        chart = bar_chart(
+            labels=[name.ljust(series_width) for name in series],
+            values=[series[name][index] for name in series],
+            width=width,
+            baseline=baseline,
+        )
+        blocks.append(label)
+        blocks.extend("  " + line for line in chart.splitlines())
+    return "\n".join(blocks)

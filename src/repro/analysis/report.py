@@ -1,0 +1,57 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every bench prints the rows/series of its paper figure through these
+helpers so outputs are uniform and easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the conventional average for speedup ratios."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalise(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline entry."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {key: value / base for key, value in values.items()}
+
+
+def format_table(
+    headers: List[str],
+    rows: List[List[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

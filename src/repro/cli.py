@@ -1,0 +1,233 @@
+"""Command-line interface: run simulations without writing Python.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --benchmark mcf --system attache
+    python -m repro compare --benchmark STREAM --records 2000
+    python -m repro functional --benchmark bc.kron --copr --mdcache
+
+All runs are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.core.controllers import DEFAULT_METADATA_BASE
+from repro.core.metadata_cache import MetadataCache
+from repro.sim.functional import run_functional
+from repro.sim.runner import (
+    SYSTEMS,
+    ExperimentScale,
+    run_benchmark,
+    run_comparison,
+)
+from repro.workloads.profiles import PROFILES, all_benchmark_names
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        name="cli",
+        factor=args.scale_factor,
+        cores=args.cores,
+        records_per_core=args.records,
+        warmup_per_core=args.warmup,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", default="mcf",
+                        help="benchmark or mix name (see `list`)")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--records", type=int, default=2000,
+                        help="timed memory operations per core")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warm-up records per core (default 2x records)")
+    parser.add_argument("--scale-factor", type=int, default=32,
+                        help="joint capacity/footprint scale divisor")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in all_benchmark_names(include_mixes=False):
+        profile = PROFILES[name]
+        rows.append(
+            [name, profile.suite, profile.pattern_kind,
+             f"{100 * profile.data.compressible_fraction:.0f}%",
+             f"{profile.footprint_bytes // 1024**2} MB"]
+        )
+    rows.append(["mix1 / mix2", "mix", "8-way mixes", "-", "-"])
+    print(format_table(
+        ["benchmark", "suite", "pattern", "compressible", "footprint/core"],
+        rows, title="Available workloads",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_benchmark(
+        args.benchmark, args.system, scale=_scale_from_args(args),
+        seed=args.seed,
+    )
+    rows = [
+        ["runtime (core cycles)", f"{result.runtime_core_cycles:.0f}"],
+        ["IPC", f"{result.ipc:.3f}"],
+        ["LLC MPKI", f"{result.mpki:.1f}"],
+        ["mean read latency (bus cycles)",
+         f"{result.mean_read_latency_bus_cycles:.1f}"],
+        ["bytes transferred", str(result.bytes_transferred)],
+        ["energy (uJ)", f"{result.energy.total_nj / 1000:.1f}"],
+    ]
+    if result.copr_accuracy is not None:
+        rows.append(["COPR accuracy", f"{100 * result.copr_accuracy:.1f}%"])
+    if result.metadata_hit_rate is not None:
+        rows.append(["metadata-cache hit rate",
+                     f"{100 * result.metadata_hit_rate:.1f}%"])
+    for kind, count in sorted(result.memory_requests_by_kind.items()):
+        rows.append([f"requests: {kind}", str(count)])
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.benchmark} on {args.system}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    outcome = run_comparison(
+        args.benchmark, systems=list(args.systems),
+        scale=_scale_from_args(args), seed=args.seed,
+    )
+    rows = []
+    for system in args.systems:
+        result = outcome.results[system]
+        rows.append(
+            [system, outcome.speedup(system), outcome.energy_ratio(system),
+             result.mean_read_latency_bus_cycles]
+        )
+    print(format_table(
+        ["system", "speedup", "energy vs baseline", "read latency (cycles)"],
+        rows, title=f"{args.benchmark}: system comparison",
+    ))
+    return 0
+
+
+def _cmd_functional(args: argparse.Namespace) -> int:
+    from repro.core.copr import CoprConfig
+
+    cache = (
+        MetadataCache(capacity_bytes=args.mdcache_kb * 1024,
+                      metadata_base=DEFAULT_METADATA_BASE)
+        if args.mdcache
+        else None
+    )
+    copr_config = (
+        CoprConfig(papr_entries=max(1024, 65536 // args.scale_factor),
+                   lipr_entries=max(256, 16384 // args.scale_factor))
+        if args.copr
+        else None
+    )
+    run = run_functional(
+        args.benchmark, cores=args.cores, records_per_core=args.records,
+        seed=args.seed, footprint_scale=1.0 / args.scale_factor,
+        llc_bytes=max(64 * 1024, 8 * 1024 * 1024 // args.scale_factor),
+        metadata_cache=cache, copr_config=copr_config,
+    )
+    rows = [
+        ["demand reads", str(run.demand_reads)],
+        ["demand writes", str(run.demand_writes)],
+        ["compressible reads", f"{100 * run.compressible_fraction:.1f}%"],
+    ]
+    if run.metadata_hit_rate is not None:
+        rows.append(["metadata hit rate", f"{100 * run.metadata_hit_rate:.1f}%"])
+        rows.append(["metadata traffic overhead",
+                     f"{100 * run.metadata_traffic_overhead:.1f}%"])
+    if run.copr_accuracy is not None:
+        rows.append(["COPR accuracy", f"{100 * run.copr_accuracy:.1f}%"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.benchmark}: functional pass"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep
+
+    sweep = run_sweep(
+        benchmarks=list(args.benchmarks),
+        systems=list(args.systems),
+        seeds=[args.seed],
+        scale=_scale_from_args(args),
+    )
+    csv_text = sweep.to_csv(metrics=list(args.metrics))
+    if args.output == "-":
+        print(csv_text, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote {len(sweep.points)} rows to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Attaché (MICRO 2018) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available workloads")
+
+    run_parser = commands.add_parser("run", help="simulate one system")
+    _add_common(run_parser)
+    run_parser.add_argument("--system", choices=SYSTEMS, default="attache")
+
+    compare_parser = commands.add_parser(
+        "compare", help="simulate several systems on one workload"
+    )
+    _add_common(compare_parser)
+    compare_parser.add_argument(
+        "--systems", nargs="+", choices=SYSTEMS, default=list(SYSTEMS)
+    )
+
+    functional_parser = commands.add_parser(
+        "functional", help="timing-free predictor / metadata-cache study"
+    )
+    _add_common(functional_parser)
+    functional_parser.add_argument("--mdcache", action="store_true",
+                                   help="measure a metadata cache")
+    functional_parser.add_argument("--mdcache-kb", type=int, default=32)
+    functional_parser.add_argument("--copr", action="store_true",
+                                   help="measure the COPR predictor")
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a benchmark x system grid, export CSV"
+    )
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--benchmarks", nargs="+", default=["STREAM"])
+    sweep_parser.add_argument(
+        "--systems", nargs="+", choices=SYSTEMS, default=["baseline", "attache"]
+    )
+    sweep_parser.add_argument(
+        "--metrics", nargs="+",
+        default=["runtime_core_cycles", "ipc", "energy_nj"],
+    )
+    sweep_parser.add_argument("--output", default="-",
+                              help="CSV path, or '-' for stdout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "functional": _cmd_functional,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Cacheline compression: BDI, FPC and the best-of compression engine.
+
+The paper's memory controller compresses each 64-byte block with both
+Base-Delta-Immediate (BDI) and Frequent-Pattern-Compression (FPC) and
+keeps whichever result is smaller (Section V).  A block is *sub-rank
+compressible* when its best compressed size is at most 30 bytes, leaving
+2 bytes of the 32-byte sub-rank transfer for the Metadata-Header.
+"""
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    DecompressionError,
+)
+from repro.compression.bdi import BdiCompressor
+from repro.compression.bpc import BpcCompressor
+from repro.compression.cpack import CpackCompressor
+from repro.compression.engine import (
+    SUBRANK_PAYLOAD_BYTES,
+    CompressionEngine,
+    CompressionStats,
+)
+from repro.compression.fpc import FpcCompressor
+
+__all__ = [
+    "SUBRANK_PAYLOAD_BYTES",
+    "BdiCompressor",
+    "BpcCompressor",
+    "CompressedBlock",
+    "CompressionAlgorithm",
+    "CompressionEngine",
+    "CompressionStats",
+    "CpackCompressor",
+    "DecompressionError",
+    "FpcCompressor",
+]

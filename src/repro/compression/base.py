@@ -1,0 +1,80 @@
+"""Common interface for cacheline compression algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.bitops import CACHELINE_BYTES
+
+
+class DecompressionError(ValueError):
+    """Raised when a payload cannot be decoded back to a cacheline."""
+
+
+@dataclass(frozen=True)
+class CompressedBlock:
+    """The result of compressing one cacheline.
+
+    Attributes:
+        algorithm: short name of the algorithm that produced the payload
+            (``"bdi"`` or ``"fpc"``), used to route decompression.
+        payload: the self-describing encoded bytes.  ``len(payload)`` is
+            the compressed size the sub-ranking decision is made on.
+        original_size: size of the uncompressed block (always 64 here;
+            kept explicit so the type is reusable for other geometries).
+    """
+
+    algorithm: str
+    payload: bytes
+    original_size: int = CACHELINE_BYTES
+
+    @property
+    def size(self) -> int:
+        """Compressed size in bytes."""
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed); larger is better."""
+        return self.original_size / max(1, self.size)
+
+
+class CompressionAlgorithm(abc.ABC):
+    """A lossless cacheline compressor.
+
+    Implementations must guarantee ``decompress(compress(x).payload) == x``
+    whenever ``compress`` returns a block, and must return ``None`` when
+    the line does not compress under the algorithm (rather than returning
+    a payload larger than the line).
+    """
+
+    #: Short identifier used in :class:`CompressedBlock.algorithm`.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> Optional[CompressedBlock]:
+        """Compress a 64-byte cacheline, or return ``None`` if incompressible."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Decode a payload produced by :meth:`compress` back to 64 bytes."""
+
+    def decompress_prefix(self, padded_payload: bytes) -> bytes:
+        """Decode a payload that may carry trailing zero padding.
+
+        Hardware decoders stream-decode and stop once a full line is
+        produced; this mirrors that for payloads stored in fixed-size
+        slots (BLEM stores payloads zero-padded to 30 bytes).  The
+        default delegates to :meth:`decompress`; codecs whose strict
+        decoder rejects padding override this.
+        """
+        return self.decompress(padded_payload)
+
+    def _check_line(self, data: bytes) -> None:
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError(
+                f"{self.name} operates on {CACHELINE_BYTES}-byte cachelines, "
+                f"got {len(data)} bytes"
+            )

@@ -1,0 +1,181 @@
+"""C-Pack cache compression [Chen+, IEEE TVLSI 2010].
+
+C-Pack compresses a line word-by-word against a small dictionary of
+recently seen 32-bit words.  Each word emits a coded pattern:
+
+=========  ====================================  ============
+code       meaning                               body bits
+=========  ====================================  ============
+``00``     zero word                             0
+``01``     full dictionary match                 4 (index)
+``10``     partial match: upper 24 bits match    4 + 8
+``1100``   zero-extended byte (word < 256)       8
+``1101``   partial match: upper 16 bits match    4 + 16
+``1110``   reserved (unused by this encoder)     --
+``1111``   uncompressed word                     32
+=========  ====================================  ============
+
+The dictionary holds the last 16 distinct words pushed in FIFO order;
+both encoder and decoder rebuild it identically, so no dictionary bits
+are stored.  This is the third algorithm behind the paper's Table I
+observation that the CID can shrink to gain *information bits* that
+select among more than two compressors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    DecompressionError,
+)
+from repro.util.bitops import CACHELINE_BYTES, bytes_to_words, words_to_bytes
+from repro.util.bitstream import BitReader, BitWriter
+
+_WORD_BYTES = 4
+_WORDS_PER_LINE = CACHELINE_BYTES // _WORD_BYTES
+_DICT_ENTRIES = 16
+
+_ZERO = 0b00
+_FULL_MATCH = 0b01
+_PARTIAL_24 = 0b10
+_EXTENDED = 0b11  # prefix for the 4-bit codes
+
+_EXT_BYTE = 0b1100
+_EXT_PARTIAL_16 = 0b1101
+_EXT_UNCOMPRESSED = 0b1111
+
+
+class _Dictionary:
+    """FIFO dictionary of the last distinct words, shared by both sides."""
+
+    def __init__(self) -> None:
+        self._entries: List[int] = []
+
+    def find_full(self, word: int) -> Optional[int]:
+        try:
+            return self._entries.index(word)
+        except ValueError:
+            return None
+
+    def find_partial(self, word: int, keep_bits: int) -> Optional[int]:
+        """Index of an entry sharing the top *keep_bits* of the word."""
+        shift = 32 - keep_bits
+        target = word >> shift
+        for index, entry in enumerate(self._entries):
+            if entry >> shift == target:
+                return index
+        return None
+
+    def lookup(self, index: int) -> int:
+        if not 0 <= index < len(self._entries):
+            raise DecompressionError(f"dictionary index {index} out of range")
+        return self._entries[index]
+
+    def push(self, word: int) -> None:
+        """Insert a word (FIFO eviction; duplicates are not re-inserted)."""
+        if word == 0 or word in self._entries:
+            return
+        self._entries.append(word)
+        if len(self._entries) > _DICT_ENTRIES:
+            self._entries.pop(0)
+
+
+class CpackCompressor(CompressionAlgorithm):
+    """Dictionary-based C-Pack codec for 64-byte lines."""
+
+    name = "cpack"
+
+    def compress(self, data: bytes) -> Optional[CompressedBlock]:
+        """Encode the line; ``None`` when C-Pack does not shrink it."""
+        self._check_line(data)
+        words = bytes_to_words(data, _WORD_BYTES)
+        writer = BitWriter()
+        dictionary = _Dictionary()
+        for word in words:
+            self._encode_word(word, dictionary, writer)
+            dictionary.push(word)
+        payload = writer.to_bytes()
+        if len(payload) >= CACHELINE_BYTES:
+            return None
+        return CompressedBlock(self.name, payload)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return self._decode(payload, strict=True)
+
+    def decompress_prefix(self, padded_payload: bytes) -> bytes:
+        """Decode a zero-padded payload slot (BLEM storage format)."""
+        return self._decode(padded_payload, strict=False)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_word(word: int, dictionary: _Dictionary, writer: BitWriter) -> None:
+        if word == 0:
+            writer.write(_ZERO, 2)
+            return
+        index = dictionary.find_full(word)
+        if index is not None:
+            writer.write(_FULL_MATCH, 2)
+            writer.write(index, 4)
+            return
+        index = dictionary.find_partial(word, keep_bits=24)
+        if index is not None:
+            writer.write(_PARTIAL_24, 2)
+            writer.write(index, 4)
+            writer.write(word & 0xFF, 8)
+            return
+        if word < 256:
+            writer.write(_EXT_BYTE, 4)
+            writer.write(word, 8)
+            return
+        index = dictionary.find_partial(word, keep_bits=16)
+        if index is not None:
+            writer.write(_EXT_PARTIAL_16, 4)
+            writer.write(index, 4)
+            writer.write(word & 0xFFFF, 16)
+            return
+        writer.write(_EXT_UNCOMPRESSED, 4)
+        writer.write(word, 32)
+
+    def _decode(self, payload: bytes, strict: bool) -> bytes:
+        reader = BitReader(payload)
+        dictionary = _Dictionary()
+        words: List[int] = []
+        while len(words) < _WORDS_PER_LINE:
+            word = self._decode_word(reader, dictionary)
+            dictionary.push(word)
+            words.append(word)
+        if strict:
+            if reader.remaining_bits >= 8 or (
+                reader.remaining_bits and reader.read(reader.remaining_bits) != 0
+            ):
+                raise DecompressionError("C-Pack payload has trailing garbage")
+        return words_to_bytes(words, _WORD_BYTES)
+
+    @staticmethod
+    def _decode_word(reader: BitReader, dictionary: _Dictionary) -> int:
+        if reader.remaining_bits < 2:
+            raise DecompressionError("truncated C-Pack payload")
+        code = reader.read(2)
+        if code == _ZERO:
+            return 0
+        if code == _FULL_MATCH:
+            return dictionary.lookup(reader.read(4))
+        if code == _PARTIAL_24:
+            entry = dictionary.lookup(reader.read(4))
+            return (entry & 0xFFFFFF00) | reader.read(8)
+        # Extended 4-bit codes.
+        if reader.remaining_bits < 2:
+            raise DecompressionError("truncated C-Pack payload")
+        code = (code << 2) | reader.read(2)
+        if code == _EXT_BYTE:
+            return reader.read(8)
+        if code == _EXT_PARTIAL_16:
+            entry = dictionary.lookup(reader.read(4))
+            return (entry & 0xFFFF0000) | reader.read(16)
+        if code == _EXT_UNCOMPRESSED:
+            return reader.read(32)
+        raise DecompressionError(f"invalid C-Pack code {code:#06b}")

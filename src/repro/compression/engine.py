@@ -1,0 +1,161 @@
+"""The best-of-N compression/decompression engine.
+
+Mirrors the paper's memory-controller engine (Section V): every write is
+compressed with both BDI and FPC and the smaller result wins.  A block is
+*sub-rank compressible* when its best payload fits in 30 bytes, leaving
+room for the 2-byte Metadata-Header inside a 32-byte sub-rank transfer.
+
+Compression runs on every simulated write, so the engine memoises results
+by line content with a bounded FIFO cache — simulated workloads reuse
+block values heavily and this keeps the Python simulator tractable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.compression.base import CompressedBlock, CompressionAlgorithm
+from repro.compression.bdi import BdiCompressor
+from repro.compression.fpc import FpcCompressor
+from repro.util.bitops import CACHELINE_BYTES
+
+#: Target payload size for a compressed line: a 32-byte sub-rank beat
+#: minus the 2-byte (15-bit CID + 1-bit XID) Metadata-Header.
+SUBRANK_PAYLOAD_BYTES = 30
+
+
+@dataclass
+class CompressionStats:
+    """Aggregate counters maintained by a :class:`CompressionEngine`."""
+
+    blocks_compressed: int = 0
+    blocks_incompressible: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    wins_by_algorithm: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compressible_fraction(self) -> float:
+        """Fraction of blocks that compressed below the target size."""
+        total = self.blocks_compressed + self.blocks_incompressible
+        return self.blocks_compressed / total if total else 0.0
+
+    @property
+    def mean_ratio(self) -> float:
+        """Mean compression ratio over all blocks seen (1.0 = no gain)."""
+        return self.bytes_in / self.bytes_out if self.bytes_out else 1.0
+
+
+class CompressionEngine:
+    """Runs several compressors and keeps the best result per line.
+
+    Args:
+        algorithms: compressors to race; defaults to BDI + FPC as in the
+            paper.
+        target_size: payload budget that defines "compressible" — 30 bytes
+            for the paper's two-sub-rank design point.
+        cache_entries: capacity of the content-keyed memoisation cache
+            (0 disables memoisation).
+    """
+
+    def __init__(
+        self,
+        algorithms: Optional[Sequence[CompressionAlgorithm]] = None,
+        target_size: int = SUBRANK_PAYLOAD_BYTES,
+        cache_entries: int = 65536,
+    ) -> None:
+        if target_size <= 0 or target_size > CACHELINE_BYTES:
+            raise ValueError(f"target_size out of range: {target_size}")
+        if algorithms is None:
+            algorithms = [BdiCompressor(), FpcCompressor()]
+        self._algorithms = list(algorithms)
+        if not self._algorithms:
+            raise ValueError("at least one compression algorithm is required")
+        names = [algo.name for algo in self._algorithms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate algorithm names: {names}")
+        self._by_name = {algo.name: algo for algo in self._algorithms}
+        self._target_size = target_size
+        self._cache_entries = cache_entries
+        self._cache: "OrderedDict[bytes, Optional[CompressedBlock]]" = OrderedDict()
+        self.stats = CompressionStats()
+
+    @property
+    def target_size(self) -> int:
+        """Payload budget in bytes that defines sub-rank compressibility."""
+        return self._target_size
+
+    @property
+    def algorithm_names(self) -> Sequence[str]:
+        """Names of the racing compressors, in priority order."""
+        return tuple(self._by_name)
+
+    def compress(self, data: bytes) -> Optional[CompressedBlock]:
+        """Return the smallest compression of *data*, or ``None``.
+
+        ``None`` means no algorithm got the payload within the target
+        size, i.e. the line is stored uncompressed across both sub-ranks.
+        """
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError(f"expected a {CACHELINE_BYTES}-byte line, got {len(data)}")
+        best = self._lookup(data)
+        if best is None:
+            self.stats.blocks_incompressible += 1
+            self.stats.bytes_in += CACHELINE_BYTES
+            self.stats.bytes_out += CACHELINE_BYTES
+        else:
+            self.stats.blocks_compressed += 1
+            self.stats.bytes_in += CACHELINE_BYTES
+            self.stats.bytes_out += best.size
+            wins = self.stats.wins_by_algorithm
+            wins[best.algorithm] = wins.get(best.algorithm, 0) + 1
+        return best
+
+    def is_compressible(self, data: bytes) -> bool:
+        """True when *data* compresses to at most the target size."""
+        return self._lookup(data) is not None
+
+    def compressed_size(self, data: bytes) -> int:
+        """Best payload size, or the full line size if incompressible."""
+        best = self._lookup(data)
+        return best.size if best is not None else CACHELINE_BYTES
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        """Route a compressed block to the algorithm that produced it."""
+        algorithm = self._by_name.get(block.algorithm)
+        if algorithm is None:
+            raise ValueError(f"no such algorithm: {block.algorithm!r}")
+        return algorithm.decompress(block.payload)
+
+    def decompress_prefix(self, algorithm_name: str, padded_payload: bytes) -> bytes:
+        """Decode a zero-padded payload slot with the named algorithm."""
+        algorithm = self._by_name.get(algorithm_name)
+        if algorithm is None:
+            raise ValueError(f"no such algorithm: {algorithm_name!r}")
+        return algorithm.decompress_prefix(padded_payload)
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, data: bytes) -> Optional[CompressedBlock]:
+        if self._cache_entries:
+            cached = self._cache.get(data)
+            if cached is not None or data in self._cache:
+                self._cache.move_to_end(data)
+                return cached
+        best = self._compress_uncached(data)
+        if self._cache_entries:
+            self._cache[data] = best
+            if len(self._cache) > self._cache_entries:
+                self._cache.popitem(last=False)
+        return best
+
+    def _compress_uncached(self, data: bytes) -> Optional[CompressedBlock]:
+        best: Optional[CompressedBlock] = None
+        for algorithm in self._algorithms:
+            block = algorithm.compress(data)
+            if block is not None and block.size <= self._target_size:
+                if best is None or block.size < best.size:
+                    best = block
+        return best

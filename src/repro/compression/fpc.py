@@ -1,0 +1,167 @@
+"""Frequent Pattern Compression (FPC) [Alameldeen & Wood, 2004].
+
+FPC scans a cacheline as 32-bit words and replaces each word with a
+3-bit prefix plus a variable-size body when the word matches one of
+seven frequent patterns (zero runs, sign-extended small values, repeated
+bytes, ...).  Words matching no pattern are stored verbatim behind the
+``uncompressed`` prefix, so FPC never fails — it just may not shrink the
+line.  ``compress`` returns ``None`` when the encoded size would not be
+smaller than the raw line, matching the project-wide compressor contract.
+
+The encoded payload is a pure MSB-first bitstream (no extra headers);
+its byte length (with final-byte padding) is the size used for the
+sub-ranking decision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    DecompressionError,
+)
+from repro.util.bitops import (
+    CACHELINE_BYTES,
+    bytes_to_words,
+    fits_signed,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    words_to_bytes,
+)
+from repro.util.bitstream import BitReader, BitWriter
+
+_WORD_BYTES = 4
+_WORDS_PER_LINE = CACHELINE_BYTES // _WORD_BYTES
+
+_PREFIX_ZERO_RUN = 0b000
+_PREFIX_SIGNED_4 = 0b001
+_PREFIX_SIGNED_8 = 0b010
+_PREFIX_SIGNED_16 = 0b011
+_PREFIX_HALF_PADDED = 0b100
+_PREFIX_TWO_HALVES = 0b101
+_PREFIX_REPEATED_BYTES = 0b110
+_PREFIX_UNCOMPRESSED = 0b111
+
+_MAX_ZERO_RUN = 8  # encoded in a 3-bit field as run-length - 1
+
+
+class FpcCompressor(CompressionAlgorithm):
+    """Frequent-Pattern-Compression codec for 64-byte lines."""
+
+    name = "fpc"
+
+    def compress(self, data: bytes) -> Optional[CompressedBlock]:
+        """Encode the line; return ``None`` when FPC does not shrink it."""
+        self._check_line(data)
+        words = bytes_to_words(data, _WORD_BYTES)
+
+        writer = BitWriter()
+        index = 0
+        while index < len(words):
+            if words[index] == 0:
+                run = 1
+                while (
+                    index + run < len(words)
+                    and words[index + run] == 0
+                    and run < _MAX_ZERO_RUN
+                ):
+                    run += 1
+                writer.write(_PREFIX_ZERO_RUN, 3)
+                writer.write(run - 1, 3)
+                index += run
+                continue
+            prefix, body, body_bits = self._encode_word(words[index])
+            writer.write(prefix, 3)
+            writer.write(body, body_bits)
+            index += 1
+
+        payload = writer.to_bytes()
+        if len(payload) >= CACHELINE_BYTES:
+            return None
+        return CompressedBlock(self.name, payload)
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Decode an FPC bitstream back to the original 64-byte line."""
+        return self._decode(payload, strict=True)
+
+    def decompress_prefix(self, padded_payload: bytes) -> bytes:
+        """Decode a zero-padded payload slot (BLEM storage format).
+
+        Stops as soon as 16 words are decoded and ignores the padding,
+        as a streaming hardware decoder would.
+        """
+        return self._decode(padded_payload, strict=False)
+
+    def _decode(self, payload: bytes, strict: bool) -> bytes:
+        reader = BitReader(payload)
+        words: List[int] = []
+        while len(words) < _WORDS_PER_LINE:
+            if reader.remaining_bits < 3:
+                raise DecompressionError("truncated FPC payload")
+            prefix = reader.read(3)
+            words.extend(self._decode_word(prefix, reader))
+        if len(words) != _WORDS_PER_LINE:
+            raise DecompressionError(
+                f"FPC payload decoded to {len(words)} words, expected "
+                f"{_WORDS_PER_LINE}"
+            )
+        if strict:
+            # Trailing bits must be padding only (< 8 of them, all zero).
+            if reader.remaining_bits >= 8 or (
+                reader.remaining_bits and reader.read(reader.remaining_bits) != 0
+            ):
+                raise DecompressionError("FPC payload has trailing garbage")
+        return words_to_bytes(words, _WORD_BYTES)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_word(word: int) -> Tuple[int, int, int]:
+        """Return ``(prefix, body, body_bits)`` for one non-zero word."""
+        signed = to_signed(word, 32)
+        if fits_signed(signed, 4):
+            return _PREFIX_SIGNED_4, to_unsigned(signed, 4), 4
+        if fits_signed(signed, 8):
+            return _PREFIX_SIGNED_8, to_unsigned(signed, 8), 8
+        if fits_signed(signed, 16):
+            return _PREFIX_SIGNED_16, to_unsigned(signed, 16), 16
+        if word & 0xFFFF == 0:
+            # Halfword of data padded with a zero halfword.
+            return _PREFIX_HALF_PADDED, word >> 16, 16
+        high = to_signed(word >> 16, 16)
+        low = to_signed(word & 0xFFFF, 16)
+        if fits_signed(high, 8) and fits_signed(low, 8):
+            body = (to_unsigned(high, 8) << 8) | to_unsigned(low, 8)
+            return _PREFIX_TWO_HALVES, body, 16
+        byte0 = word & 0xFF
+        if word == byte0 * 0x01010101:
+            return _PREFIX_REPEATED_BYTES, byte0, 8
+        return _PREFIX_UNCOMPRESSED, word, 32
+
+    @staticmethod
+    def _decode_word(prefix: int, reader: BitReader) -> List[int]:
+        """Decode the body for *prefix*; zero runs expand to several words."""
+        if prefix == _PREFIX_ZERO_RUN:
+            run = reader.read(3) + 1
+            return [0] * run
+        if prefix == _PREFIX_SIGNED_4:
+            return [to_unsigned(sign_extend(reader.read(4), 4), 32)]
+        if prefix == _PREFIX_SIGNED_8:
+            return [to_unsigned(sign_extend(reader.read(8), 8), 32)]
+        if prefix == _PREFIX_SIGNED_16:
+            return [to_unsigned(sign_extend(reader.read(16), 16), 32)]
+        if prefix == _PREFIX_HALF_PADDED:
+            return [reader.read(16) << 16]
+        if prefix == _PREFIX_TWO_HALVES:
+            body = reader.read(16)
+            high = to_unsigned(sign_extend(body >> 8, 8), 16)
+            low = to_unsigned(sign_extend(body & 0xFF, 8), 16)
+            return [(high << 16) | low]
+        if prefix == _PREFIX_REPEATED_BYTES:
+            return [reader.read(8) * 0x01010101]
+        if prefix == _PREFIX_UNCOMPRESSED:
+            return [reader.read(32)]
+        raise DecompressionError(f"invalid FPC prefix {prefix:#05b}")

@@ -1,0 +1,43 @@
+"""The paper's contribution: BLEM, COPR, metadata caches and controllers."""
+
+from repro.core.blem import BlemConfig, BlemEngine, BlemStats, StoredLine
+from repro.core.copr import (
+    CoprConfig,
+    CoprPredictor,
+    CoprStats,
+    GlobalIndicator,
+    LinePredictor,
+    PagePredictor,
+)
+from repro.core.metadata_cache import MetadataCache, MetadataCacheStats
+from repro.core.replacement_area import ReplacementArea
+from repro.core.controllers import (
+    AttacheController,
+    BaselineController,
+    ControllerStats,
+    IdealController,
+    MemoryController,
+    MetadataCacheController,
+)
+
+__all__ = [
+    "AttacheController",
+    "BaselineController",
+    "BlemConfig",
+    "BlemEngine",
+    "BlemStats",
+    "ControllerStats",
+    "CoprConfig",
+    "CoprPredictor",
+    "CoprStats",
+    "GlobalIndicator",
+    "IdealController",
+    "LinePredictor",
+    "MemoryController",
+    "MetadataCache",
+    "MetadataCacheStats",
+    "MetadataCacheController",
+    "PagePredictor",
+    "ReplacementArea",
+    "StoredLine",
+]

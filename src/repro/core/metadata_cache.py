@@ -1,0 +1,233 @@
+"""The Metadata-Cache baseline (paper Sections II-G, IV-C-1, VI-D).
+
+Prior designs (Memzip and industrial proposals) keep compression
+metadata in a reserved main-memory region and cache recently used
+metadata blocks in the memory controller.  Each 64-byte metadata block
+covers 128 data lines (4 bits per line, Section IV-A-1), so misses are
+rare but not free: an install costs a memory *read* and a dirty eviction
+costs a memory *write* — the extra traffic of Figs. 1 and 15.
+
+Replacement policies: true LRU (baseline), DRRIP and SHiP (Fig. 16's
+sensitivity study).  The randomised parts of BRRIP/SHiP are made
+deterministic (fixed-stride pseudo-randomness) so simulations reproduce
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.bitops import CACHELINE_BYTES
+from repro.util.rng import splitmix64
+
+#: Data lines covered by one 64-byte metadata block (4 bits per line).
+DEFAULT_COVERAGE_LINES = 128
+
+_RRPV_MAX = 3
+_PSEL_MAX = 1023
+_BRRIP_EPSILON = 32  # 1-in-32 inserts get the "long" RRPV in BRRIP
+
+
+@dataclass
+class MetadataCacheStats:
+    """Hit-rate and extra-traffic accounting."""
+
+    accesses: int = 0
+    hits: int = 0
+    installs: int = 0  #: metadata reads caused by misses
+    dirty_evictions: int = 0  #: metadata writes caused by evictions
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def extra_requests(self) -> int:
+        """Additional memory requests attributable to metadata."""
+        return self.installs + self.dirty_evictions
+
+
+@dataclass(frozen=True)
+class MetadataAccessResult:
+    """Outcome of one metadata-cache probe.
+
+    ``install_address``/``evict_address`` are the metadata-region byte
+    addresses of the extra DRAM read/write the miss requires (``None``
+    on hits or clean evictions).
+    """
+
+    hit: bool
+    install_address: Optional[int] = None
+    evict_address: Optional[int] = None
+
+
+class _Entry:
+    __slots__ = ("dirty", "rrpv", "reused")
+
+    def __init__(self, dirty: bool, rrpv: int) -> None:
+        self.dirty = dirty
+        self.rrpv = rrpv
+        self.reused = False
+
+
+class MetadataCache:
+    """Set-associative metadata cache with pluggable replacement."""
+
+    POLICIES = ("lru", "drrip", "ship")
+
+    def __init__(
+        self,
+        capacity_bytes: int = 1024 * 1024,
+        ways: int = 16,
+        policy: str = "lru",
+        coverage_lines: int = DEFAULT_COVERAGE_LINES,
+        metadata_base: int = 0,
+        shct_entries: int = 16384,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {self.POLICIES}")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        if capacity_bytes % (ways * CACHELINE_BYTES) != 0:
+            raise ValueError("capacity must be a whole number of sets")
+        if coverage_lines <= 0:
+            raise ValueError("coverage_lines must be positive")
+        if metadata_base % CACHELINE_BYTES != 0:
+            raise ValueError("metadata_base must be line-aligned")
+        self._ways = ways
+        self._sets = capacity_bytes // (ways * CACHELINE_BYTES)
+        self._policy = policy
+        self._coverage = coverage_lines
+        self._metadata_base = metadata_base
+        # Per set: {md_block_tag: _Entry}; dict order is LRU order.
+        self._data: List[Dict[int, _Entry]] = [dict() for _ in range(self._sets)]
+        self._psel = _PSEL_MAX // 2
+        self._brrip_tick = 0
+        self._shct = [1] * shct_entries
+        self.stats = MetadataCacheStats()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def coverage_lines(self) -> int:
+        return self._coverage
+
+    def metadata_block_of(self, data_line: int) -> int:
+        """Metadata block index covering a data line."""
+        return data_line // self._coverage
+
+    def metadata_address_of(self, data_line: int) -> int:
+        """Byte address, in the metadata region, of the covering block."""
+        return self._metadata_base + self.metadata_block_of(data_line) * CACHELINE_BYTES
+
+    # ------------------------------------------------------------------
+    # Probe
+    # ------------------------------------------------------------------
+
+    def access(self, data_line: int, make_dirty: bool = False) -> MetadataAccessResult:
+        """Probe the cache for the metadata of *data_line*.
+
+        ``make_dirty`` marks the metadata block modified (a data
+        write-back changed the line's compressibility bits), which turns
+        its eventual eviction into a memory write.
+        """
+        self.stats.accesses += 1
+        block = self.metadata_block_of(data_line)
+        cache_set = self._data[block % self._sets]
+        entry = cache_set.get(block)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.dirty = entry.dirty or make_dirty
+            entry.reused = True
+            entry.rrpv = 0
+            cache_set.pop(block)
+            cache_set[block] = entry  # refresh LRU position
+            return MetadataAccessResult(hit=True)
+
+        self.stats.installs += 1
+        self._train_psel(block)
+        evict_address: Optional[int] = None
+        if len(cache_set) >= self._ways:
+            victim_tag, victim = self._select_victim(cache_set, block)
+            cache_set.pop(victim_tag)
+            self._train_shct(victim_tag, victim)
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+                evict_address = (
+                    self._metadata_base + victim_tag * CACHELINE_BYTES
+                )
+        cache_set[block] = _Entry(dirty=make_dirty, rrpv=self._insert_rrpv(block))
+        return MetadataAccessResult(
+            hit=False,
+            install_address=self._metadata_base + block * CACHELINE_BYTES,
+            evict_address=evict_address,
+        )
+
+    # ------------------------------------------------------------------
+    # Replacement policies
+    # ------------------------------------------------------------------
+
+    def _select_victim(self, cache_set: Dict[int, _Entry], block: int):
+        if self._policy == "lru":
+            tag = next(iter(cache_set))
+            return tag, cache_set[tag]
+        # RRIP family: evict the first entry with RRPV == max, ageing
+        # everyone until one qualifies.
+        while True:
+            for tag, entry in cache_set.items():
+                if entry.rrpv >= _RRPV_MAX:
+                    return tag, entry
+            for entry in cache_set.values():
+                entry.rrpv += 1
+
+    def _insert_rrpv(self, block: int) -> int:
+        if self._policy == "lru":
+            return 0
+        if self._policy == "ship":
+            signature = self._signature(block)
+            return _RRPV_MAX - 1 if self._shct[signature] > 0 else _RRPV_MAX
+        # DRRIP with set dueling between SRRIP and BRRIP.
+        set_index = block % self._sets
+        if set_index % 64 == 0:
+            use_brrip = False  # SRRIP leader set
+        elif set_index % 64 == 1:
+            use_brrip = True  # BRRIP leader set
+        else:
+            use_brrip = self._psel > _PSEL_MAX // 2
+        if not use_brrip:
+            return _RRPV_MAX - 1
+        self._brrip_tick += 1
+        return _RRPV_MAX - 1 if self._brrip_tick % _BRRIP_EPSILON == 0 else _RRPV_MAX
+
+    def _train_psel(self, block: int) -> None:
+        """Set-dueling feedback: misses in leader sets move PSEL."""
+        if self._policy != "drrip":
+            return
+        set_index = block % self._sets
+        if set_index % 64 == 0:  # miss in SRRIP leader: BRRIP looks better
+            self._psel = min(_PSEL_MAX, self._psel + 1)
+        elif set_index % 64 == 1:  # miss in BRRIP leader
+            self._psel = max(0, self._psel - 1)
+
+    def _signature(self, block: int) -> int:
+        return splitmix64(block) % len(self._shct)
+
+    def _train_shct(self, tag: int, entry: _Entry) -> None:
+        if self._policy != "ship":
+            return
+        signature = self._signature(tag)
+        if entry.reused:
+            self._shct[signature] = min(3, self._shct[signature] + 1)
+        else:
+            self._shct[signature] = max(0, self._shct[signature] - 1)

@@ -1,0 +1,16 @@
+"""Trace-driven CPU substrate: trace records, LLC model and core model."""
+
+from repro.cpu.cache import CacheStats, LastLevelCache
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.trace import MemOp, TraceRecord, read_trace, write_trace
+
+__all__ = [
+    "CacheStats",
+    "Core",
+    "CoreStats",
+    "LastLevelCache",
+    "MemOp",
+    "TraceRecord",
+    "read_trace",
+    "write_trace",
+]

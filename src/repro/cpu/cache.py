@@ -1,0 +1,124 @@
+"""Shared last-level cache model (8 MB, 8-way, 64-byte lines in Table II).
+
+Write-allocate, write-back, true-LRU.  The LLC filters the trace: only
+misses and dirty evictions reach the memory controller, which is where
+all of the paper's mechanisms live.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for MPKI and traffic reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A victim line pushed out by an allocation."""
+
+    line_address: int
+    dirty: bool
+
+
+class LastLevelCache:
+    """Set-associative write-back cache over 64-byte lines.
+
+    ``access`` returns whether the reference hit and, on a miss, the
+    eviction (if any) caused by allocating the new line.  The caller is
+    responsible for turning misses into memory reads and dirty evictions
+    into memory writes.
+    """
+
+    def __init__(self, capacity_bytes: int = 8 * 1024 * 1024, ways: int = 8) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        if capacity_bytes % (ways * CACHELINE_BYTES) != 0:
+            raise ValueError(
+                "capacity must be a whole number of sets: "
+                f"{capacity_bytes} bytes / ({ways} ways x {CACHELINE_BYTES} B)"
+            )
+        self._ways = ways
+        self._sets = capacity_bytes // (ways * CACHELINE_BYTES)
+        # Each set is an OrderedDict of line_address -> dirty flag,
+        # ordered least- to most-recently-used.
+        self._lines: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self._sets)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def sets(self) -> int:
+        return self._sets
+
+    @property
+    def ways(self) -> int:
+        return self._ways
+
+    def _set_index(self, line_address: int) -> int:
+        return line_address % self._sets
+
+    def access(self, address: int, is_write: bool) -> Tuple[bool, Optional[Eviction]]:
+        """Look up *address*; allocate on miss.
+
+        Returns ``(hit, eviction)``.  ``eviction`` is non-``None`` only
+        when a miss displaced a valid line; its ``dirty`` flag tells the
+        caller whether a write-back to memory is needed.
+        """
+        line = address // CACHELINE_BYTES
+        cache_set = self._lines[self._set_index(line)]
+        if line in cache_set:
+            self.stats.hits += 1
+            cache_set[line] = cache_set[line] or is_write
+            cache_set.move_to_end(line)
+            return True, None
+
+        self.stats.misses += 1
+        eviction: Optional[Eviction] = None
+        if len(cache_set) >= self._ways:
+            victim_line, victim_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+            eviction = Eviction(line_address=victim_line, dirty=victim_dirty)
+        cache_set[line] = is_write
+        return False, eviction
+
+    def contains(self, address: int) -> bool:
+        """True when the line holding *address* is resident."""
+        line = address // CACHELINE_BYTES
+        return line in self._lines[self._set_index(line)]
+
+    def is_dirty(self, address: int) -> bool:
+        """True when the resident line holding *address* is dirty."""
+        line = address // CACHELINE_BYTES
+        return self._lines[self._set_index(line)].get(line, False)
+
+    def drain_dirty_lines(self) -> List[int]:
+        """Return (and clean) every dirty line — end-of-run write-back."""
+        dirty: List[int] = []
+        for cache_set in self._lines:
+            for line, is_dirty in cache_set.items():
+                if is_dirty:
+                    dirty.append(line)
+                    cache_set[line] = False
+        return dirty

@@ -1,0 +1,153 @@
+"""Out-of-order core approximation (the extended-Ariel substitute).
+
+The model captures what the paper's results depend on: memory-level
+parallelism bounded by a miss window, in-order retirement at the window
+head, and compute time proportional to the instruction gaps in the trace.
+
+Mechanics:
+
+* Core time advances by ``gap / issue_width`` core cycles per memory
+  instruction (non-memory IPC equals the issue width).
+* Every LLC miss occupies a slot in a bounded in-flight window (an
+  MSHR/ROB hybrid).  When the window is full the core stalls until the
+  *oldest* miss completes — the in-order-retirement bottleneck of a real
+  OoO core.
+* Miss completions may arrive out of order; the window head pops as soon
+  as its data is back.
+
+The global simulator owns the clock; a core reports when it can issue
+next and is advanced via :meth:`issue_next` / :meth:`complete_miss`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.cpu.trace import TraceRecord
+
+
+@dataclass
+class CoreStats:
+    """Progress counters for one core."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    misses_issued: int = 0
+    stall_cycles: float = 0.0
+
+
+class Core:
+    """One trace-driven core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Iterator[TraceRecord],
+        issue_width: int = 4,
+        max_outstanding: int = 16,
+    ) -> None:
+        if issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+        self.core_id = core_id
+        self._trace = iter(trace)
+        self._issue_width = issue_width
+        self._max_outstanding = max_outstanding
+        self.time: float = 0.0  #: core-cycle clock
+        self._next_record: Optional[TraceRecord] = self._pull()
+        self._window: Deque[int] = deque()  #: miss tokens, oldest first
+        self._done_tokens: Dict[int, float] = {}  #: token -> completion time
+        self._next_token = 0
+        self.last_completion: float = 0.0
+        self.stats = CoreStats()
+
+    def _pull(self) -> Optional[TraceRecord]:
+        try:
+            return next(self._trace)
+        except StopIteration:
+            return None
+
+    # ------------------------------------------------------------------
+    # State queries for the simulator
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True when the trace is exhausted (misses may still be in flight)."""
+        return self._next_record is None
+
+    @property
+    def drained(self) -> bool:
+        """True when the trace is exhausted and no misses are in flight."""
+        return self.finished and not self._window
+
+    @property
+    def window_full(self) -> bool:
+        return len(self._window) >= self._max_outstanding
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._window)
+
+    def next_issue_time(self) -> Optional[float]:
+        """Core-cycle time of the next memory instruction, or ``None``
+        when the core is finished or stalled on a full window."""
+        if self._next_record is None or self.window_full:
+            return None
+        return self.time + self._next_record.gap / self._issue_width
+
+    # ------------------------------------------------------------------
+    # Advancement
+    # ------------------------------------------------------------------
+
+    def issue_next(self) -> TraceRecord:
+        """Consume the next memory instruction and advance core time."""
+        if self._next_record is None:
+            raise RuntimeError("core trace is exhausted")
+        if self.window_full:
+            raise RuntimeError("core is stalled on a full miss window")
+        record = self._next_record
+        self.time += record.gap / self._issue_width
+        self.stats.instructions += record.gap + 1
+        if record.op.name == "LOAD":
+            self.stats.loads += 1
+        else:
+            self.stats.stores += 1
+        self._next_record = self._pull()
+        return record
+
+    def register_miss(self) -> int:
+        """Allocate a window slot for an LLC miss; returns its token."""
+        token = self._next_token
+        self._next_token += 1
+        self._window.append(token)
+        self.stats.misses_issued += 1
+        return token
+
+    def complete_miss(self, token: int, core_time: float) -> None:
+        """Record the completion of a miss at *core_time* (core cycles).
+
+        Pops the window head as far as completed data allows; if the core
+        was stalled on the head, its clock jumps to the unblocking time.
+        """
+        was_stalled = self.window_full
+        self._done_tokens[token] = core_time
+        self.last_completion = max(self.last_completion, core_time)
+        popped = False
+        while self._window and self._window[0] in self._done_tokens:
+            head = self._window.popleft()
+            self._done_tokens.pop(head)
+            popped = True
+        if was_stalled and popped and core_time > self.time:
+            # The core was blocked on the window head; it resumes now.
+            self.stats.stall_cycles += core_time - self.time
+            self.time = core_time
+
+    @property
+    def completion_time(self) -> float:
+        """Final core-cycle timestamp: all work issued and returned."""
+        return max(self.time, self.last_completion)

@@ -1,0 +1,67 @@
+"""Memory instruction traces (the Ariel-pintool substitute).
+
+A trace is a sequence of :class:`TraceRecord`, each describing one memory
+instruction and the number of non-memory instructions that precede it.
+Traces can be generated on the fly by :mod:`repro.workloads` or stored to
+disk in a compact binary format for repeatable experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+
+class MemOp(enum.Enum):
+    """Kind of memory instruction."""
+
+    LOAD = 0
+    STORE = 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory instruction in a trace.
+
+    Attributes:
+        gap: non-memory instructions executed since the previous memory
+            instruction (used to advance core time).
+        op: load or store.
+        address: physical byte address accessed.
+    """
+
+    gap: int
+    op: MemOp
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+_RECORD = struct.Struct("<IBQ")  # gap, op, address
+
+
+def write_trace(stream: BinaryIO, records: Iterable[TraceRecord]) -> int:
+    """Serialise records to a binary stream; returns the record count."""
+    count = 0
+    for record in records:
+        stream.write(_RECORD.pack(record.gap, record.op.value, record.address))
+        count += 1
+    return count
+
+
+def read_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
+    """Yield records from a stream produced by :func:`write_trace`."""
+    while True:
+        chunk = stream.read(_RECORD.size)
+        if not chunk:
+            return
+        if len(chunk) != _RECORD.size:
+            raise ValueError("truncated trace stream")
+        gap, op, address = _RECORD.unpack(chunk)
+        yield TraceRecord(gap=gap, op=MemOp(op), address=address)

@@ -1,0 +1,37 @@
+"""Cycle-level sub-ranked DDR4 memory-system model (CramSim substitute)."""
+
+from repro.dram.bank import Bank, BankStats
+from repro.dram.channel import Channel, ChannelStats
+from repro.dram.config import (
+    AddressMapper,
+    DramOrganization,
+    DramTiming,
+    MemoryAddress,
+    SystemConfig,
+)
+from repro.dram.memory_system import MainMemory, MemoryStats
+from repro.dram.rank import Rank, RankStats
+from repro.dram.request import DramRequest, RequestKind
+from repro.dram.timeline import render_timeline
+from repro.dram.verifier import Violation, verify_command_log
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "BankStats",
+    "Channel",
+    "ChannelStats",
+    "DramOrganization",
+    "DramRequest",
+    "DramTiming",
+    "MainMemory",
+    "MemoryAddress",
+    "MemoryStats",
+    "Rank",
+    "RankStats",
+    "RequestKind",
+    "SystemConfig",
+    "Violation",
+    "render_timeline",
+    "verify_command_log",
+]

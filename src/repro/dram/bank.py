@@ -1,0 +1,89 @@
+"""Per-bank DRAM state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.config import DramTiming
+
+
+@dataclass
+class BankStats:
+    """Counters used for row-buffer locality reporting and energy."""
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0  #: conflict: open row differs, needs PRE+ACT
+    row_empty: int = 0  #: bank closed, needs ACT only
+
+
+class Bank:
+    """One DRAM bank: open-row tracking plus per-bank timing windows.
+
+    The bank records the earliest cycle each command class may issue;
+    rank-level constraints (tFAW, tRRD, tCCD, bus occupancy, refresh) are
+    layered on by :class:`repro.dram.rank.Rank`.
+    """
+
+    def __init__(self, timing: DramTiming) -> None:
+        self._t = timing
+        self.open_row: Optional[int] = None
+        self.next_activate: float = 0.0
+        self.next_precharge: float = 0.0
+        self.next_column: float = 0.0
+        self.stats = BankStats()
+
+    def classify_access(self, row: int) -> str:
+        """Row-buffer outcome for an access to *row*: hit/miss/empty."""
+        if self.open_row is None:
+            return "empty"
+        return "hit" if self.open_row == row else "miss"
+
+    def earliest_activate(self, now: float) -> float:
+        if self.open_row is not None:
+            raise ValueError("cannot ACT an open bank; precharge first")
+        return max(now, self.next_activate)
+
+    def earliest_precharge(self, now: float) -> float:
+        if self.open_row is None:
+            raise ValueError("cannot PRE a closed bank")
+        return max(now, self.next_precharge)
+
+    def earliest_column(self, now: float, row: int) -> float:
+        if self.open_row != row:
+            raise ValueError(f"row {row} is not open (open: {self.open_row})")
+        return max(now, self.next_column)
+
+    def do_activate(self, cycle: float, row: int) -> None:
+        """Apply an ACT issued at *cycle*."""
+        t = self._t
+        self.open_row = row
+        self.next_column = cycle + t.t_rcd
+        self.next_precharge = cycle + t.t_ras
+        self.stats.activates += 1
+
+    def do_precharge(self, cycle: float) -> None:
+        """Apply a PRE issued at *cycle*."""
+        self.open_row = None
+        self.next_activate = cycle + self._t.t_rp
+        self.stats.precharges += 1
+
+    def do_column(self, cycle: float, is_write: bool, data_beats: int) -> None:
+        """Apply a RD/WR issued at *cycle* moving *data_beats* of data."""
+        t = self._t
+        if is_write:
+            data_end = cycle + t.t_cwd + data_beats
+            self.next_precharge = max(self.next_precharge, data_end + t.t_wr)
+            self.stats.writes += 1
+        else:
+            self.next_precharge = max(self.next_precharge, cycle + t.t_rtp)
+            self.stats.reads += 1
+
+    def force_close(self, ready_cycle: float) -> None:
+        """Close the bank for a refresh; usable again at *ready_cycle*."""
+        self.open_row = None
+        self.next_activate = max(self.next_activate, ready_cycle)

@@ -1,0 +1,413 @@
+"""Channel-level command scheduling: FR-FCFS with read priority.
+
+The scheduler is event-driven at command granularity.  ``advance(until)``
+issues ACT/PRE/RD/WR/REF commands in time order while their earliest
+legal issue cycles fall within the horizon, and returns the requests
+whose data transfer got scheduled (with completion cycles).  The global
+simulator interleaves channel advancement with core-side events.
+
+Policy, per the paper's methodology (Section V):
+
+* reads have priority over writes;
+* writes collect in a write buffer and drain in bursts once a high
+  watermark is reached (until a low watermark);
+* FR-FCFS: row-buffer hits first, then oldest-first, with an age cap so
+  conflicting requests cannot starve behind an endless hit stream;
+* all-bank refresh per rank every tREFI, taking tRFC.
+
+Performance notes: requests are bucketed per (rank, bank) incrementally,
+and the best-candidate computation is memoised against a queue-state
+version counter — the simulator polls channels far more often than their
+state changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.config import DramOrganization, DramTiming
+from repro.dram.rank import Rank
+from repro.dram.request import DramRequest
+
+#: Candidate command classes, in tie-break priority order.
+_CLASS_REFRESH = 0
+_CLASS_COLUMN = 1
+_CLASS_ACTIVATE = 2
+_CLASS_PRECHARGE = 3
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel command and latency accounting."""
+
+    commands: Dict[str, int] = field(default_factory=dict)
+    completed_reads: int = 0
+    completed_writes: int = 0
+    read_latency_sum: float = 0.0
+    queue_latency_sum: float = 0.0
+
+    def count(self, command: str) -> None:
+        self.commands[command] = self.commands.get(command, 0) + 1
+
+    @property
+    def mean_read_latency(self) -> float:
+        """Mean arrival-to-data read latency in memory cycles."""
+        if self.completed_reads == 0:
+            return 0.0
+        return self.read_latency_sum / self.completed_reads
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    time: float
+    command_class: int
+    arrival: float
+    request: Optional[DramRequest]
+    rank_index: int
+    bank_index: int
+
+    @property
+    def sort_key(self) -> Tuple[float, int, float]:
+        return (self.time, self.command_class, self.arrival)
+
+
+class Channel:
+    """One DRAM channel: ranks, request queues and the FR-FCFS scheduler."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        organization: DramOrganization,
+        write_buffer_entries: int = 64,
+        write_drain_high: int = 48,
+        write_drain_low: int = 16,
+        starvation_cap: float = 2000.0,
+        log_commands: bool = False,
+        page_policy: str = "open",
+    ) -> None:
+        if not 0 < write_drain_low < write_drain_high <= write_buffer_entries:
+            raise ValueError("invalid write drain watermarks")
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self._t = timing
+        self._org = organization
+        self.ranks = [Rank(timing, organization) for _ in range(organization.ranks_per_channel)]
+        self._write_buffer_entries = write_buffer_entries
+        self._drain_high = write_drain_high
+        self._drain_low = write_drain_low
+        self._starvation_cap = starvation_cap
+        #: "open" keeps rows open for future hits (FR-FCFS default);
+        #: "closed" auto-precharges after a column command unless another
+        #: queued request hits the same row.
+        self._page_policy = page_policy
+        self._n_reads = 0
+        self._n_writes = 0
+        #: (rank, flat bank) -> FIFO request lists, maintained incrementally
+        self._read_by_bank: Dict[Tuple[int, int], List[DramRequest]] = {}
+        self._write_by_bank: Dict[Tuple[int, int], List[DramRequest]] = {}
+        #: byte address -> pending write count (for read forwarding)
+        self._write_addresses: Dict[int, int] = {}
+        self._drain_mode = False
+        self.clock: float = 0.0
+        self._last_command_cycle: float = -1.0
+        self._version = 0  #: bumped on any scheduling-relevant change
+        self._cached_candidate: Tuple[int, Optional[_Candidate]] = (-1, None)
+        self.stats = ChannelStats()
+        #: Optional (cycle, command, rank, bank, request_id) trace for
+        #: timing-invariant verification in tests.
+        self.command_log: Optional[List[Tuple[float, str, int, int, Optional[int]]]] = (
+            [] if log_commands else None
+        )
+
+    def _log(self, cycle: float, command: str, rank: int, bank: int,
+             request: Optional[DramRequest]) -> None:
+        if self.command_log is not None:
+            self.command_log.append(
+                (cycle, command, rank, bank,
+                 request.request_id if request is not None else None)
+            )
+
+    # ------------------------------------------------------------------
+    # Queue interface
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_reads(self) -> int:
+        return self._n_reads
+
+    @property
+    def pending_writes(self) -> int:
+        return self._n_writes
+
+    @property
+    def write_buffer_full(self) -> bool:
+        return self._n_writes >= self._write_buffer_entries
+
+    def _bank_key(self, request: DramRequest) -> Tuple[int, int]:
+        decoded = request.decoded
+        return (
+            decoded.rank,
+            decoded.bank_group * self._org.banks_per_group + decoded.bank,
+        )
+
+    def enqueue(self, request: DramRequest) -> None:
+        """Add a request to the channel queues."""
+        key = self._bank_key(request)
+        if request.is_write:
+            # Overflow beyond the nominal capacity is tolerated (the
+            # drain-mode watermark sits below capacity and kicks in
+            # first); `write_buffer_full` lets callers apply soft
+            # backpressure if they want to.
+            self._write_by_bank.setdefault(key, []).append(request)
+            self._n_writes += 1
+            address = request.byte_address
+            self._write_addresses[address] = self._write_addresses.get(address, 0) + 1
+        else:
+            self._read_by_bank.setdefault(key, []).append(request)
+            self._n_reads += 1
+        self._version += 1
+
+    def find_pending_write(self, byte_address: int) -> bool:
+        """True when a write to *byte_address* is buffered (forwarding)."""
+        return self._write_addresses.get(byte_address, 0) > 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def advance(self, until: float) -> List[DramRequest]:
+        """Issue commands up to *until*; return newly completed requests.
+
+        Completed requests carry ``completion_cycle`` (which may exceed
+        *until* — the data transfer finishes on the bus after the column
+        command issues; callers deliver the completion at that time).
+        """
+        completed: List[DramRequest] = []
+        while True:
+            self._update_drain_mode()
+            candidate = self._best_candidate()
+            if candidate is None:
+                if until > self.clock:
+                    self.clock = until
+                break
+            issue_at = max(candidate.time, self._last_command_cycle + 1.0, self.clock)
+            if issue_at > until:
+                if until > self.clock:
+                    self.clock = until
+                break
+            self._issue(candidate, issue_at, completed)
+        return completed
+
+    def next_event_cycle(self) -> Optional[float]:
+        """Earliest cycle at which the next command could issue.
+
+        Returns ``None`` when no requests are queued — pending refreshes
+        alone do not wake the simulator; they catch up lazily inside the
+        next :meth:`advance` call.
+        """
+        if not self._n_reads and not self._n_writes:
+            return None
+        self._update_drain_mode()
+        candidate = self._best_candidate()
+        if candidate is None:
+            return None
+        return max(candidate.time, self._last_command_cycle + 1.0, self.clock)
+
+    def flush_writes(self) -> None:
+        """Force drain mode regardless of watermarks (end of simulation)."""
+        if self._n_writes and not self._drain_mode:
+            self._drain_mode = True
+            self._version += 1
+
+    # ------------------------------------------------------------------
+
+    def _update_drain_mode(self) -> None:
+        if self._drain_mode:
+            if self._n_writes <= self._drain_low:
+                self._drain_mode = False
+                self._version += 1
+        elif self._n_writes >= self._drain_high:
+            self._drain_mode = True
+            self._version += 1
+
+    def _active_buckets(self) -> Dict[Tuple[int, int], List[DramRequest]]:
+        if self._drain_mode:
+            return self._write_by_bank
+        if self._n_reads:
+            return self._read_by_bank
+        # Idle write drain: no reads pending, trickle writes out.
+        return self._write_by_bank
+
+    def _best_candidate(self) -> Optional[_Candidate]:
+        version, cached = self._cached_candidate
+        if version == self._version:
+            return cached
+        best = self._compute_best_candidate()
+        self._cached_candidate = (self._version, best)
+        return best
+
+    def _compute_best_candidate(self) -> Optional[_Candidate]:
+        best: Optional[_Candidate] = None
+        for rank_index, rank in enumerate(self.ranks):
+            candidate = _Candidate(
+                time=rank.earliest_refresh(self.clock),
+                command_class=_CLASS_REFRESH,
+                arrival=float("-inf"),
+                request=None,
+                rank_index=rank_index,
+                bank_index=-1,
+            )
+            if self.clock > rank.next_refresh_due + self._t.t_refi:
+                # Refresh debt of a full interval: refresh preempts all
+                # request scheduling until the rank catches up.
+                return candidate
+            if best is None or candidate.sort_key < best.sort_key:
+                best = candidate
+        for (rank_index, bank_index), requests in self._active_buckets().items():
+            if not requests:
+                continue
+            candidate = self._bank_candidate(rank_index, bank_index, requests)
+            if candidate is not None and (
+                best is None or candidate.sort_key < best.sort_key
+            ):
+                best = candidate
+        return best
+
+    def _bank_candidate(
+        self, rank_index: int, bank_index: int, requests: List[DramRequest]
+    ) -> Optional[_Candidate]:
+        rank = self.ranks[rank_index]
+        bank = rank.banks[bank_index]
+        oldest = requests[0]  # FIFO buckets: index 0 is the oldest
+        starved = (self.clock - oldest.arrival_cycle) > self._starvation_cap
+
+        target = oldest
+        if not starved and bank.open_row is not None:
+            open_row = bank.open_row
+            for request in requests:
+                if request.decoded.row == open_row:
+                    target = request
+                    break
+
+        decoded = target.decoded
+        if bank.open_row == decoded.row:
+            time = bank.earliest_column(self.clock, decoded.row)
+            rank_time = rank.earliest_column(
+                self.clock,
+                decoded.bank_group,
+                target.is_write,
+                target.subrank_mask,
+                target.data_beats,
+            )
+            if rank_time > time:
+                time = rank_time
+            command_class = _CLASS_COLUMN
+        elif bank.open_row is None:
+            time = max(
+                bank.earliest_activate(self.clock),
+                rank.earliest_activate(self.clock, decoded.bank_group),
+            )
+            command_class = _CLASS_ACTIVATE
+        else:
+            time = bank.earliest_precharge(self.clock)
+            command_class = _CLASS_PRECHARGE
+        return _Candidate(
+            time=time,
+            command_class=command_class,
+            arrival=target.arrival_cycle,
+            request=target,
+            rank_index=rank_index,
+            bank_index=bank_index,
+        )
+
+    def _issue(
+        self, candidate: _Candidate, cycle: float, completed: List[DramRequest]
+    ) -> None:
+        self._last_command_cycle = cycle
+        self.clock = cycle
+        self._version += 1
+        rank = self.ranks[candidate.rank_index]
+        if candidate.command_class == _CLASS_REFRESH:
+            rank.do_refresh(cycle)
+            self.stats.count("REF")
+            self._log(cycle, "REF", candidate.rank_index, -1, None)
+            return
+
+        request = candidate.request
+        assert request is not None
+        bank = rank.banks[candidate.bank_index]
+        decoded = request.decoded
+        if candidate.command_class == _CLASS_PRECHARGE:
+            if request.row_outcome is None:
+                request.row_outcome = "miss"
+                bank.stats.row_misses += 1
+            bank.do_precharge(cycle)
+            self.stats.count("PRE")
+            self._log(cycle, "PRE", candidate.rank_index, candidate.bank_index, request)
+            return
+        if candidate.command_class == _CLASS_ACTIVATE:
+            if request.row_outcome is None:
+                request.row_outcome = "empty"
+                bank.stats.row_empty += 1
+            rank.note_activate(cycle, decoded.bank_group)
+            bank.do_activate(cycle, decoded.row)
+            self.stats.count("ACT")
+            self._log(cycle, "ACT", candidate.rank_index, candidate.bank_index, request)
+            return
+
+        # Column command: the request's data transfer is now scheduled.
+        if request.issue_cycle is None:
+            request.issue_cycle = cycle
+        if request.row_outcome is None:
+            request.row_outcome = "hit"
+            bank.stats.row_hits += 1
+        data_end = rank.note_column(
+            cycle,
+            decoded.bank_group,
+            request.is_write,
+            request.subrank_mask,
+            request.data_beats,
+        )
+        bank.do_column(cycle, request.is_write, request.data_beats)
+        self._log(cycle, "WR" if request.is_write else "RD",
+                  candidate.rank_index, candidate.bank_index, request)
+        request.completion_cycle = data_end
+        key = (candidate.rank_index, candidate.bank_index)
+        if request.is_write:
+            self._write_by_bank[key].remove(request)
+            self._n_writes -= 1
+            address = request.byte_address
+            remaining = self._write_addresses.get(address, 0) - 1
+            if remaining > 0:
+                self._write_addresses[address] = remaining
+            else:
+                self._write_addresses.pop(address, None)
+            self.stats.count("WR")
+            self.stats.completed_writes += 1
+        else:
+            self._read_by_bank[key].remove(request)
+            self._n_reads -= 1
+            self.stats.count("RD")
+            self.stats.completed_reads += 1
+            self.stats.read_latency_sum += request.total_latency
+            self.stats.queue_latency_sum += request.queue_latency
+        completed.append(request)
+        if self._page_policy == "closed":
+            self._maybe_auto_precharge(candidate, bank, decoded.row)
+
+    def _maybe_auto_precharge(self, candidate: _Candidate, bank, row: int) -> None:
+        """Closed-page policy: close the row unless a queued request
+        still wants it.
+
+        Modelled as the auto-precharge flavour of the column command
+        (RDA/WRA): it consumes no command-bus slot and takes effect at
+        the earliest legal precharge point.
+        """
+        key = (candidate.rank_index, candidate.bank_index)
+        for bucket in (self._read_by_bank, self._write_by_bank):
+            for request in bucket.get(key, ()):  # pending same-row work?
+                if request.decoded.row == row:
+                    return
+        bank.do_precharge(bank.earliest_precharge(self.clock))
+        # Not counted as a PRE command: RDA/WRA rides the column command.

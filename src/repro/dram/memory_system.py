@@ -1,0 +1,227 @@
+"""Top-level main-memory model: channels, address mapping, accounting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dram.channel import Channel
+from repro.dram.config import SystemConfig
+from repro.dram.request import DramRequest, RequestKind
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@dataclass
+class MemoryStats:
+    """System-wide DRAM traffic summary, aggregated over channels."""
+
+    requests_by_kind: Dict[str, int] = field(default_factory=dict)
+    bytes_transferred: int = 0
+    forwarded_reads: int = 0
+
+    def count_kind(self, kind: RequestKind) -> None:
+        key = kind.value
+        self.requests_by_kind[key] = self.requests_by_kind.get(key, 0) + 1
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests_by_kind.values())
+
+
+class MainMemory:
+    """The sub-ranked DRAM memory system behind the memory controller.
+
+    Responsibilities: decode addresses to channels/banks, translate
+    transfer sizes into per-sub-rank data beats, apply write-buffer read
+    forwarding, and aggregate statistics.  Timing is delegated to
+    :class:`repro.dram.channel.Channel`.
+    """
+
+    def __init__(self, config: SystemConfig, log_commands: bool = False) -> None:
+        from repro.dram.config import AddressMapper
+
+        self._config = config
+        self._mapper = AddressMapper(config.organization)
+        self.channels = [
+            Channel(
+                config.timing,
+                config.organization,
+                write_buffer_entries=config.write_buffer_entries,
+                write_drain_high=config.write_drain_high,
+                write_drain_low=config.write_drain_low,
+                page_policy=config.page_policy,
+                log_commands=log_commands,
+            )
+            for _ in range(config.organization.channels)
+        ]
+        #: All requests ever issued (kept only when logging commands, for
+        #: protocol verification against the per-channel command logs).
+        self.issued_requests: Optional[List[DramRequest]] = (
+            [] if log_commands else None
+        )
+        self.stats = MemoryStats()
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def mapper(self):
+        return self._mapper
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+
+    def data_beats(self, size_bytes: int, subranks_used: int) -> int:
+        """Bus cycles to move *size_bytes* over *subranks_used* sub-ranks.
+
+        The full rank bus moves a 64-byte line in ``t_burst`` cycles, so
+        each sub-rank contributes ``64 / (t_burst * subranks)`` bytes per
+        cycle.  A 32-byte transfer on one of two sub-ranks takes the
+        baseline ``t_burst``; a 64-byte transfer on one sub-rank takes
+        twice that (the Fig. 2(b) latency penalty).
+        """
+        org = self._config.organization
+        per_subrank = CACHELINE_BYTES / (self._config.timing.t_burst * org.subranks)
+        return max(1, math.ceil(size_bytes / (per_subrank * subranks_used)))
+
+    def full_line_mask(self) -> Tuple[int, ...]:
+        """Sub-rank mask for a full 64-byte access (all sub-ranks)."""
+        return tuple(range(self._config.organization.subranks))
+
+    def issue(
+        self,
+        byte_address: int,
+        is_write: bool,
+        size_bytes: int,
+        subrank_mask: Optional[Tuple[int, ...]],
+        kind: RequestKind,
+        cycle: float,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> Optional[DramRequest]:
+        """Enqueue a DRAM access; returns the request, or ``None`` if the
+        read was satisfied by write-buffer forwarding.
+
+        Forwarded reads invoke *on_complete* immediately at *cycle* and
+        are counted separately (they consume no DRAM bandwidth).
+        """
+        decoded = self._mapper.decode(byte_address)
+        channel = self.channels[decoded.channel]
+        if subrank_mask is None:
+            subrank_mask = self.full_line_mask()
+
+        if not is_write and channel.find_pending_write(byte_address):
+            self.stats.forwarded_reads += 1
+            if on_complete is not None:
+                on_complete(cycle)
+            return None
+
+        request = DramRequest(
+            byte_address=byte_address,
+            decoded=decoded,
+            is_write=is_write,
+            subrank_mask=subrank_mask,
+            data_beats=self.data_beats(size_bytes, len(subrank_mask)),
+            kind=kind,
+            arrival_cycle=cycle,
+            on_complete=on_complete,
+        )
+        channel.enqueue(request)
+        if self.issued_requests is not None:
+            self.issued_requests.append(request)
+        self.stats.count_kind(kind)
+        self.stats.bytes_transferred += size_bytes
+        return request
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+
+    def advance(self, until: float) -> List[DramRequest]:
+        """Advance all channels to *until*; return newly scheduled
+        completions sorted by completion cycle."""
+        completed: List[DramRequest] = []
+        for channel in self.channels:
+            completed.extend(channel.advance(until))
+        completed.sort(key=lambda r: r.completion_cycle)
+        return completed
+
+    def next_event_cycle(self) -> Optional[float]:
+        """Earliest cycle any channel could issue its next command."""
+        times = [c.next_event_cycle() for c in self.channels]
+        times = [t for t in times if t is not None]
+        return min(times) if times else None
+
+    def flush_writes(self) -> None:
+        """Put every channel into drain mode (end-of-simulation cleanup)."""
+        for channel in self.channels:
+            channel.flush_writes()
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(c.pending_reads + c.pending_writes for c in self.channels)
+
+    # ------------------------------------------------------------------
+    # Aggregated telemetry
+    # ------------------------------------------------------------------
+
+    def mean_read_latency(self) -> float:
+        """Mean demand-read latency over all channels, in memory cycles."""
+        reads = sum(c.stats.completed_reads for c in self.channels)
+        if reads == 0:
+            return 0.0
+        total = sum(c.stats.read_latency_sum for c in self.channels)
+        return total / reads
+
+    def command_counts(self) -> Dict[str, int]:
+        """Summed DRAM command counts (ACT/PRE/RD/WR/REF)."""
+        counts: Dict[str, int] = {}
+        for channel in self.channels:
+            for command, value in channel.stats.commands.items():
+                counts[command] = counts.get(command, 0) + value
+        return counts
+
+    def data_beats_by_subrank(self) -> List[int]:
+        """Total data beats moved per sub-rank index, over all ranks."""
+        return [
+            r + w
+            for r, w in zip(
+                self.read_beats_by_subrank(), self.write_beats_by_subrank()
+            )
+        ]
+
+    def read_beats_by_subrank(self) -> List[int]:
+        """Total read data beats per sub-rank index, over all ranks."""
+        return self._sum_beats("read_beats_by_subrank")
+
+    def write_beats_by_subrank(self) -> List[int]:
+        """Total write data beats per sub-rank index, over all ranks."""
+        return self._sum_beats("write_beats_by_subrank")
+
+    def _sum_beats(self, attribute: str) -> List[int]:
+        org = self._config.organization
+        totals = [0] * org.subranks
+        for channel in self.channels:
+            for rank in channel.ranks:
+                for index, beats in enumerate(getattr(rank.stats, attribute)):
+                    totals[index] += beats
+        return totals
+
+    def total_refreshes(self) -> int:
+        """All-bank refresh commands issued over all ranks."""
+        return sum(
+            rank.stats.refreshes for channel in self.channels for rank in channel.ranks
+        )
+
+    def row_buffer_outcomes(self) -> Dict[str, int]:
+        """Summed row-buffer hit/miss/empty counts."""
+        outcome = {"hit": 0, "miss": 0, "empty": 0}
+        for channel in self.channels:
+            for rank in channel.ranks:
+                for bank in rank.banks:
+                    outcome["hit"] += bank.stats.row_hits
+                    outcome["miss"] += bank.stats.row_misses
+                    outcome["empty"] += bank.stats.row_empty
+        return outcome

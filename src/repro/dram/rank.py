@@ -1,0 +1,196 @@
+"""Per-rank DRAM state: inter-bank constraints, sub-rank buses, refresh."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+from repro.dram.bank import Bank
+from repro.dram.config import DramOrganization, DramTiming
+
+
+@dataclass
+class RankStats:
+    """Rank-wide counters for refresh and bus-utilisation reporting."""
+
+    refreshes: int = 0
+    read_beats_by_subrank: List[int] = None  # type: ignore[assignment]
+    write_beats_by_subrank: List[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.read_beats_by_subrank is None:
+            self.read_beats_by_subrank = []
+        if self.write_beats_by_subrank is None:
+            self.write_beats_by_subrank = []
+
+    @property
+    def data_beats_by_subrank(self) -> List[int]:
+        """Combined read + write beats per sub-rank."""
+        return [
+            r + w
+            for r, w in zip(self.read_beats_by_subrank, self.write_beats_by_subrank)
+        ]
+
+
+class Rank:
+    """A rank of DRAM chips, possibly split into independent sub-ranks.
+
+    Owns the constraints that span banks: tFAW and tRRD activation
+    windows, tCCD column spacing (bank-group aware), write-to-read
+    turnaround, per-sub-rank data-bus occupancy, and all-bank refresh.
+    """
+
+    def __init__(self, timing: DramTiming, organization: DramOrganization) -> None:
+        self._t = timing
+        self._org = organization
+        self.banks = [Bank(timing) for _ in range(organization.banks_per_rank)]
+        self._act_history: Deque[float] = deque(maxlen=4)
+        self._last_act_by_group = [float("-inf")] * organization.bank_groups
+        self._last_act_any = float("-inf")
+        # Column-command constraints are tracked per sub-rank: sub-ranks
+        # are quasi-independent chip groups (mini-rank style), so tCCD
+        # and bus turnaround do not couple them — only the shared
+        # command bus (one command per cycle, enforced by the channel)
+        # and the shared bank row state do.
+        subranks = organization.subranks
+        self._last_col_by_group = [
+            [float("-inf")] * organization.bank_groups for _ in range(subranks)
+        ]
+        self._last_col_any = [float("-inf")] * subranks
+        self._bus_free = [0.0] * subranks
+        self._next_read_ok = [0.0] * subranks  #: write-to-read turnaround
+        self._next_write_ok = [0.0] * subranks  #: read-to-write spacing
+        self.next_refresh_due = float(timing.t_refi)
+        self.refresh_blocked_until = 0.0
+        self.stats = RankStats(
+            read_beats_by_subrank=[0] * organization.subranks,
+            write_beats_by_subrank=[0] * organization.subranks,
+        )
+
+    def bank_index(self, bank_group: int, bank: int) -> int:
+        """Flat index of (bank_group, bank) into :attr:`banks`."""
+        return bank_group * self._org.banks_per_group + bank
+
+    # ------------------------------------------------------------------
+    # Activation constraints
+    # ------------------------------------------------------------------
+
+    def earliest_activate(self, now: float, bank_group: int) -> float:
+        """Rank-level lower bound on the next ACT to *bank_group*."""
+        t = self._t
+        candidate = max(now, self.refresh_blocked_until)
+        candidate = max(candidate, self._last_act_any + t.t_rrd_s)
+        candidate = max(candidate, self._last_act_by_group[bank_group] + t.t_rrd_l)
+        if len(self._act_history) == 4:
+            candidate = max(candidate, self._act_history[0] + t.t_faw)
+        return candidate
+
+    def note_activate(self, cycle: float, bank_group: int) -> None:
+        self._act_history.append(cycle)
+        self._last_act_any = cycle
+        self._last_act_by_group[bank_group] = max(
+            self._last_act_by_group[bank_group], cycle
+        )
+
+    # ------------------------------------------------------------------
+    # Column command constraints
+    # ------------------------------------------------------------------
+
+    def earliest_column(
+        self,
+        now: float,
+        bank_group: int,
+        is_write: bool,
+        subrank_mask: Tuple[int, ...],
+        data_beats: int,
+    ) -> float:
+        """Rank-level lower bound on the next RD/WR command.
+
+        Accounts for tCCD spacing, write/read turnaround and data-bus
+        availability on every sub-rank the transfer uses.
+        """
+        t = self._t
+        candidate = max(now, self.refresh_blocked_until)
+        data_delay = t.t_cwd if is_write else t.t_cas
+        for subrank in subrank_mask:
+            candidate = max(candidate, self._last_col_any[subrank] + t.t_ccd_s)
+            candidate = max(
+                candidate,
+                self._last_col_by_group[subrank][bank_group] + t.t_ccd_l,
+            )
+            if is_write:
+                candidate = max(candidate, self._next_write_ok[subrank])
+            else:
+                candidate = max(candidate, self._next_read_ok[subrank])
+            # Command must wait until its data window fits on the bus.
+            candidate = max(candidate, self._bus_free[subrank] - data_delay)
+        return candidate
+
+    def note_column(
+        self,
+        cycle: float,
+        bank_group: int,
+        is_write: bool,
+        subrank_mask: Tuple[int, ...],
+        data_beats: int,
+    ) -> float:
+        """Apply a RD/WR at *cycle*; returns the data-end cycle."""
+        t = self._t
+        data_delay = t.t_cwd if is_write else t.t_cas
+        data_start = cycle + data_delay
+        data_end = data_start + data_beats
+        beat_stats = (
+            self.stats.write_beats_by_subrank
+            if is_write
+            else self.stats.read_beats_by_subrank
+        )
+        for subrank in subrank_mask:
+            self._last_col_any[subrank] = cycle
+            self._last_col_by_group[subrank][bank_group] = max(
+                self._last_col_by_group[subrank][bank_group], cycle
+            )
+            self._bus_free[subrank] = max(self._bus_free[subrank], data_end)
+            beat_stats[subrank] += data_beats
+            if is_write:
+                self._next_read_ok[subrank] = max(
+                    self._next_read_ok[subrank], data_end + t.t_wtr
+                )
+            else:
+                self._next_write_ok[subrank] = max(
+                    self._next_write_ok[subrank], cycle + t.t_rtw
+                )
+        return data_end
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh_pending(self, now: float) -> bool:
+        """True when an all-bank refresh is due at or before *now*."""
+        return now >= self.next_refresh_due
+
+    def earliest_refresh(self, now: float) -> float:
+        """Earliest cycle the due refresh can start (all banks idle)."""
+        candidate = max(now, self.next_refresh_due, self.refresh_blocked_until)
+        for bank in self.banks:
+            if bank.open_row is not None:
+                candidate = max(candidate, bank.next_precharge + self._t.t_rp)
+        for busy in self._bus_free:
+            candidate = max(candidate, busy)
+        return candidate
+
+    def do_refresh(self, cycle: float) -> float:
+        """Start an all-bank refresh at *cycle*; returns when it ends."""
+        end = cycle + self._t.t_rfc
+        for bank in self.banks:
+            bank.force_close(end)
+        self.refresh_blocked_until = end
+        self.next_refresh_due += self._t.t_refi
+        self.stats.refreshes += 1
+        return end
+
+    @property
+    def bus_free(self) -> Tuple[float, ...]:
+        """Per-sub-rank data bus next-free cycles (for tests/telemetry)."""
+        return tuple(self._bus_free)

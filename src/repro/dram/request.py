@@ -1,0 +1,78 @@
+"""Memory request objects exchanged between controller layers and DRAM."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.dram.config import MemoryAddress
+
+_request_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    """Why a DRAM access exists — used for traffic accounting (Fig. 15)."""
+
+    DEMAND_READ = "demand_read"
+    DEMAND_WRITE = "demand_write"
+    CORRECTIVE_READ = "corrective_read"  #: second sub-rank after misprediction
+    METADATA_READ = "metadata_read"  #: metadata-cache install
+    METADATA_WRITE = "metadata_write"  #: metadata-cache dirty eviction
+    REPLACEMENT_AREA_READ = "ra_read"  #: XID spill-bit fetch
+    REPLACEMENT_AREA_WRITE = "ra_write"  #: XID spill-bit store
+
+
+@dataclass
+class DramRequest:
+    """One command stream through a DRAM channel.
+
+    Attributes:
+        byte_address: physical byte address of the target block.
+        decoded: DRAM coordinates of the block.
+        is_write: write (from the controller's write buffer) vs read.
+        subrank_mask: tuple of sub-rank indices the transfer uses.  A
+            compressed 32-byte access names one sub-rank; a full 64-byte
+            access on a sub-ranked system names all of them; on a
+            conventional system the single "sub-rank" 0 is the whole bus.
+        data_beats: bus cycles of data transfer on each named sub-rank.
+        kind: accounting category.
+        arrival_cycle: when the request entered the controller queue.
+        on_complete: optional callback fired with the completion cycle.
+    """
+
+    byte_address: int
+    decoded: MemoryAddress
+    is_write: bool
+    subrank_mask: Tuple[int, ...]
+    data_beats: int
+    kind: RequestKind
+    arrival_cycle: float
+    on_complete: Optional[Callable[[float], None]] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    issue_cycle: Optional[float] = None
+    completion_cycle: Optional[float] = None
+    row_outcome: Optional[str] = None  #: "hit" / "miss" / "empty", set by scheduler
+
+    def __post_init__(self) -> None:
+        if not self.subrank_mask:
+            raise ValueError("a request must target at least one sub-rank")
+        if len(set(self.subrank_mask)) != len(self.subrank_mask):
+            raise ValueError(f"duplicate sub-ranks in mask {self.subrank_mask}")
+        if self.data_beats <= 0:
+            raise ValueError("data_beats must be positive")
+
+    @property
+    def queue_latency(self) -> float:
+        """Cycles spent waiting before the column command issued."""
+        if self.issue_cycle is None:
+            raise ValueError("request has not issued")
+        return self.issue_cycle - self.arrival_cycle
+
+    @property
+    def total_latency(self) -> float:
+        """Arrival-to-data-complete latency in memory cycles."""
+        if self.completion_cycle is None:
+            raise ValueError("request has not completed")
+        return self.completion_cycle - self.arrival_cycle

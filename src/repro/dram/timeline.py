@@ -1,0 +1,88 @@
+"""ASCII command-timeline rendering for channel debugging.
+
+Turns a channel's command log (``Channel(log_commands=True)``) into a
+per-bank lane diagram, one character per ``resolution`` cycles:
+
+    bank 00 | A..R...R.......P..A..R
+    bank 01 | ....A...R..R..........
+
+Legend: ``A`` ACT, ``P`` PRE, ``R`` read, ``W`` write, ``F`` refresh
+(drawn on every lane of the rank it blocks), ``.`` idle.  When several
+commands fall into one cell the most interesting one wins (column >
+activate > precharge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LogEntry = Tuple[float, str, int, int, Optional[int]]
+
+_GLYPHS = {"ACT": "A", "PRE": "P", "RD": "R", "WR": "W", "REF": "F"}
+#: Higher wins when two commands share a cell.
+_PRIORITY = {".": 0, "P": 1, "A": 2, "F": 3, "R": 4, "W": 4}
+
+
+def render_timeline(
+    log: Sequence[LogEntry],
+    banks_per_rank: int,
+    start_cycle: float = 0.0,
+    end_cycle: Optional[float] = None,
+    resolution: float = 4.0,
+    max_width: int = 120,
+) -> str:
+    """Render a command log as per-bank ASCII lanes.
+
+    Args:
+        log: the channel's ``command_log``.
+        banks_per_rank: lane count per rank (``organization.banks_per_rank``).
+        start_cycle / end_cycle: window to render (defaults to the log span).
+        resolution: cycles per character cell.
+        max_width: clamp on the number of cells (resolution is coarsened
+            to fit when needed).
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    if banks_per_rank <= 0:
+        raise ValueError("banks_per_rank must be positive")
+    if not log:
+        return "(empty command log)"
+
+    window = [entry for entry in log if entry[0] >= start_cycle
+              and (end_cycle is None or entry[0] <= end_cycle)]
+    if not window:
+        return "(no commands in window)"
+    first = min(entry[0] for entry in window)
+    last = max(entry[0] for entry in window)
+    span = max(1.0, last - first)
+    cells = int(span / resolution) + 1
+    if cells > max_width:
+        resolution = span / (max_width - 1)
+        cells = max_width
+
+    lanes: Dict[Tuple[int, int], List[str]] = {}
+
+    def lane(rank: int, bank: int) -> List[str]:
+        key = (rank, bank)
+        if key not in lanes:
+            lanes[key] = ["."] * cells
+        return lanes[key]
+
+    for cycle, command, rank, bank, __ in window:
+        cell = int((cycle - first) / resolution)
+        glyph = _GLYPHS.get(command, "?")
+        if command == "REF":
+            targets = [lane(rank, b) for b in range(banks_per_rank)]
+        else:
+            targets = [lane(rank, bank)]
+        for target in targets:
+            if _PRIORITY[glyph] >= _PRIORITY[target[cell]]:
+                target[cell] = glyph
+
+    lines = [
+        f"cycles {first:.0f}..{last:.0f}, {resolution:.1f} cycles/cell "
+        "(A=ACT P=PRE R=RD W=WR F=REF)"
+    ]
+    for (rank, bank) in sorted(lanes):
+        lines.append(f"rank {rank} bank {bank:02d} | {''.join(lanes[(rank, bank)])}")
+    return "\n".join(lines)

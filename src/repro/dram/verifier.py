@@ -1,0 +1,133 @@
+"""Protocol verification for channel command logs.
+
+A :class:`repro.dram.channel.Channel` built with ``log_commands=True``
+records every issued command; this module audits such logs against the
+JEDEC-style constraints the scheduler must honour.  It exists as a
+library feature (not just test code) so users extending the scheduler
+can validate their changes:
+
+    channel = Channel(timing, organization, log_commands=True)
+    ... drive the channel ...
+    violations = verify_command_log(channel.command_log, requests, timing)
+    assert not violations
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dram.config import DramTiming
+from repro.dram.request import DramRequest
+
+LogEntry = Tuple[float, str, int, int, Optional[int]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected protocol violation."""
+
+    rule: str
+    cycle: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] @ {self.cycle}: {self.detail}"
+
+
+def verify_command_log(
+    log: Sequence[LogEntry],
+    requests: Iterable[DramRequest],
+    timing: DramTiming,
+    epsilon: float = 1e-6,
+) -> List[Violation]:
+    """Audit a command log; returns an empty list when clean.
+
+    Checked rules:
+
+    * ``cmd-bus``: at most one command per cycle, in time order;
+    * ``data-bus``: per-(rank, sub-rank) transfer windows never overlap;
+    * ``tccd``: column commands sharing a sub-rank are >= tCCD_S apart;
+    * ``trrd``: ACTs on a rank are >= tRRD_S apart;
+    * ``tfaw``: at most 4 ACTs per rank inside any tFAW window;
+    * ``trcd``: a request's column command is >= tRCD after the ACT that
+      opened its row (checked per (rank, bank) adjacency).
+    """
+    violations: List[Violation] = []
+    by_id: Dict[int, DramRequest] = {r.request_id: r for r in requests}
+
+    previous_cycle: Optional[float] = None
+    data_windows: Dict[Tuple[int, int], List[Tuple[float, float]]] = defaultdict(list)
+    column_times: Dict[Tuple[int, int], List[float]] = defaultdict(list)
+    act_times: Dict[int, List[float]] = defaultdict(list)
+    last_act: Dict[Tuple[int, int], float] = {}
+
+    for cycle, command, rank, bank, request_id in log:
+        if previous_cycle is not None and cycle <= previous_cycle:
+            violations.append(Violation(
+                "cmd-bus", cycle,
+                f"command at {cycle} does not follow {previous_cycle}",
+            ))
+        previous_cycle = cycle
+
+        if command == "ACT":
+            act_times[rank].append(cycle)
+            last_act[(rank, bank)] = cycle
+        elif command in ("RD", "WR"):
+            request = by_id.get(request_id)
+            if request is None:
+                violations.append(Violation(
+                    "bookkeeping", cycle,
+                    f"column command references unknown request {request_id}",
+                ))
+                continue
+            opened = last_act.pop((rank, bank), None)
+            if opened is not None and cycle - opened < timing.t_rcd - epsilon:
+                # First column command after the ACT that opened the row.
+                violations.append(Violation(
+                    "trcd", cycle,
+                    f"column {cycle - opened} cycles after ACT",
+                ))
+            delay = timing.t_cwd if request.is_write else timing.t_cas
+            start = cycle + delay
+            for subrank in request.subrank_mask:
+                data_windows[(rank, subrank)].append(
+                    (start, start + request.data_beats)
+                )
+                column_times[(rank, subrank)].append(cycle)
+
+    for (rank, subrank), intervals in data_windows.items():
+        intervals.sort()
+        for (s1, e1), (s2, __) in zip(intervals, intervals[1:]):
+            if s2 < e1 - epsilon:
+                violations.append(Violation(
+                    "data-bus", s2,
+                    f"rank {rank} sub-rank {subrank}: window starting at "
+                    f"{s2} overlaps one ending at {e1}",
+                ))
+
+    for (rank, subrank), times in column_times.items():
+        times.sort()
+        for t1, t2 in zip(times, times[1:]):
+            if t2 - t1 < timing.t_ccd_s - epsilon:
+                violations.append(Violation(
+                    "tccd", t2,
+                    f"rank {rank} sub-rank {subrank}: columns {t2 - t1} apart",
+                ))
+
+    for rank, times in act_times.items():
+        times.sort()
+        for t1, t2 in zip(times, times[1:]):
+            if t2 - t1 < timing.t_rrd_s - epsilon:
+                violations.append(Violation(
+                    "trrd", t2, f"rank {rank}: ACTs {t2 - t1} apart",
+                ))
+        for i in range(len(times) - 4):
+            if times[i + 4] - times[i] < timing.t_faw - epsilon:
+                violations.append(Violation(
+                    "tfaw", times[i + 4],
+                    f"rank {rank}: 5 ACTs within {times[i + 4] - times[i]} cycles",
+                ))
+
+    return violations

@@ -1,0 +1,5 @@
+"""DRAM energy accounting (DRAMSim2-style power calculator substitute)."""
+
+from repro.energy.model import DramPowerParams, EnergyModel, EnergyReport
+
+__all__ = ["DramPowerParams", "EnergyModel", "EnergyReport"]

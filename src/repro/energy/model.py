@@ -1,0 +1,156 @@
+"""DRAM energy model.
+
+CramSim models energy "using a DRAMSim2 style power calculator"
+(Section V).  This module reproduces that style: per-chip event energies
+derived from datasheet IDD currents, plus background and refresh power
+integrated over the run.  The absolute constants are representative DDR4
+x8 values; what the paper's Figure 13 depends on is the *structure*:
+
+* every ACT/PRE pair costs activation energy in all chips of the rank;
+* a data burst costs dynamic energy only in the chips it touches — a
+  sub-ranked 32-byte transfer energises 4 of 8 chips and moves half the
+  beats, so compressed accesses cost roughly half the burst energy;
+* background power accrues for the whole runtime, so speedup itself
+  saves energy;
+* extra metadata requests (the metadata-cache's installs/evictions) cost
+  full-line burst + activation energy, which is the overhead Attaché
+  removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """Per-chip DDR4 power/energy parameters.
+
+    Derived from Micron DDR4 x8 datasheet IDD values at VDD = 1.2 V and
+    a 1600 MHz bus (0.625 ns cycles).  Values are energy per event per
+    chip, except the background/refresh terms which are powers.
+    """
+
+    #: Energy of one ACT+PRE pair, per chip (nJ).
+    act_pre_nj: float = 1.0
+    #: Dynamic energy of one data beat of read burst, per chip (nJ).
+    read_beat_nj: float = 0.08
+    #: Dynamic energy of one data beat of write burst, per chip (nJ).
+    write_beat_nj: float = 0.09
+    #: I/O and termination energy per byte moved on the bus (nJ/B).
+    io_nj_per_byte: float = 0.04
+    #: Background (standby) power per chip (mW).
+    background_mw: float = 45.0
+    #: Extra power per chip while a refresh is in progress (mW).
+    refresh_mw: float = 150.0
+    #: Memory bus cycle time (ns).
+    cycle_ns: float = 0.625
+
+    def __post_init__(self) -> None:
+        for name in (
+            "act_pre_nj", "read_beat_nj", "write_beat_nj", "io_nj_per_byte",
+            "background_mw", "refresh_mw", "cycle_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"power parameter {name} must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown for one simulation run, in nanojoules."""
+
+    activate_nj: float
+    read_nj: float
+    write_nj: float
+    io_nj: float
+    refresh_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (
+            self.activate_nj
+            + self.read_nj
+            + self.write_nj
+            + self.io_nj
+            + self.refresh_nj
+            + self.background_nj
+        )
+
+    @property
+    def dynamic_nj(self) -> float:
+        """Everything except background standby power."""
+        return self.total_nj - self.background_nj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activate": self.activate_nj,
+            "read": self.read_nj,
+            "write": self.write_nj,
+            "io": self.io_nj,
+            "refresh": self.refresh_nj,
+            "background": self.background_nj,
+            "total": self.total_nj,
+        }
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyReport` from simulator telemetry."""
+
+    def __init__(
+        self,
+        params: DramPowerParams = DramPowerParams(),
+        chips_per_rank: int = 8,
+        subranks: int = 2,
+        total_ranks: int = 2,
+        t_rfc_cycles: int = 560,
+    ) -> None:
+        if chips_per_rank % subranks != 0:
+            raise ValueError("chips_per_rank must divide evenly into subranks")
+        self._p = params
+        self._chips_per_rank = chips_per_rank
+        self._chips_per_subrank = chips_per_rank // subranks
+        self._total_ranks = total_ranks
+        self._t_rfc = t_rfc_cycles
+
+    def report(
+        self,
+        activates: int,
+        read_beats_by_subrank: List[int],
+        write_beats_by_subrank: List[int],
+        bytes_transferred: int,
+        refreshes: int,
+        elapsed_cycles: float,
+    ) -> EnergyReport:
+        """Fold command counts and beat totals into an energy breakdown.
+
+        Args:
+            activates: total ACT commands over all ranks.
+            read_beats_by_subrank: per-sub-rank read data beats (each
+                beat energises ``chips_per_subrank`` chips).
+            write_beats_by_subrank: same, for writes.
+            bytes_transferred: total bytes moved over the buses.
+            refreshes: all-bank refresh commands over all ranks.
+            elapsed_cycles: simulated memory-bus cycles.
+        """
+        if elapsed_cycles < 0:
+            raise ValueError("elapsed_cycles must be non-negative")
+        p = self._p
+        activate_nj = activates * p.act_pre_nj * self._chips_per_rank
+        read_nj = sum(read_beats_by_subrank) * p.read_beat_nj * self._chips_per_subrank
+        write_nj = sum(write_beats_by_subrank) * p.write_beat_nj * self._chips_per_subrank
+        io_nj = bytes_transferred * p.io_nj_per_byte
+        refresh_ns = refreshes * self._t_rfc * p.cycle_ns
+        refresh_nj = self._chips_per_rank * p.refresh_mw * 1e-6 * refresh_ns
+        elapsed_ns = elapsed_cycles * p.cycle_ns
+        total_chips = self._chips_per_rank * self._total_ranks
+        background_nj = total_chips * p.background_mw * 1e-6 * elapsed_ns
+        return EnergyReport(
+            activate_nj=activate_nj,
+            read_nj=read_nj,
+            write_nj=write_nj,
+            io_nj=io_nj,
+            refresh_nj=refresh_nj,
+            background_nj=background_nj,
+        )

@@ -1,0 +1,5 @@
+"""Address-seeded data scrambling, as in commodity memory controllers."""
+
+from repro.scramble.scrambler import DataScrambler
+
+__all__ = ["DataScrambler"]

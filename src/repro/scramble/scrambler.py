@@ -1,0 +1,57 @@
+"""Data scrambling/descrambling.
+
+Real memory controllers XOR data with a keystream derived from a secret
+seed and the physical address, so that even highly regular data (all
+zeros, for example) looks pseudo-random on the DRAM bus and in the array
+[Nair+, ISCA'16].  Attaché relies on this: the Metadata-Header comparison
+happens *after* scrambling, which is what makes the 15-bit CID collision
+probability for uncompressed lines exactly 2^-15 regardless of data
+content (paper, Section IV-B and footnote 3).
+
+Scrambling is an involution (XOR with a fixed keystream), so one class
+serves both directions.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import splitmix64
+
+
+class DataScrambler:
+    """XOR-keystream scrambler keyed by (boot seed, physical address).
+
+    The keystream depends on the address, so identical data written to two
+    different lines scrambles to two different patterns — the property the
+    paper's footnote 3 calls out.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed & ((1 << 64) - 1)
+
+    @property
+    def seed(self) -> int:
+        """The boot-time scrambler seed."""
+        return self._seed
+
+    def keystream(self, address: int, length: int) -> bytes:
+        """Generate *length* keystream bytes for a block at *address*."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        out = bytearray()
+        # Each 8-byte keystream chunk mixes the seed, the address and the
+        # chunk index through two splitmix64 rounds.
+        chunk = 0
+        while len(out) < length:
+            word = splitmix64(splitmix64(self._seed ^ (address * 0x2545F4914F6CDD1D)) ^ chunk)
+            out += word.to_bytes(8, "little")
+            chunk += 1
+        return bytes(out[:length])
+
+    def scramble(self, address: int, data: bytes) -> bytes:
+        """Scramble *data* destined for *address*."""
+        key = self.keystream(address, len(data))
+        return bytes(d ^ k for d, k in zip(data, key))
+
+    # XOR scrambling is self-inverse; an explicit alias keeps call sites
+    # readable about the direction of the transform.
+    descramble = scramble

@@ -1,0 +1,28 @@
+"""Full-system simulation: event loop, run statistics, experiment runner."""
+
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.functional import FunctionalRun, MissStream, run_functional
+from repro.sim.runner import (
+    ExperimentScale,
+    SystemResult,
+    build_system,
+    run_benchmark,
+    run_comparison,
+)
+from repro.sim.sweep import Sweep, SweepPoint, run_sweep
+
+__all__ = [
+    "ExperimentScale",
+    "FunctionalRun",
+    "MissStream",
+    "SimulationResult",
+    "Simulator",
+    "Sweep",
+    "SweepPoint",
+    "SystemResult",
+    "build_system",
+    "run_benchmark",
+    "run_comparison",
+    "run_functional",
+    "run_sweep",
+]

@@ -1,0 +1,198 @@
+"""Timing-free ("functional") simulation for predictor and cache studies.
+
+Several of the paper's figures measure policy behaviour, not timing:
+metadata-cache hit rates (Figs. 5, 16), metadata traffic (Figs. 1, 15)
+and COPR accuracy (Fig. 11).  This module streams LLC-filtered memory
+events through those components directly, which is orders of magnitude
+faster than the cycle-level simulator and lets the studies use longer
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.compression import CompressionEngine
+from repro.core.copr import CoprConfig, CoprPredictor
+from repro.core.metadata_cache import MetadataCache
+from repro.cpu.cache import LastLevelCache
+from repro.cpu.trace import MemOp
+from repro.util.bitops import CACHELINE_BYTES
+from repro.workloads.tracegen import WorkloadInstance, build_workload
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One LLC-filtered memory-controller event."""
+
+    address: int  #: line-aligned byte address
+    is_writeback: bool
+    compressible: bool  #: content compresses to <= 30 B
+
+
+class MissStream:
+    """Interleaves per-core traces through a shared LLC, yielding the
+    demand misses and dirty write-backs the memory controller would see.
+
+    Cores are interleaved round-robin per record — a reasonable
+    approximation of rate-mode interleaving for policy studies.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadInstance,
+        llc_bytes: int = 8 * 1024 * 1024,
+        llc_ways: int = 8,
+        engine: Optional[CompressionEngine] = None,
+    ) -> None:
+        self._workload = workload
+        self._llc = LastLevelCache(llc_bytes, llc_ways)
+        self._engine = engine if engine is not None else CompressionEngine()
+        #: stored compressibility of each line (as of its last write-back)
+        self._stored: Dict[int, bool] = {}
+
+    @property
+    def llc(self) -> LastLevelCache:
+        return self._llc
+
+    def _stored_state(self, line: int) -> bool:
+        state = self._stored.get(line)
+        if state is None:
+            # The data model's class is verified against the real codecs
+            # at content-generation time, so it is the compression truth.
+            state = self._workload.data_model.line_class(line, 0)
+            self._stored[line] = state
+        return state
+
+    def events(self) -> Iterator[MemoryEvent]:
+        """Yield memory events in interleaved trace order."""
+        model = self._workload.data_model
+        traces = [iter(t) for t in self._workload.traces]
+        active = list(range(len(traces)))
+        while active:
+            still_active = []
+            for index in active:
+                try:
+                    record = next(traces[index])
+                except StopIteration:
+                    continue
+                still_active.append(index)
+                is_store = record.op is MemOp.STORE
+                hit, eviction = self._llc.access(record.address, is_write=is_store)
+                if is_store:
+                    model.note_store(record.address // CACHELINE_BYTES)
+                if eviction is not None and eviction.dirty:
+                    line = eviction.line_address
+                    compressible = model.line_class(line)
+                    self._stored[line] = compressible
+                    yield MemoryEvent(
+                        address=line * CACHELINE_BYTES,
+                        is_writeback=True,
+                        compressible=compressible,
+                    )
+                if not hit:
+                    line = record.address // CACHELINE_BYTES
+                    yield MemoryEvent(
+                        address=line * CACHELINE_BYTES,
+                        is_writeback=False,
+                        compressible=self._stored_state(line),
+                    )
+            active = still_active
+
+
+@dataclass
+class FunctionalRun:
+    """Results of a functional pass over one workload."""
+
+    workload: str
+    demand_reads: int = 0
+    demand_writes: int = 0
+    compressible_reads: int = 0
+    copr_accuracy: Optional[float] = None
+    copr_by_source: Dict[str, int] = field(default_factory=dict)
+    metadata_hit_rate: Optional[float] = None
+    metadata_installs: int = 0
+    metadata_writebacks: int = 0
+
+    @property
+    def demand_requests(self) -> int:
+        return self.demand_reads + self.demand_writes
+
+    @property
+    def metadata_extra_requests(self) -> int:
+        return self.metadata_installs + self.metadata_writebacks
+
+    @property
+    def metadata_traffic_overhead(self) -> float:
+        """Extra requests as a fraction of demand requests (Figs. 1/15)."""
+        if self.demand_requests == 0:
+            return 0.0
+        return self.metadata_extra_requests / self.demand_requests
+
+    @property
+    def compressible_fraction(self) -> float:
+        if self.demand_reads == 0:
+            return 0.0
+        return self.compressible_reads / self.demand_reads
+
+
+def run_functional(
+    benchmark: str,
+    cores: int = 8,
+    records_per_core: int = 30000,
+    seed: int = 2018,
+    footprint_scale: float = 1.0,
+    llc_bytes: int = 512 * 1024,
+    llc_ways: int = 8,
+    metadata_cache: Optional[MetadataCache] = None,
+    copr_config: Optional[CoprConfig] = None,
+    copr_memory_bytes: Optional[int] = None,
+) -> FunctionalRun:
+    """One functional pass: feed LLC-filtered events into the metadata
+    cache and/or COPR and report hit rates, accuracy, and traffic.
+
+    The Global Indicator partitions the workload's populated address
+    span by default (``copr_memory_bytes`` overrides).
+    """
+    workload = build_workload(
+        benchmark, cores=cores, records_per_core=records_per_core,
+        seed=seed, footprint_scale=footprint_scale,
+    )
+    stream = MissStream(workload, llc_bytes=llc_bytes, llc_ways=llc_ways)
+    copr = (
+        CoprPredictor(
+            copr_memory_bytes
+            if copr_memory_bytes is not None
+            else workload.address_span,
+            copr_config,
+        )
+        if copr_config is not None
+        else None
+    )
+    run = FunctionalRun(workload=benchmark)
+    for event in stream.events():
+        line = event.address // CACHELINE_BYTES
+        if event.is_writeback:
+            run.demand_writes += 1
+            if metadata_cache is not None:
+                metadata_cache.access(line, make_dirty=True)
+            if copr is not None:
+                copr.update(event.address, event.compressible)
+        else:
+            run.demand_reads += 1
+            if event.compressible:
+                run.compressible_reads += 1
+            if metadata_cache is not None:
+                metadata_cache.access(line, make_dirty=False)
+            if copr is not None:
+                predicted = copr.predict(event.address)
+                copr.update(event.address, event.compressible, predicted=predicted)
+    if metadata_cache is not None:
+        run.metadata_hit_rate = metadata_cache.stats.hit_rate
+        run.metadata_installs = metadata_cache.stats.installs
+        run.metadata_writebacks = metadata_cache.stats.dirty_evictions
+    if copr is not None:
+        run.copr_accuracy = copr.stats.accuracy
+        run.copr_by_source = dict(copr.stats.by_source)
+    return run

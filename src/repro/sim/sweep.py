@@ -1,0 +1,142 @@
+"""Parameter-sweep utilities: grids of runs, tabulation, CSV export.
+
+Research workflows around this library keep re-running the same loop:
+for each (benchmark, system, knob...) combination, simulate, collect a
+metric, tabulate.  This module packages that loop with deterministic
+ordering and flat-file export so sweeps are scriptable and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.runner import ExperimentScale, FAST_SCALE, run_benchmark
+from repro.sim.simulator import SimulationResult
+
+#: Metric extractors available by name for quick sweeps.
+METRICS: Dict[str, Callable[[SimulationResult], float]] = {
+    "runtime_core_cycles": lambda r: r.runtime_core_cycles,
+    "ipc": lambda r: r.ipc,
+    "mpki": lambda r: r.mpki,
+    "mean_read_latency": lambda r: r.mean_read_latency_bus_cycles,
+    "bandwidth": lambda r: r.bandwidth_bytes_per_bus_cycle,
+    "energy_nj": lambda r: r.energy.total_nj,
+    "bytes_transferred": lambda r: float(r.bytes_transferred),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point and its simulation result."""
+
+    benchmark: str
+    system: str
+    seed: int
+    parameters: Mapping[str, object]
+    result: SimulationResult
+
+    def metric(self, name: str) -> float:
+        try:
+            return METRICS[name](self.result)
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; choose from {sorted(METRICS)}"
+            ) from None
+
+
+@dataclass
+class Sweep:
+    """A completed sweep: ordered points plus tabulation helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def metric_table(
+        self, metric: str, rows: str = "benchmark", columns: str = "system"
+    ) -> Dict[str, Dict[str, float]]:
+        """Pivot the sweep into ``{row: {column: metric}}``.
+
+        ``rows``/``columns`` name SweepPoint fields ("benchmark",
+        "system", "seed") or parameter keys.
+        """
+        def key_of(point: SweepPoint, axis: str) -> str:
+            if axis in ("benchmark", "system", "seed"):
+                return str(getattr(point, axis))
+            if axis in point.parameters:
+                return str(point.parameters[axis])
+            raise KeyError(f"unknown axis {axis!r}")
+
+        table: Dict[str, Dict[str, float]] = {}
+        for point in self.points:
+            table.setdefault(key_of(point, rows), {})[
+                key_of(point, columns)
+            ] = point.metric(metric)
+        return table
+
+    def to_csv(self, metrics: Optional[Sequence[str]] = None) -> str:
+        """Serialise the sweep to CSV (one row per point)."""
+        metrics = list(metrics) if metrics is not None else sorted(METRICS)
+        parameter_keys = sorted(
+            {key for point in self.points for key in point.parameters}
+        )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["benchmark", "system", "seed", *parameter_keys, *metrics]
+        )
+        for point in self.points:
+            writer.writerow(
+                [point.benchmark, point.system, point.seed]
+                + [point.parameters.get(key, "") for key in parameter_keys]
+                + [point.metric(metric) for metric in metrics]
+            )
+        return buffer.getvalue()
+
+
+def run_sweep(
+    benchmarks: Sequence[str],
+    systems: Sequence[str],
+    seeds: Sequence[int] = (2018,),
+    scale: ExperimentScale = FAST_SCALE,
+    parameter_grid: Optional[Mapping[str, Sequence[object]]] = None,
+    apply_parameters: Optional[Callable[..., dict]] = None,
+) -> Sweep:
+    """Run the full cross product of a sweep grid.
+
+    Args:
+        benchmarks / systems / seeds: primary axes.
+        scale: joint scaling preset for every run.
+        parameter_grid: optional extra axes, e.g.
+            ``{"metadata_policy": ["lru", "drrip"]}``.
+        apply_parameters: maps one grid assignment to keyword arguments
+            for :func:`repro.sim.runner.run_benchmark`; defaults to
+            passing the assignment through unchanged.
+    """
+    if not benchmarks or not systems or not seeds:
+        raise ValueError("benchmarks, systems and seeds must be non-empty")
+    grid_keys = sorted(parameter_grid) if parameter_grid else []
+    grid_values = [list(parameter_grid[key]) for key in grid_keys] if grid_keys else [[]]
+    assignments = (
+        [dict(zip(grid_keys, combo)) for combo in itertools.product(*grid_values)]
+        if grid_keys
+        else [{}]
+    )
+    translate = apply_parameters if apply_parameters is not None else (lambda **kw: kw)
+
+    sweep = Sweep()
+    for benchmark in benchmarks:
+        for system in systems:
+            for seed in seeds:
+                for assignment in assignments:
+                    result = run_benchmark(
+                        benchmark, system, scale=scale, seed=seed,
+                        **translate(**assignment),
+                    )
+                    sweep.points.append(SweepPoint(
+                        benchmark=benchmark, system=system, seed=seed,
+                        parameters=dict(assignment), result=result,
+                    ))
+    return sweep

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: bit manipulation and deterministic RNG."""
+
+from repro.util.bitops import (
+    CACHELINE_BYTES,
+    bytes_to_words,
+    extract_bits,
+    fits_signed,
+    fits_unsigned,
+    insert_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    words_to_bytes,
+)
+from repro.util.rng import DeterministicRng, splitmix64
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "DeterministicRng",
+    "bytes_to_words",
+    "extract_bits",
+    "fits_signed",
+    "fits_unsigned",
+    "insert_bits",
+    "sign_extend",
+    "splitmix64",
+    "to_signed",
+    "to_unsigned",
+    "words_to_bytes",
+]

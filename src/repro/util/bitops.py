@@ -1,0 +1,119 @@
+"""Bit- and byte-level helpers shared by the compression and BLEM codecs.
+
+All cachelines in this project are 64-byte ``bytes`` objects.  The helpers
+here convert between byte strings and fixed-width little-endian words, and
+provide the signed/unsigned range checks that the BDI and FPC compressors
+are built from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+CACHELINE_BYTES = 64
+
+
+def bytes_to_words(data: bytes, word_size: int) -> List[int]:
+    """Split *data* into little-endian unsigned words of *word_size* bytes.
+
+    Raises ``ValueError`` if the data length is not a multiple of the word
+    size, because a partial trailing word would silently corrupt round
+    trips.
+    """
+    if word_size <= 0:
+        raise ValueError(f"word_size must be positive, got {word_size}")
+    if len(data) % word_size != 0:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of word size {word_size}"
+        )
+    return [
+        int.from_bytes(data[offset : offset + word_size], "little")
+        for offset in range(0, len(data), word_size)
+    ]
+
+
+def words_to_bytes(words: List[int], word_size: int) -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    if word_size <= 0:
+        raise ValueError(f"word_size must be positive, got {word_size}")
+    out = bytearray()
+    limit = 1 << (8 * word_size)
+    for word in words:
+        if not 0 <= word < limit:
+            raise ValueError(f"word {word:#x} does not fit in {word_size} bytes")
+        out += word.to_bytes(word_size, "little")
+    return bytes(out)
+
+
+def to_signed(value: int, bits: int) -> int:
+    """Reinterpret an unsigned *bits*-wide value as two's-complement."""
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Reinterpret a two's-complement value as an unsigned *bits*-wide value."""
+    return value & ((1 << bits) - 1)
+
+
+def sign_extend(value: int, from_bits: int) -> int:
+    """Sign-extend the low *from_bits* of *value* to a Python int."""
+    return to_signed(value & ((1 << from_bits) - 1), from_bits)
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True when the signed integer *value* fits in *bits* two's-complement bits."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """True when the non-negative integer *value* fits in *bits* unsigned bits."""
+    return 0 <= value < (1 << bits)
+
+
+def extract_bits(data: bytes, bit_offset: int, bit_count: int) -> int:
+    """Read *bit_count* bits starting at *bit_offset* (MSB-first bit order).
+
+    Bit 0 is the most-significant bit of byte 0, matching the paper's "top
+    15 bits of the cacheline" phrasing for the CID.
+    """
+    if bit_count < 0 or bit_offset < 0:
+        raise ValueError("bit_offset and bit_count must be non-negative")
+    if bit_offset + bit_count > 8 * len(data):
+        raise ValueError(
+            f"bit range [{bit_offset}, {bit_offset + bit_count}) exceeds "
+            f"{8 * len(data)}-bit data"
+        )
+    value = 0
+    for i in range(bit_count):
+        absolute = bit_offset + i
+        byte = data[absolute // 8]
+        bit = (byte >> (7 - (absolute % 8))) & 1
+        value = (value << 1) | bit
+    return value
+
+
+def insert_bits(data: bytes, bit_offset: int, bit_count: int, value: int) -> bytes:
+    """Return a copy of *data* with *bit_count* bits at *bit_offset* replaced.
+
+    Uses the same MSB-first bit order as :func:`extract_bits`.
+    """
+    if not fits_unsigned(value, bit_count):
+        raise ValueError(f"value {value:#x} does not fit in {bit_count} bits")
+    if bit_offset + bit_count > 8 * len(data):
+        raise ValueError(
+            f"bit range [{bit_offset}, {bit_offset + bit_count}) exceeds "
+            f"{8 * len(data)}-bit data"
+        )
+    out = bytearray(data)
+    for i in range(bit_count):
+        absolute = bit_offset + i
+        bit = (value >> (bit_count - 1 - i)) & 1
+        mask = 1 << (7 - (absolute % 8))
+        if bit:
+            out[absolute // 8] |= mask
+        else:
+            out[absolute // 8] &= ~mask & 0xFF
+    return bytes(out)

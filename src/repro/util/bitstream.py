@@ -1,0 +1,60 @@
+"""MSB-first bit stream writer/reader used by the FPC codec."""
+
+from __future__ import annotations
+
+from repro.util.bitops import fits_unsigned
+
+
+class BitWriter:
+    """Accumulates values MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bits: int = 0
+        self._bit_count: int = 0
+
+    def write(self, value: int, bit_count: int) -> None:
+        """Append the low *bit_count* bits of *value* (must fit unsigned)."""
+        if not fits_unsigned(value, bit_count):
+            raise ValueError(f"value {value:#x} does not fit in {bit_count} bits")
+        self._bits = (self._bits << bit_count) | value
+        self._bit_count += bit_count
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    def to_bytes(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        pad = (-self._bit_count) % 8
+        total = self._bit_count + pad
+        if total == 0:
+            return b""
+        return (self._bits << pad).to_bytes(total // 8, "big")
+
+
+class BitReader:
+    """Reads values MSB-first from a byte string produced by BitWriter."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+
+    @property
+    def remaining_bits(self) -> int:
+        """Bits not yet consumed (including any trailing padding)."""
+        return 8 * len(self._data) - self._position
+
+    def read(self, bit_count: int) -> int:
+        """Consume and return the next *bit_count* bits as an unsigned int."""
+        if bit_count < 0:
+            raise ValueError("bit_count must be non-negative")
+        if self._position + bit_count > 8 * len(self._data):
+            raise ValueError("bit stream exhausted")
+        value = 0
+        for _ in range(bit_count):
+            byte = self._data[self._position // 8]
+            bit = (byte >> (7 - (self._position % 8))) & 1
+            value = (value << 1) | bit
+            self._position += 1
+        return value

@@ -1,0 +1,79 @@
+"""Deterministic random number generation.
+
+Simulation runs must be bit-reproducible across processes and Python
+versions, so the project uses an explicit splitmix64 generator instead of
+``random.Random`` internals.  splitmix64 is also the keystream primitive
+used by the data scrambler (:mod:`repro.scramble`).
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def splitmix64(state: int) -> int:
+    """One splitmix64 step: map a 64-bit state to a well-mixed 64-bit output.
+
+    This is a pure function — callers advance the state themselves (usually
+    by feeding in ``state + GOLDEN_GAMMA``).
+    """
+    z = (state + 0x9E3779B97F4A7C15) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+class DeterministicRng:
+    """A small, fast, reproducible RNG built on splitmix64.
+
+    Supports exactly the operations the simulator needs; it intentionally
+    does not mirror the full ``random.Random`` API.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned value."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & MASK64
+        return splitmix64(self._state)
+
+    def next_below(self, bound: int) -> int:
+        """Return a value uniform in ``[0, bound)``.
+
+        Uses rejection sampling so small bounds are unbiased.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        threshold = (MASK64 + 1) - ((MASK64 + 1) % bound)
+        while True:
+            value = self.next_u64()
+            if value < threshold:
+                return value % bound
+
+    def next_float(self) -> float:
+        """Return a float uniform in ``[0, 1)`` with 53 bits of precision."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def next_bytes(self, count: int) -> bytes:
+        """Return *count* pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < count:
+            out += self.next_u64().to_bytes(8, "little")
+        return bytes(out[:count])
+
+    def choice(self, items):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_below(len(items))]
+
+    def shuffle(self, items) -> None:
+        """Fisher-Yates shuffle of a mutable sequence, in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, stream_id: int) -> "DeterministicRng":
+        """Derive an independent child generator for a named sub-stream."""
+        return DeterministicRng(splitmix64(self._state ^ (stream_id * 0xD6E8FEB86659FD93)))

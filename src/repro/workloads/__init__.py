@@ -1,0 +1,58 @@
+"""Synthetic workload substrate (SPEC/GAP trace substitute).
+
+The paper drives its evaluation with Pin-captured traces of SPEC2006 and
+GAP benchmarks.  Those traces are proprietary, so this package generates
+synthetic equivalents whose *relevant* properties are controlled per
+benchmark: fraction of 30-byte-compressible lines (Fig. 4), page-level
+clustering of compressibility (what PaPR/LiPR exploit), access pattern
+(row-buffer locality, metadata-cache reach) and read/write mix.
+"""
+
+from repro.workloads.datagen import DataModel, DataProfile
+from repro.workloads.access import (
+    AccessPattern,
+    MixedPattern,
+    PointerChasePattern,
+    StreamPattern,
+    UniformRandomPattern,
+    ZipfPattern,
+)
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    GAP_BENCHMARKS,
+    MIX_BENCHMARKS,
+    PROFILES,
+    SPEC_BENCHMARKS,
+    SYNTHETIC_BENCHMARKS,
+    get_profile,
+)
+from repro.workloads.characterize import (
+    WorkloadCharacteristics,
+    characterize,
+    characterize_benchmark,
+)
+from repro.workloads.tracegen import TraceGenerator, WorkloadInstance, build_workload
+
+__all__ = [
+    "AccessPattern",
+    "BenchmarkProfile",
+    "DataModel",
+    "DataProfile",
+    "GAP_BENCHMARKS",
+    "MIX_BENCHMARKS",
+    "MixedPattern",
+    "PROFILES",
+    "PointerChasePattern",
+    "SPEC_BENCHMARKS",
+    "StreamPattern",
+    "SYNTHETIC_BENCHMARKS",
+    "TraceGenerator",
+    "UniformRandomPattern",
+    "WorkloadCharacteristics",
+    "WorkloadInstance",
+    "ZipfPattern",
+    "build_workload",
+    "characterize",
+    "characterize_benchmark",
+    "get_profile",
+]

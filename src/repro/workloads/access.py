@@ -1,0 +1,221 @@
+"""Address-stream generators for synthetic workloads.
+
+Each pattern yields 64-byte-aligned byte addresses inside a per-core
+region.  Patterns differ in the properties that drive the paper's
+results: spatial locality (row-buffer hits and metadata-cache reach) and
+footprint coverage.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List
+
+from repro.util.bitops import CACHELINE_BYTES
+from repro.util.rng import DeterministicRng
+
+
+class AccessPattern(abc.ABC):
+    """A reproducible generator of line-aligned byte addresses."""
+
+    def __init__(self, region_base: int, region_bytes: int, seed: int) -> None:
+        if region_bytes < CACHELINE_BYTES:
+            raise ValueError("region must hold at least one line")
+        if region_base % CACHELINE_BYTES != 0:
+            raise ValueError("region base must be line-aligned")
+        self._base = region_base
+        self._lines = region_bytes // CACHELINE_BYTES
+        self._rng = DeterministicRng(seed)
+
+    @property
+    def region_lines(self) -> int:
+        return self._lines
+
+    def _address_of_line(self, line_index: int) -> int:
+        return self._base + (line_index % self._lines) * CACHELINE_BYTES
+
+    @abc.abstractmethod
+    def addresses(self) -> Iterator[int]:
+        """Yield an endless stream of byte addresses."""
+
+
+class StreamPattern(AccessPattern):
+    """Sequential sweep through the region (STREAM-like).
+
+    ``stride_lines`` > 1 models strided numeric kernels; the sweep wraps
+    at the region end.
+    """
+
+    def __init__(
+        self, region_base: int, region_bytes: int, seed: int, stride_lines: int = 1
+    ) -> None:
+        super().__init__(region_base, region_bytes, seed)
+        if stride_lines <= 0:
+            raise ValueError("stride_lines must be positive")
+        self._stride = stride_lines
+
+    def addresses(self) -> Iterator[int]:
+        # Start at a seed-dependent position so rate-mode cores do not
+        # walk the banks in lock-step (real instances drift apart too).
+        index = self._rng.next_below(self._lines)
+        while True:
+            yield self._address_of_line(index)
+            index += self._stride
+
+
+class UniformRandomPattern(AccessPattern):
+    """Uniformly random lines over the region (the RAND synthetic).
+
+    ``burst_lines`` > 1 emits a short sequential run after each random
+    landing — real irregular code still touches neighbouring lines
+    (multi-line objects, hardware prefetch).
+    """
+
+    def __init__(
+        self, region_base: int, region_bytes: int, seed: int, burst_lines: int = 1
+    ) -> None:
+        super().__init__(region_base, region_bytes, seed)
+        if burst_lines <= 0:
+            raise ValueError("burst_lines must be positive")
+        self._burst = burst_lines
+
+    def _burst_length(self) -> int:
+        if self._burst == 1:
+            return 1
+        return 1 + self._rng.next_below(2 * self._burst - 1)
+
+    def addresses(self) -> Iterator[int]:
+        while True:
+            line = self._rng.next_below(self._lines)
+            for offset in range(self._burst_length()):
+                yield self._address_of_line(line + offset)
+
+
+class ZipfPattern(AccessPattern):
+    """Zipf-distributed line popularity (graph/irregular workloads).
+
+    A small number of hot lines (vertex data) absorb much of the traffic
+    while the long tail (edge lists) covers the footprint.  ``alpha``
+    controls skew; a random permutation decorrelates popularity from
+    address so hot lines scatter over pages.
+    """
+
+    def __init__(
+        self,
+        region_base: int,
+        region_bytes: int,
+        seed: int,
+        alpha: float = 0.8,
+        hot_fraction: float = 0.1,
+        burst_lines: int = 3,
+    ) -> None:
+        super().__init__(region_base, region_bytes, seed)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if burst_lines <= 0:
+            raise ValueError("burst_lines must be positive")
+        self._alpha = alpha
+        self._hot_lines = max(1, int(self._lines * hot_fraction))
+        # Approximate Zipf over the hot set with an inverse-power draw;
+        # the cold tail is drawn uniformly.
+        self._hot_probability = 0.7
+        self._burst = burst_lines
+
+    def addresses(self) -> Iterator[int]:
+        import math
+
+        log_hot = math.log(self._hot_lines + 1)
+        while True:
+            if self._rng.next_float() < self._hot_probability:
+                # Log-uniform rank draw tempered by alpha: low ranks are
+                # strongly favoured, approximating a Zipf head.
+                u = max(self._rng.next_float(), 1e-12) ** (1.0 / self._alpha)
+                rank = int(math.exp(u * log_hot)) - 1
+                line = self._scatter(min(rank, self._hot_lines - 1))
+            else:
+                line = self._rng.next_below(self._lines)
+            burst = 1 + self._rng.next_below(2 * self._burst - 1) if self._burst > 1 else 1
+            for offset in range(burst):
+                yield self._address_of_line(line + offset)
+
+    def _scatter(self, rank: int) -> int:
+        """Spread hot ranks pseudo-randomly over the whole region."""
+        from repro.util.rng import splitmix64
+
+        return splitmix64(rank * 0x9E3779B97F4A7C15) % self._lines
+
+
+class PointerChasePattern(AccessPattern):
+    """Dependent chains through a shuffled permutation (mcf-like).
+
+    Each address is a function of the previous one, modelling linked
+    structures: occasionally the chase restarts at a random node.
+    """
+
+    def __init__(
+        self,
+        region_base: int,
+        region_bytes: int,
+        seed: int,
+        restart_probability: float = 0.02,
+        chase_lines: int = 65536,
+        burst_lines: int = 2,
+    ) -> None:
+        super().__init__(region_base, region_bytes, seed)
+        if not 0 <= restart_probability <= 1:
+            raise ValueError("restart_probability must be in [0, 1]")
+        if burst_lines <= 0:
+            raise ValueError("burst_lines must be positive")
+        self._restart = restart_probability
+        self._chase_lines = min(chase_lines, self._lines)
+        self._burst = burst_lines
+
+    def addresses(self) -> Iterator[int]:
+        from repro.util.rng import splitmix64
+
+        current = 0
+        while True:
+            # Visit the node: multi-line objects touch neighbours too.
+            burst = 1 + self._rng.next_below(2 * self._burst - 1) if self._burst > 1 else 1
+            for offset in range(burst):
+                yield self._address_of_line(current + offset)
+            if self._rng.next_float() < self._restart:
+                current = self._rng.next_below(self._lines)
+            else:
+                # Next pointer: a fixed pseudo-random successor function.
+                current = splitmix64(current ^ 0xC0FFEE) % self._lines
+
+
+class MixedPattern:
+    """Alternating phases drawn from several sub-patterns.
+
+    Models applications with streaming and irregular phases; the phase
+    length is uniform around ``phase_length``.  Not an
+    :class:`AccessPattern` subclass — it owns no region of its own, only
+    the sub-patterns do — but it satisfies the same ``addresses()``
+    protocol.
+    """
+
+    def __init__(
+        self,
+        patterns: List[AccessPattern],
+        seed: int,
+        phase_length: int = 256,
+    ) -> None:
+        if not patterns:
+            raise ValueError("at least one sub-pattern is required")
+        if phase_length <= 0:
+            raise ValueError("phase_length must be positive")
+        # Note: region parameters live in the sub-patterns.
+        self._patterns = [p.addresses() for p in patterns]
+        self._rng = DeterministicRng(seed)
+        self._phase_length = phase_length
+
+    def addresses(self) -> Iterator[int]:
+        while True:
+            stream = self._patterns[self._rng.next_below(len(self._patterns))]
+            length = 1 + self._rng.next_below(2 * self._phase_length)
+            for _ in range(length):
+                yield next(stream)

@@ -1,0 +1,138 @@
+"""Workload characterization: measure what a profile actually produces.
+
+The synthetic profiles are *targets*; this module measures the resulting
+streams the way an architect would characterise a real trace — LLC MPKI,
+read/write mix, footprint touched, spatial locality, and realized
+compressibility — so profile calibrations can be audited against the
+paper's workload descriptions (memory-intensive: MPKI > 1; Fig. 4
+compressibility; GAP irregularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cpu.cache import LastLevelCache
+from repro.cpu.trace import MemOp
+from repro.util.bitops import CACHELINE_BYTES
+from repro.workloads.datagen import LINES_PER_PAGE
+from repro.workloads.tracegen import WorkloadInstance, build_workload
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Measured properties of one workload instance."""
+
+    name: str
+    instructions: int
+    memory_ops: int
+    store_fraction: float
+    llc_mpki: float
+    llc_miss_rate: float
+    distinct_lines: int
+    distinct_pages: int
+    footprint_bytes: int
+    sequential_fraction: float  #: accesses adjacent to their predecessor
+    page_reuse: float  #: mean accesses per touched page
+    compressible_fraction: float  #: of distinct touched lines
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "memory_ops": self.memory_ops,
+            "store_fraction": self.store_fraction,
+            "llc_mpki": self.llc_mpki,
+            "llc_miss_rate": self.llc_miss_rate,
+            "distinct_lines": self.distinct_lines,
+            "distinct_pages": self.distinct_pages,
+            "footprint_bytes": self.footprint_bytes,
+            "sequential_fraction": self.sequential_fraction,
+            "page_reuse": self.page_reuse,
+            "compressible_fraction": self.compressible_fraction,
+        }
+
+
+def characterize(
+    workload: WorkloadInstance,
+    llc_bytes: int = 512 * 1024,
+    llc_ways: int = 8,
+    compressibility_sample: int = 2000,
+) -> WorkloadCharacteristics:
+    """Stream the workload's traces through an LLC and measure it.
+
+    Consumes the workload's trace iterators (build a fresh instance for
+    simulation afterwards).
+    """
+    llc = LastLevelCache(llc_bytes, llc_ways)
+    instructions = 0
+    memory_ops = 0
+    stores = 0
+    sequential = 0
+    last_line_by_core: Dict[int, Optional[int]] = {}
+    lines = set()
+    pages: Dict[int, int] = {}
+
+    active = [(core_id, iter(trace)) for core_id, trace in enumerate(workload.traces)]
+    while active:
+        remaining = []
+        for core_id, trace in active:
+            record = next(trace, None)
+            if record is None:
+                continue
+            remaining.append((core_id, trace))
+            instructions += record.gap + 1
+            memory_ops += 1
+            is_store = record.op is MemOp.STORE
+            if is_store:
+                stores += 1
+                workload.data_model.note_store(record.address // CACHELINE_BYTES)
+            llc.access(record.address, is_write=is_store)
+            line = record.address // CACHELINE_BYTES
+            previous = last_line_by_core.get(core_id)
+            if previous is not None and abs(line - previous) == 1:
+                sequential += 1
+            last_line_by_core[core_id] = line
+            lines.add(line)
+            page = line // LINES_PER_PAGE
+            pages[page] = pages.get(page, 0) + 1
+        active = remaining
+
+    sample = sorted(lines)
+    if len(sample) > compressibility_sample:
+        step = len(sample) // compressibility_sample
+        sample = sample[::step]
+    compressible = sum(
+        1 for line in sample if workload.data_model.line_class(line)
+    )
+
+    return WorkloadCharacteristics(
+        name=workload.name,
+        instructions=instructions,
+        memory_ops=memory_ops,
+        store_fraction=stores / memory_ops if memory_ops else 0.0,
+        llc_mpki=1000.0 * llc.stats.misses / instructions if instructions else 0.0,
+        llc_miss_rate=llc.stats.miss_rate,
+        distinct_lines=len(lines),
+        distinct_pages=len(pages),
+        footprint_bytes=len(lines) * CACHELINE_BYTES,
+        sequential_fraction=sequential / memory_ops if memory_ops else 0.0,
+        page_reuse=memory_ops / len(pages) if pages else 0.0,
+        compressible_fraction=compressible / len(sample) if sample else 0.0,
+    )
+
+
+def characterize_benchmark(
+    name: str,
+    cores: int = 8,
+    records_per_core: int = 8000,
+    seed: int = 2018,
+    footprint_scale: float = 1.0,
+    llc_bytes: int = 512 * 1024,
+) -> WorkloadCharacteristics:
+    """Convenience wrapper: build a workload instance and characterise it."""
+    workload = build_workload(
+        name, cores=cores, records_per_core=records_per_core,
+        seed=seed, footprint_scale=footprint_scale,
+    )
+    return characterize(workload, llc_bytes=llc_bytes)

@@ -1,0 +1,204 @@
+"""Trace generation: profiles + patterns -> per-core instruction streams."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import MemOp, TraceRecord
+from repro.util.bitops import CACHELINE_BYTES
+from repro.util.rng import DeterministicRng
+from repro.workloads.datagen import DataModel
+from repro.workloads.profiles import (
+    MIX_BENCHMARKS,
+    BenchmarkProfile,
+    get_profile,
+)
+
+
+class TraceGenerator:
+    """Synthesises one core's trace from a benchmark profile."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        region_base: int,
+        region_bytes: int,
+        seed: int,
+    ) -> None:
+        self._profile = profile
+        self._pattern = profile.make_pattern(region_base, region_bytes, seed)
+        self._rng = DeterministicRng(seed ^ 0x7ACE)
+
+    def _geometric_gap(self) -> int:
+        """Draw a gap with mean ``profile.mean_gap`` (geometric)."""
+        mean = self._profile.mean_gap
+        if mean == 0:
+            return 0
+        u = max(self._rng.next_float(), 1e-12)
+        return int(math.log(u) / math.log(mean / (mean + 1.0)))
+
+    def records(self, count: Optional[int] = None) -> Iterator[TraceRecord]:
+        """Yield *count* trace records (or endless when ``None``)."""
+        addresses = self._pattern.addresses()
+        produced = 0
+        while count is None or produced < count:
+            op = (
+                MemOp.STORE
+                if self._rng.next_float() < self._profile.write_fraction
+                else MemOp.LOAD
+            )
+            yield TraceRecord(
+                gap=self._geometric_gap(), op=op, address=next(addresses)
+            )
+            produced += 1
+
+
+class CompositeDataModel:
+    """Routes data-model queries to per-region models (for mixes).
+
+    Presents the same interface as :class:`DataModel` for the line-level
+    operations the simulator uses.
+    """
+
+    def __init__(self, regions: Sequence[Tuple[int, int, DataModel]]) -> None:
+        if not regions:
+            raise ValueError("at least one region is required")
+        self._regions = sorted(regions, key=lambda r: r[0])
+        for (base_a, size_a, __), (base_b, __, ___) in zip(
+            self._regions, self._regions[1:]
+        ):
+            if base_a + size_a > base_b:
+                raise ValueError("data-model regions overlap")
+
+    def _model_for_line(self, line_address: int) -> DataModel:
+        byte_address = line_address * CACHELINE_BYTES
+        for base, size, model in self._regions:
+            if base <= byte_address < base + size:
+                return model
+        # Out-of-region lines (e.g. never-touched metadata space) default
+        # to the first model's statistics.
+        return self._regions[0][2]
+
+    def line_data(self, line_address: int, version: int = None) -> bytes:
+        return self._model_for_line(line_address).line_data(line_address, version)
+
+    def note_store(self, line_address: int) -> None:
+        self._model_for_line(line_address).note_store(line_address)
+
+    def version_of(self, line_address: int) -> int:
+        return self._model_for_line(line_address).version_of(line_address)
+
+    def line_class(self, line_address: int, version: int = None) -> bool:
+        return self._model_for_line(line_address).line_class(line_address, version)
+
+
+@dataclass
+class WorkloadInstance:
+    """A fully instantiated multi-core workload.
+
+    Attributes:
+        name: benchmark or mix name.
+        profiles: per-core benchmark profile (identical in rate mode).
+        traces: per-core trace iterators.
+        data_model: content source covering every core's region.
+        region_bases: per-core region base addresses.
+    """
+
+    name: str
+    profiles: List[BenchmarkProfile]
+    traces: List[Iterator[TraceRecord]]
+    data_model: CompositeDataModel
+    region_bases: List[int]
+    region_sizes: List[int] = None  # type: ignore[assignment]
+
+    @property
+    def cores(self) -> int:
+        return len(self.traces)
+
+    @property
+    def address_span(self) -> int:
+        """Bytes from address 0 to the end of the last region — the
+        address range predictors (e.g. the Global Indicator) should
+        partition."""
+        if not self.region_sizes:
+            return max(self.region_bases) + 1 if self.region_bases else 1
+        return max(
+            base + size
+            for base, size in zip(self.region_bases, self.region_sizes)
+        )
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+def _stable_name_hash(name: str) -> int:
+    """Process-stable 32-bit hash of a benchmark name."""
+    import zlib
+
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def build_workload(
+    name: str,
+    cores: int = 8,
+    records_per_core: int = 20000,
+    seed: int = 2018,
+    footprint_scale: float = 1.0,
+) -> WorkloadInstance:
+    """Instantiate a named benchmark (rate mode) or mix workload.
+
+    Rate mode (Section V): all cores run the same benchmark in disjoint
+    address regions.  Mixes assign ``MIX_BENCHMARKS[name]`` round-robin.
+    ``footprint_scale`` shrinks or grows every region — used to keep
+    Python runs tractable while preserving footprint >> cache ratios.
+    """
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    if records_per_core <= 0:
+        raise ValueError("records_per_core must be positive")
+    if footprint_scale <= 0:
+        raise ValueError("footprint_scale must be positive")
+
+    if name in MIX_BENCHMARKS:
+        per_core = [get_profile(n) for n in MIX_BENCHMARKS[name]]
+        if cores != len(per_core):
+            # Round-robin the mix definition over the requested cores.
+            per_core = [per_core[i % len(per_core)] for i in range(cores)]
+        profiles = per_core
+    else:
+        profiles = [get_profile(name)] * cores
+
+    page_aligned = 1 << 22  # 4 MB region alignment keeps pages disjoint
+    regions: List[Tuple[int, int]] = []
+    cursor = 0
+    for profile in profiles:
+        size = _align_up(
+            max(4096, int(profile.footprint_bytes * footprint_scale)), 4096
+        )
+        base = _align_up(cursor, page_aligned)
+        regions.append((base, size))
+        cursor = base + size
+
+    models: List[Tuple[int, int, DataModel]] = []
+    traces: List[Iterator[TraceRecord]] = []
+    rng = DeterministicRng(seed)
+    for core_id, (profile, (base, size)) in enumerate(zip(profiles, regions)):
+        core_seed = rng.fork(core_id).next_u64()
+        # zlib.crc32 is stable across processes (unlike hash(str)).
+        name_digest = _stable_name_hash(profile.name)
+        model = DataModel(profile.data, seed=seed ^ name_digest)
+        models.append((base, size, model))
+        generator = TraceGenerator(profile, base, size, core_seed)
+        traces.append(generator.records(records_per_core))
+
+    return WorkloadInstance(
+        name=name,
+        profiles=list(profiles),
+        traces=traces,
+        data_model=CompositeDataModel(models),
+        region_bases=[base for base, __ in regions],
+        region_sizes=[size for __, size in regions],
+    )

@@ -1,0 +1,139 @@
+"""Unit tests for the access-pattern generators."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import (
+    MixedPattern,
+    PointerChasePattern,
+    StreamPattern,
+    UniformRandomPattern,
+    ZipfPattern,
+)
+
+REGION = 1 << 20  # 1 MB
+BASE = 1 << 24
+
+
+def take(pattern, n):
+    return list(itertools.islice(pattern.addresses(), n))
+
+
+class TestStreamPattern:
+    def test_sequential_with_wraparound(self):
+        addresses = take(StreamPattern(BASE, REGION, seed=1), 4)
+        for current, following in zip(addresses, addresses[1:]):
+            assert following - current == 64 or following == BASE
+        assert all(BASE <= a < BASE + REGION for a in addresses)
+
+    def test_wraps_at_region_end(self):
+        pattern = StreamPattern(BASE, 4 * 64, seed=1)
+        addresses = take(pattern, 5)
+        assert addresses[4] == addresses[0]
+
+    def test_start_is_seed_staggered(self):
+        first_a = take(StreamPattern(BASE, REGION, seed=1), 1)[0]
+        first_b = take(StreamPattern(BASE, REGION, seed=2), 1)[0]
+        assert first_a != first_b
+
+    def test_stride(self):
+        addresses = take(StreamPattern(BASE, REGION, seed=1, stride_lines=4), 2)
+        assert addresses[1] - addresses[0] == 256
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            StreamPattern(BASE, REGION, seed=1, stride_lines=0)
+
+
+class TestUniformRandomPattern:
+    def test_in_region_and_aligned(self):
+        for address in take(UniformRandomPattern(BASE, REGION, seed=2), 500):
+            assert BASE <= address < BASE + REGION
+            assert address % 64 == 0
+
+    def test_covers_region_broadly(self):
+        addresses = take(UniformRandomPattern(BASE, REGION, seed=3), 2000)
+        distinct = len(set(addresses))
+        assert distinct > 1500  # little repetition over 16K lines
+
+    def test_deterministic(self):
+        a = take(UniformRandomPattern(BASE, REGION, seed=4), 50)
+        b = take(UniformRandomPattern(BASE, REGION, seed=4), 50)
+        assert a == b
+
+
+class TestZipfPattern:
+    def test_skewed_popularity(self):
+        addresses = take(ZipfPattern(BASE, REGION, seed=5, alpha=0.8), 5000)
+        counts = {}
+        for address in addresses:
+            counts[address] = counts.get(address, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:10]
+        # Hot lines absorb far more than a uniform share (5000/16384 < 1).
+        assert top[0] > 20
+
+    def test_in_region(self):
+        for address in take(ZipfPattern(BASE, REGION, seed=6), 300):
+            assert BASE <= address < BASE + REGION
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPattern(BASE, REGION, seed=1, alpha=0)
+        with pytest.raises(ValueError):
+            ZipfPattern(BASE, REGION, seed=1, hot_fraction=0)
+
+
+class TestPointerChasePattern:
+    def test_deterministic_chain(self):
+        a = take(PointerChasePattern(BASE, REGION, seed=7), 100)
+        b = take(PointerChasePattern(BASE, REGION, seed=7), 100)
+        assert a == b
+
+    def test_chain_jumps_between_bursts(self):
+        # With bursts disabled, consecutive addresses rarely adjoin.
+        pattern = PointerChasePattern(BASE, REGION, seed=8, burst_lines=1)
+        addresses = take(pattern, 1000)
+        sequential = sum(
+            1 for x, y in zip(addresses, addresses[1:]) if abs(y - x) == 64
+        )
+        assert sequential < 50
+
+    def test_burst_adds_spatial_locality(self):
+        pattern = PointerChasePattern(BASE, REGION, seed=8, burst_lines=3)
+        addresses = take(pattern, 1000)
+        sequential = sum(
+            1 for x, y in zip(addresses, addresses[1:]) if y - x == 64
+        )
+        assert sequential > 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PointerChasePattern(BASE, REGION, seed=1, restart_probability=1.5)
+
+
+class TestMixedPattern:
+    def test_draws_from_subpatterns(self):
+        stream = StreamPattern(BASE, REGION, seed=1)
+        random_pattern = UniformRandomPattern(BASE + REGION, REGION, seed=2)
+        mixed = MixedPattern([stream, random_pattern], seed=3, phase_length=16)
+        addresses = take(mixed, 2000)
+        in_first = sum(1 for a in addresses if a < BASE + REGION)
+        assert 0 < in_first < 2000  # both sub-patterns contribute
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixedPattern([], seed=1)
+        with pytest.raises(ValueError):
+            MixedPattern([StreamPattern(BASE, REGION, seed=1)], seed=1,
+                         phase_length=0)
+
+
+class TestRegionValidation:
+    def test_too_small_region(self):
+        with pytest.raises(ValueError):
+            StreamPattern(BASE, 32, seed=1)
+
+    def test_unaligned_base(self):
+        with pytest.raises(ValueError):
+            StreamPattern(BASE + 3, REGION, seed=1)

@@ -1,0 +1,106 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    cid_collision_probability,
+    cid_table,
+    expected_accesses_per_collision,
+    format_table,
+    geometric_mean,
+    measure_collision_rate,
+    normalise,
+    probability_of_collision_within,
+)
+
+
+class TestCollisionMath:
+    def test_15_bit_probability(self):
+        # The paper's 0.003% figure.
+        assert cid_collision_probability(15) == pytest.approx(1 / 32768)
+
+    def test_expected_accesses(self):
+        # "a 15-bit CID collides only every 32K accesses" (Fig. 8).
+        assert expected_accesses_per_collision(15) == 32768
+
+    def test_probability_within_zero_accesses(self):
+        assert probability_of_collision_within(15, 0) == 0.0
+
+    def test_probability_within_is_monotone(self):
+        values = [probability_of_collision_within(15, n) for n in
+                  (1, 100, 10000, 32768, 100000)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+    def test_probability_at_expected_point(self):
+        # P(collision within 32K accesses) = 1 - (1-p)^(1/p) ~ 63%.
+        p = probability_of_collision_within(15, 32768)
+        assert p == pytest.approx(1 - 1 / 2.718281828, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cid_collision_probability(0)
+        with pytest.raises(ValueError):
+            probability_of_collision_within(15, -1)
+
+
+class TestCidTable:
+    def test_table1_rows(self):
+        rows = cid_table()
+        assert [r["cid_bits"] for r in rows] == [15, 14, 13]
+        assert [r["info_bits"] for r in rows] == [0, 1, 2]
+        assert rows[0]["collision_probability"] == pytest.approx(0.00003, abs=2e-6)
+        assert rows[1]["collision_probability"] == pytest.approx(0.00006, abs=2e-6)
+        # Paper rounds 2^-13 = 0.000122 to "0.01 %".
+        assert rows[2]["collision_probability"] == pytest.approx(2**-13)
+
+
+class TestEmpiricalRate:
+    def test_8_bit_cid_measured(self):
+        collisions, rate = measure_collision_rate(cid_bits=8, trials=4096)
+        expected = 1 / 256
+        # 3-sigma binomial band.
+        sigma = (expected / 4096) ** 0.5
+        assert rate == pytest.approx(expected, abs=3 * sigma + 1e-4)
+
+    def test_with_info_bits(self):
+        collisions, rate = measure_collision_rate(cid_bits=8, trials=2048,
+                                                  info_bits=1)
+        assert 0 <= rate < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_collision_rate(cid_bits=8, trials=0)
+
+
+class TestReportHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalise(self):
+        out = normalise({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_normalise_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalise({"a": 0.0}, "a")
+
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["x", 1.5], ["yy", 2.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in text
+        assert "yy" in text
+
+    def test_format_empty_table(self):
+        text = format_table(["a"], [])
+        assert "a" in text

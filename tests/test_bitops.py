@@ -1,0 +1,107 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+
+from repro.util.bitops import (
+    bytes_to_words,
+    extract_bits,
+    fits_signed,
+    fits_unsigned,
+    insert_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    words_to_bytes,
+)
+
+
+class TestWordConversion:
+    def test_roundtrip_u32(self):
+        data = bytes(range(16))
+        assert words_to_bytes(bytes_to_words(data, 4), 4) == data
+
+    def test_roundtrip_u64(self):
+        data = bytes(range(64))
+        assert words_to_bytes(bytes_to_words(data, 8), 8) == data
+
+    def test_little_endian(self):
+        assert bytes_to_words(b"\x01\x00\x00\x02", 4) == [0x02000001]
+
+    def test_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00\x01\x02", 2)
+
+    def test_rejects_nonpositive_word_size(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"", 0)
+        with pytest.raises(ValueError):
+            words_to_bytes([1], -1)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([256], 1)
+        with pytest.raises(ValueError):
+            words_to_bytes([-1], 1)
+
+
+class TestSignedness:
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+    def test_to_signed_positive(self):
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(0, 8) == 0
+
+    def test_to_unsigned_roundtrip(self):
+        for value in (-128, -1, 0, 1, 127):
+            assert to_signed(to_unsigned(value, 8), 8) == value
+
+    def test_sign_extend(self):
+        assert sign_extend(0b1111, 4) == -1
+        assert sign_extend(0b0111, 4) == 7
+        assert sign_extend(0x80, 8) == -128
+
+    def test_fits_signed_boundaries(self):
+        assert fits_signed(127, 8)
+        assert fits_signed(-128, 8)
+        assert not fits_signed(128, 8)
+        assert not fits_signed(-129, 8)
+
+    def test_fits_unsigned_boundaries(self):
+        assert fits_unsigned(255, 8)
+        assert not fits_unsigned(256, 8)
+        assert not fits_unsigned(-1, 8)
+
+
+class TestBitFields:
+    def test_extract_top_bits(self):
+        data = bytes([0b10110010, 0b01000000])
+        assert extract_bits(data, 0, 4) == 0b1011
+        assert extract_bits(data, 4, 6) == 0b001001
+
+    def test_insert_then_extract(self):
+        data = bytes(8)
+        updated = insert_bits(data, 3, 10, 0x2AB)
+        assert extract_bits(updated, 3, 10) == 0x2AB
+
+    def test_insert_preserves_neighbours(self):
+        data = bytes([0xFF] * 4)
+        updated = insert_bits(data, 8, 8, 0)
+        assert updated == bytes([0xFF, 0x00, 0xFF, 0xFF])
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(ValueError):
+            extract_bits(bytes(2), 10, 8)
+
+    def test_insert_value_too_big(self):
+        with pytest.raises(ValueError):
+            insert_bits(bytes(2), 0, 4, 16)
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(ValueError):
+            insert_bits(bytes(1), 4, 8, 0)
+
+    def test_extract_negative_offset(self):
+        with pytest.raises(ValueError):
+            extract_bits(bytes(2), -1, 4)

@@ -1,0 +1,88 @@
+"""Unit tests for the MSB-first bit stream codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        assert BitWriter().to_bytes() == b""
+
+    def test_single_byte(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        assert writer.to_bytes() == b"\xab"
+
+    def test_padding_is_zero_bits(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.to_bytes() == bytes([0b10100000])
+
+    def test_bit_length_tracks_writes(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        writer.write(0, 5)
+        writer.write(7, 9)
+        assert writer.bit_length == 17
+
+    def test_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+
+class TestBitReader:
+    def test_read_back_fields(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0x5A, 8)
+        writer.write(0x3FF, 10)
+        reader = BitReader(writer.to_bytes())
+        assert reader.read(3) == 0b101
+        assert reader.read(8) == 0x5A
+        assert reader.read(10) == 0x3FF
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\x00")
+        reader.read(8)
+        with pytest.raises(ValueError):
+            reader.read(1)
+
+    def test_remaining_bits(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.remaining_bits == 16
+        reader.read(5)
+        assert reader.remaining_bits == 11
+
+    def test_zero_width_read(self):
+        assert BitReader(b"").read(0) == 0
+
+    def test_negative_read(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read(-1)
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=24), st.data()),
+            min_size=0,
+            max_size=32,
+        )
+    )
+    def test_arbitrary_field_sequences_roundtrip(self, specs):
+        writer = BitWriter()
+        expected = []
+        for bit_count, data in specs:
+            value = data.draw(st.integers(min_value=0, max_value=(1 << bit_count) - 1))
+            writer.write(value, bit_count)
+            expected.append((value, bit_count))
+        reader = BitReader(writer.to_bytes())
+        for value, bit_count in expected:
+            assert reader.read(bit_count) == value

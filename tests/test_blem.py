@@ -1,0 +1,192 @@
+"""Unit tests for the Blended Metadata Engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import BdiCompressor, CompressionEngine
+from repro.core.blem import BlemConfig, BlemEngine, SUBRANK_BYTES
+from repro.scramble import DataScrambler
+from repro.util.bitops import CACHELINE_BYTES, extract_bits
+
+
+@pytest.fixture
+def blem():
+    return BlemEngine(CompressionEngine(), DataScrambler(seed=42))
+
+
+def compressible_line():
+    return (1000).to_bytes(8, "little") * 8
+
+
+def incompressible_line(salt=0):
+    import hashlib
+
+    return b"".join(
+        hashlib.sha256(bytes([i, salt])).digest()[:8] for i in range(8)
+    )
+
+
+class TestBlemConfig:
+    def test_default_header_fits_two_bytes(self):
+        config = BlemConfig()
+        assert config.header_bits() == 16
+        assert config.xid_bit_offset == 15
+
+    def test_collision_probability(self):
+        assert BlemConfig(cid_bits=15, info_bits=0).collision_probability == 2**-15
+        assert BlemConfig(cid_bits=14, info_bits=1).collision_probability == 2**-14
+
+    def test_rejects_oversized_header(self):
+        with pytest.raises(ValueError):
+            BlemConfig(cid_bits=15, info_bits=2)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            BlemConfig(cid_bits=0)
+        with pytest.raises(ValueError):
+            BlemConfig(info_bits=-1)
+
+    def test_info_bits_zero_requires_single_algorithm(self):
+        with pytest.raises(ValueError):
+            BlemEngine(
+                CompressionEngine(),
+                DataScrambler(1),
+                BlemConfig(cid_bits=15, info_bits=0),
+            )
+        # Single-algorithm engine is fine.
+        engine = CompressionEngine(algorithms=[BdiCompressor()])
+        BlemEngine(engine, DataScrambler(1), BlemConfig(cid_bits=15, info_bits=0))
+
+
+class TestWriteEncoding:
+    def test_compressed_line_gets_header(self, blem):
+        stored, spilled = blem.encode_write(0x1000, compressible_line(), 0)
+        assert stored.is_compressed
+        assert spilled is None
+        half = stored.primary_half()
+        assert extract_bits(half, 0, blem.config.cid_bits) == blem.cid
+        assert extract_bits(half, blem.config.xid_bit_offset, 1) == 0
+
+    def test_uncompressed_line_stored_scrambled(self, blem):
+        data = incompressible_line()
+        stored, spilled = blem.encode_write(0x2000, data, 0)
+        assert not stored.is_compressed
+        assert spilled is None or stored.collision
+        assert stored.assembled() != data  # scrambled
+
+    def test_primary_subrank_holds_header(self, blem):
+        stored, __ = blem.encode_write(0x1000, compressible_line(), 1)
+        assert stored.primary == 1
+        assert blem.classify_half(stored.halves[1]) == "compressed"
+
+    def test_rejects_wrong_length(self, blem):
+        with pytest.raises(ValueError):
+            blem.encode_write(0, bytes(32), 0)
+
+    def test_rejects_bad_subrank(self, blem):
+        with pytest.raises(ValueError):
+            blem.encode_write(0, bytes(64), 2)
+
+    def test_stats_count_writes(self, blem):
+        blem.encode_write(0, compressible_line(), 0)
+        blem.encode_write(64, incompressible_line(), 0)
+        assert blem.stats.writes_compressed == 1
+        assert blem.stats.writes_uncompressed == 1
+
+
+class TestReadClassification:
+    def test_compressed_roundtrip(self, blem):
+        data = compressible_line()
+        stored, __ = blem.encode_write(0x1000, data, 0)
+        assert blem.classify_half(stored.primary_half()) == "compressed"
+        assert blem.decode_read(0x1000, stored) == data
+
+    def test_uncompressed_roundtrip(self, blem):
+        data = incompressible_line()
+        stored, spilled = blem.encode_write(0x2000, data, 0)
+        if not stored.collision:
+            assert blem.classify_half(stored.primary_half()) == "uncompressed"
+            assert blem.decode_read(0x2000, stored) == data
+
+    def test_uncompressed_roundtrip_primary_one(self, blem):
+        data = incompressible_line(salt=3)
+        stored, __ = blem.encode_write(0x3000, data, 1)
+        if not stored.collision:
+            assert blem.decode_read(0x3000, stored) == data
+
+    def test_classify_rejects_bad_half(self, blem):
+        with pytest.raises(ValueError):
+            blem.classify_half(bytes(16))
+
+    def test_collision_requires_ra_bit(self, blem):
+        stored = self._force_collision(blem)
+        with pytest.raises(ValueError):
+            blem.decode_read(stored[0], stored[1])
+
+    @staticmethod
+    def _force_collision(blem):
+        # Search addresses until the scrambled top bits hit the CID.
+        data = incompressible_line()
+        for address in range(0, 1 << 26, 64):
+            stored, spilled = blem.encode_write(address, data, 0)
+            if stored.collision:
+                return address, stored, spilled, data
+        pytest.skip("no collision found in search range")
+
+    def test_collision_roundtrip_with_ra_bit(self, blem):
+        address, stored, spilled, data = self._force_collision(blem)
+        assert spilled in (0, 1)
+        assert blem.classify_half(stored.primary_half()) == "collision"
+        assert blem.decode_read(address, stored, spilled_bit=spilled) == data
+
+    def test_collision_counted(self, blem):
+        self._force_collision(blem)
+        assert blem.stats.write_collisions >= 1
+
+
+class TestCollisionProbability:
+    def test_collision_rate_matches_cid_length(self):
+        # With an 8-bit CID, ~1/256 of uncompressed lines collide;
+        # measure over 8K lines and allow 3-sigma slack.
+        engine = CompressionEngine()
+        blem = BlemEngine(
+            engine, DataScrambler(7),
+            BlemConfig(cid_bits=8, info_bits=1, header_bits_budget=16),
+        )
+        data = incompressible_line()
+        collisions = 0
+        trials = 8192
+        for i in range(trials):
+            stored, __ = blem.encode_write(i * 64, data, 0)
+            if stored.collision:
+                collisions += 1
+        expected = trials / 256
+        assert collisions == pytest.approx(expected, abs=3 * expected**0.5 + 1)
+
+    def test_collision_rate_property(self):
+        engine = CompressionEngine()
+        blem = BlemEngine(engine, DataScrambler(9))
+        data = incompressible_line()
+        for i in range(100):
+            blem.encode_write(i * 64, data, 0)
+        assert 0.0 <= blem.stats.collision_rate <= 1.0
+
+
+class TestEndToEndProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES),
+        address=st.integers(min_value=0, max_value=2**30).map(lambda a: a * 64),
+        primary=st.integers(min_value=0, max_value=1),
+    )
+    def test_any_line_roundtrips(self, data, address, primary):
+        blem = BlemEngine(CompressionEngine(), DataScrambler(seed=1234))
+        stored, spilled = blem.encode_write(address, data, primary)
+        decoded = blem.decode_read(address, stored, spilled_bit=spilled)
+        assert decoded == data
+
+    def test_half_sizes(self):
+        blem = BlemEngine(CompressionEngine(), DataScrambler(seed=5))
+        stored, __ = blem.encode_write(0, compressible_line(), 0)
+        assert all(len(half) == SUBRANK_BYTES for half in stored.halves)

@@ -1,0 +1,122 @@
+"""Unit tests for the Bit-Plane Compression codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import BpcCompressor, DecompressionError
+from repro.compression.bpc import _ALL_ONES_PLANE, _DELTA_BITS
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@pytest.fixture
+def bpc():
+    return BpcCompressor()
+
+
+def line_of_u32(values):
+    assert len(values) == 16
+    return b"".join(v.to_bytes(4, "little") for v in values)
+
+
+class TestTransforms:
+    def test_planes_roundtrip(self, bpc):
+        words = [100 + 7 * i for i in range(16)]
+        planes = bpc._to_planes(words)
+        assert len(planes) == _DELTA_BITS
+        assert bpc._from_planes(words[0], planes) == words
+
+    def test_constant_words_give_zero_planes(self, bpc):
+        planes = bpc._to_planes([42] * 16)
+        assert all(p == 0 for p in planes)
+
+    def test_constant_deltas_give_sparse_planes(self, bpc):
+        planes = bpc._to_planes([i * 4 for i in range(16)])
+        # delta = 4 everywhere: only bit-plane 2 is populated.
+        non_zero = [i for i, p in enumerate(planes) if p != 0]
+        assert non_zero == [2]
+        assert planes[2] == _ALL_ONES_PLANE
+
+    def test_negative_deltas(self, bpc):
+        words = [(1000 - i) % (1 << 32) for i in range(16)]
+        planes = bpc._to_planes(words)
+        assert bpc._from_planes(words[0], planes) == words
+
+
+class TestRoundTrips:
+    def test_linear_ramp_compresses_hard(self, bpc):
+        data = line_of_u32([i * 4 for i in range(16)])
+        block = bpc.compress(data)
+        assert block is not None
+        assert block.size <= 12  # base + a couple of plane codes
+        assert bpc.decompress(block.payload) == data
+
+    def test_constant_line(self, bpc):
+        data = line_of_u32([0xABCD1234] * 16)
+        block = bpc.compress(data)
+        assert block is not None
+        assert bpc.decompress(block.payload) == data
+
+    def test_noisy_low_bits(self, bpc):
+        # Counters with small noise: high planes stay zero.
+        data = line_of_u32([1000 + 16 * i + (i % 3) for i in range(16)])
+        block = bpc.compress(data)
+        assert block is not None
+        assert block.size < 40
+        assert bpc.decompress(block.payload) == data
+
+    def test_wraparound_words(self, bpc):
+        data = line_of_u32([(0xFFFFFFF0 + i) % (1 << 32) for i in range(16)])
+        block = bpc.compress(data)
+        assert block is not None
+        assert bpc.decompress(block.payload) == data
+
+    def test_incompressible_returns_none_or_roundtrips(self, bpc):
+        import hashlib
+
+        data = b"".join(hashlib.sha256(bytes([i])).digest()[:4] for i in range(16))
+        block = bpc.compress(data)
+        if block is not None:
+            assert bpc.decompress(block.payload) == data
+
+    def test_prefix_decode_with_padding(self, bpc):
+        data = line_of_u32([7 * i for i in range(16)])
+        block = bpc.compress(data)
+        padded = block.payload + bytes(30 - len(block.payload))
+        assert bpc.decompress_prefix(padded) == data
+
+
+class TestErrors:
+    def test_wrong_line_size(self, bpc):
+        with pytest.raises(ValueError):
+            bpc.compress(bytes(16))
+
+    def test_truncated(self, bpc):
+        with pytest.raises(DecompressionError):
+            bpc.decompress(b"\x00\x01")
+
+    def test_trailing_garbage(self, bpc):
+        block = bpc.compress(line_of_u32([i for i in range(16)]))
+        with pytest.raises(DecompressionError):
+            bpc.decompress(block.payload + b"\xff")
+
+
+class TestProperties:
+    @given(st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES))
+    def test_any_compressed_line_roundtrips(self, data):
+        bpc = BpcCompressor()
+        block = bpc.compress(data)
+        if block is not None:
+            assert bpc.decompress(block.payload) == data
+
+    @given(
+        base=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        step=st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_arithmetic_sequences_always_compress(self, base, step):
+        bpc = BpcCompressor()
+        words = [(base + i * step) % (1 << 32) for i in range(16)]
+        data = line_of_u32(words)
+        block = bpc.compress(data)
+        assert block is not None
+        assert bpc.decompress(block.payload) == data

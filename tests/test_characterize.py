@@ -1,0 +1,74 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.workloads import build_workload
+from repro.workloads.characterize import characterize, characterize_benchmark
+
+
+def small(name, **kwargs):
+    defaults = dict(cores=2, records_per_core=2500, seed=6,
+                    footprint_scale=1 / 64, llc_bytes=64 * 1024)
+    defaults.update(kwargs)
+    return characterize_benchmark(name, **defaults)
+
+
+class TestCharacterize:
+    def test_stream_is_sequential(self):
+        stats = small("STREAM")
+        assert stats.sequential_fraction > 0.8
+
+    def test_rand_is_not_sequential(self):
+        stats = small("RAND")
+        assert stats.sequential_fraction < 0.2
+
+    def test_memory_intensity_criterion(self):
+        # The paper selects benchmarks with LLC MPKI > 1; every profile
+        # must satisfy it by a wide margin at this LLC size.
+        for name in ("mcf", "lbm", "bc.kron", "RAND"):
+            assert small(name).llc_mpki > 1.0, name
+
+    def test_store_fraction_tracks_profile(self):
+        from repro.workloads import get_profile
+
+        stats = small("lbm")
+        assert stats.store_fraction == pytest.approx(
+            get_profile("lbm").write_fraction, abs=0.05
+        )
+
+    def test_compressibility_tracks_profile(self):
+        stats = small("libquantum")
+        assert stats.compressible_fraction < 0.2
+        stats = small("mcf")
+        assert stats.compressible_fraction > 0.5
+
+    def test_footprint_accounting(self):
+        stats = small("STREAM")
+        assert stats.footprint_bytes == stats.distinct_lines * 64
+        assert stats.distinct_pages <= stats.distinct_lines
+
+    def test_zipf_spreads_over_more_pages_than_stream(self):
+        # A sequential sweep exhausts each page (64 accesses/page);
+        # zipf traffic scatters over many more distinct pages.
+        zipf = small("omnetpp")
+        stream = small("STREAM")
+        assert zipf.distinct_pages > stream.distinct_pages
+        assert stream.page_reuse > zipf.page_reuse
+
+    def test_as_dict_roundtrip(self):
+        stats = small("milc")
+        d = stats.as_dict()
+        assert d["memory_ops"] == stats.memory_ops
+        assert set(d) >= {"llc_mpki", "sequential_fraction",
+                          "compressible_fraction"}
+
+    def test_characterize_consumes_instance(self):
+        workload = build_workload("lbm", cores=2, records_per_core=500,
+                                  seed=6, footprint_scale=1 / 64)
+        stats = characterize(workload, llc_bytes=64 * 1024)
+        assert stats.memory_ops == 1000
+
+    def test_mix_characterization(self):
+        stats = small("mix1", cores=8, records_per_core=800)
+        assert stats.memory_ops == 8 * 800
+        assert 0.2 < stats.compressible_fraction < 0.8

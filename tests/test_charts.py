@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="T", width=20)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "1.000" in lines[1]
+        assert "2.000" in lines[2]
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        first, second = chart.splitlines()
+        assert first.count("#") < second.count("#")
+
+    def test_baseline_marker_drawn(self):
+        chart = bar_chart(["a"], [0.5], width=20, baseline=1.0)
+        assert "|" in chart or "+" in chart
+
+    def test_baseline_inside_bar_uses_plus(self):
+        chart = bar_chart(["a"], [2.0], width=20, baseline=1.0)
+        assert "+" in chart
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["a"], [1.0], width=20, unit="%")
+        assert "1.000%" in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 1.0], width=20)
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=2)
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestGroupedBarChart:
+    def test_groups_per_label(self):
+        chart = grouped_bar_chart(
+            ["mcf", "lbm"],
+            {"attache": [1.1, 1.2], "ideal": [1.2, 1.3]},
+            title="G",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "G"
+        assert "mcf" in chart and "lbm" in chart
+        assert chart.count("attache") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {})

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "attache"
+        assert args.benchmark == "mcf"
+        assert args.seed == 2018
+
+    def test_compare_systems(self):
+        args = build_parser().parse_args(
+            ["compare", "--systems", "baseline", "attache"]
+        )
+        assert args.systems == ["baseline", "attache"]
+
+    def test_invalid_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "warp-drive"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "RAND" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--benchmark", "STREAM", "--system", "attache",
+            "--cores", "2", "--records", "300", "--warmup", "300",
+            "--scale-factor", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COPR accuracy" in out
+        assert "runtime" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--benchmark", "STREAM",
+            "--systems", "baseline", "ideal",
+            "--cores", "2", "--records", "300", "--warmup", "0",
+            "--scale-factor", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "ideal" in out
+
+    def test_functional_both_models(self, capsys):
+        code = main([
+            "functional", "--benchmark", "lbm", "--mdcache", "--copr",
+            "--cores", "2", "--records", "1500", "--scale-factor", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metadata hit rate" in out
+        assert "COPR accuracy" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--benchmark", "doom", "--records", "10",
+                  "--cores", "1"])
+
+    def test_sweep_to_stdout(self, capsys):
+        code = main([
+            "sweep", "--benchmarks", "STREAM", "--systems", "baseline",
+            "--cores", "2", "--records", "200", "--warmup", "0",
+            "--scale-factor", "64", "--metrics", "ipc",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "benchmark,system,seed,ipc"
+        assert "STREAM,baseline" in out
+
+    def test_sweep_to_file(self, tmp_path, capsys):
+        target = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "--benchmarks", "STREAM", "--systems", "baseline",
+            "--cores", "2", "--records", "200", "--warmup", "0",
+            "--scale-factor", "64", "--output", str(target),
+        ])
+        assert code == 0
+        assert target.exists()
+        assert "STREAM" in target.read_text()

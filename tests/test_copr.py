@@ -1,0 +1,204 @@
+"""Unit tests for the COPR predictor."""
+
+import pytest
+
+from repro.core.copr import (
+    CoprConfig,
+    CoprPredictor,
+    GlobalIndicator,
+    LinePredictor,
+    PagePredictor,
+)
+
+MEM = 16 * 1024**3
+
+
+class TestGlobalIndicator:
+    def test_starts_pessimistic(self):
+        gi = GlobalIndicator(MEM)
+        assert not gi.predicts_compressible(0)
+
+    def test_saturating_increment(self):
+        gi = GlobalIndicator(MEM)
+        for _ in range(10):
+            gi.update(0, True)
+        assert gi.counters[0] == 3
+        assert gi.predicts_compressible(0)
+
+    def test_reset_on_incompressible(self):
+        gi = GlobalIndicator(MEM)
+        for _ in range(3):
+            gi.update(0, True)
+        gi.update(0, False)
+        assert gi.counters[0] == 0
+
+    def test_regions_are_independent(self):
+        gi = GlobalIndicator(MEM, regions=8)
+        region_size = MEM // 8
+        for _ in range(3):
+            gi.update(0, True)
+        assert gi.predicts_compressible(0)
+        assert not gi.predicts_compressible(region_size * 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalIndicator(0)
+        with pytest.raises(ValueError):
+            GlobalIndicator(MEM, regions=0)
+        with pytest.raises(ValueError):
+            GlobalIndicator(MEM, threshold=4)
+
+
+class TestPagePredictor:
+    def test_miss_returns_none(self):
+        papr = PagePredictor(entries=64, ways=4)
+        assert papr.predict(5) is None
+
+    def test_counter_training(self):
+        papr = PagePredictor(entries=64, ways=4)
+        papr.update(5, True, gi_seed=False)  # allocate at 0, +1 -> 1
+        assert papr.predict(5) is False
+        papr.update(5, True, gi_seed=False)  # -> 2
+        assert papr.predict(5) is True
+
+    def test_gi_seed_starts_high(self):
+        papr = PagePredictor(entries=64, ways=4)
+        papr.update(7, True, gi_seed=True)  # allocate at 3 (saturates)
+        assert papr.predict(7) is True
+
+    def test_decrement_on_incompressible(self):
+        papr = PagePredictor(entries=64, ways=4)
+        papr.update(7, True, gi_seed=True)
+        papr.update(7, False, gi_seed=True)
+        papr.update(7, False, gi_seed=True)
+        assert papr.predict(7) is False
+
+    def test_lru_eviction(self):
+        papr = PagePredictor(entries=4, ways=2)
+        # Pages 0, 2, 4 map to the same set (2 sets).
+        papr.update(0, True, gi_seed=True)
+        papr.update(2, True, gi_seed=True)
+        papr.update(4, True, gi_seed=True)  # evicts page 0
+        assert papr.predict(0) is None
+        assert papr.predict(2) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagePredictor(entries=0)
+        with pytest.raises(ValueError):
+            PagePredictor(entries=10, ways=3)
+
+
+class TestLinePredictor:
+    def test_miss_returns_none(self):
+        lipr = LinePredictor(entries=64, ways=4)
+        assert lipr.predict(1, 0) is None
+
+    def test_single_line_update(self):
+        lipr = LinePredictor(entries=64, ways=4)
+        lipr.update(1, 5, True, page_uniform=False, seed_compressible=False)
+        assert lipr.predict(1, 5) is True
+        assert lipr.predict(1, 6) is False  # untouched neighbour
+
+    def test_uniform_page_updates_all_lines(self):
+        lipr = LinePredictor(entries=64, ways=4)
+        lipr.update(1, 5, True, page_uniform=True, seed_compressible=False)
+        assert all(lipr.predict(1, i) for i in range(64))
+
+    def test_seed_polarity(self):
+        lipr = LinePredictor(entries=64, ways=4)
+        lipr.update(2, 0, False, page_uniform=False, seed_compressible=True)
+        assert lipr.predict(2, 0) is False  # corrected bit
+        assert lipr.predict(2, 1) is True  # seeded bit
+
+    def test_out_of_range_line(self):
+        lipr = LinePredictor(entries=64, ways=4)
+        with pytest.raises(ValueError):
+            lipr.update(1, 64, True, None, False)
+
+
+class TestCoprConfig:
+    def test_requires_some_component(self):
+        with pytest.raises(ValueError):
+            CoprConfig(
+                use_global_indicator=False,
+                use_page_predictor=False,
+                use_line_predictor=False,
+            )
+
+    def test_ablation_configs_build(self):
+        for config in (
+            CoprConfig(use_line_predictor=False, use_global_indicator=False),
+            CoprConfig(use_line_predictor=False),
+            CoprConfig(),
+        ):
+            CoprPredictor(MEM, config)
+
+
+class TestCoprPredictor:
+    def test_learns_uniform_stream(self):
+        copr = CoprPredictor(MEM)
+        # Warm up: everything compressible.
+        for i in range(200):
+            address = i * 64
+            predicted = copr.predict(address)
+            copr.update(address, True, predicted=predicted)
+        # After warm-up, predictions should be overwhelmingly correct.
+        correct = 0
+        for i in range(200, 400):
+            address = i * 64
+            if copr.predict(address) is True:
+                correct += 1
+            copr.update(address, True)
+        assert correct > 150
+
+    def test_learns_per_page_polarity(self):
+        copr = CoprPredictor(MEM)
+        # Page 0 compressible, page 1 not; alternate visits.
+        for _ in range(4):
+            for line in range(64):
+                a0 = line * 64
+                a1 = 4096 + line * 64
+                copr.update(a0, True, predicted=copr.predict(a0))
+                copr.update(a1, False, predicted=copr.predict(a1))
+        assert copr.predict(0) is True
+        assert copr.predict(4096) is False
+
+    def test_mixed_page_uses_line_predictor(self):
+        copr = CoprPredictor(MEM, CoprConfig())
+        # Even lines compressible, odd lines not, in one page.
+        for _ in range(6):
+            for line in range(64):
+                address = line * 64
+                copr.update(address, line % 2 == 0,
+                            predicted=copr.predict(address))
+        correct = sum(
+            1 for line in range(64)
+            if copr.predict(line * 64) == (line % 2 == 0)
+        )
+        assert correct > 48
+
+    def test_accuracy_stats(self):
+        copr = CoprPredictor(MEM)
+        for i in range(100):
+            address = i * 64
+            predicted = copr.predict(address)
+            copr.update(address, True, predicted=predicted)
+        assert copr.stats.predictions == 100
+        assert 0.0 <= copr.stats.accuracy <= 1.0
+        assert sum(copr.stats.by_source.values()) == 100
+
+    def test_update_without_prediction_records_nothing(self):
+        copr = CoprPredictor(MEM)
+        copr.update(0, True)
+        assert copr.stats.predictions == 0
+
+    def test_papr_only_configuration(self):
+        copr = CoprPredictor(
+            MEM,
+            CoprConfig(use_global_indicator=False, use_line_predictor=False),
+        )
+        for i in range(100):
+            address = i * 64
+            copr.update(address, True, predicted=copr.predict(address))
+        assert copr.predict(0) is True

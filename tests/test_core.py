@@ -1,0 +1,113 @@
+"""Unit tests for the OoO core approximation."""
+
+import pytest
+
+from repro.cpu import Core, MemOp, TraceRecord
+
+
+def make_trace(n, gap=4, op=MemOp.LOAD):
+    return [TraceRecord(gap=gap, op=op, address=i * 64) for i in range(n)]
+
+
+class TestIssue:
+    def test_time_advances_by_gap_over_width(self):
+        core = Core(0, make_trace(2, gap=8), issue_width=4)
+        core.issue_next()
+        assert core.time == pytest.approx(2.0)
+        core.issue_next()
+        assert core.time == pytest.approx(4.0)
+
+    def test_next_issue_time_previews_clock(self):
+        core = Core(0, make_trace(1, gap=8), issue_width=4)
+        assert core.next_issue_time() == pytest.approx(2.0)
+
+    def test_finished_after_trace(self):
+        core = Core(0, make_trace(1))
+        assert not core.finished
+        core.issue_next()
+        assert core.finished
+        assert core.next_issue_time() is None
+
+    def test_issue_after_finish_raises(self):
+        core = Core(0, [])
+        with pytest.raises(RuntimeError):
+            core.issue_next()
+
+    def test_instruction_accounting(self):
+        core = Core(0, make_trace(3, gap=10))
+        for _ in range(3):
+            core.issue_next()
+        assert core.stats.instructions == 33  # (10 + 1) x 3
+        assert core.stats.loads == 3
+
+    def test_store_accounting(self):
+        core = Core(0, make_trace(2, op=MemOp.STORE))
+        core.issue_next()
+        core.issue_next()
+        assert core.stats.stores == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Core(0, [], issue_width=0)
+        with pytest.raises(ValueError):
+            Core(0, [], max_outstanding=0)
+
+
+class TestMissWindow:
+    def test_window_fills_and_blocks(self):
+        core = Core(0, make_trace(10), max_outstanding=2)
+        core.issue_next()
+        core.register_miss()
+        core.issue_next()
+        core.register_miss()
+        assert core.window_full
+        assert core.next_issue_time() is None
+        with pytest.raises(RuntimeError):
+            core.issue_next()
+
+    def test_head_completion_unblocks_and_jumps_clock(self):
+        core = Core(0, make_trace(10, gap=0), max_outstanding=2)
+        core.issue_next()
+        t0 = core.register_miss()
+        core.issue_next()
+        core.register_miss()
+        assert core.window_full
+        core.complete_miss(t0, core_time=500.0)
+        assert not core.window_full
+        assert core.time == pytest.approx(500.0)
+        assert core.stats.stall_cycles == pytest.approx(500.0)
+
+    def test_out_of_order_completion_keeps_blocking(self):
+        core = Core(0, make_trace(10, gap=0), max_outstanding=2)
+        core.issue_next()
+        t0 = core.register_miss()
+        core.issue_next()
+        t1 = core.register_miss()
+        core.complete_miss(t1, core_time=100.0)  # younger done first
+        assert core.window_full  # head still outstanding
+        core.complete_miss(t0, core_time=300.0)
+        assert core.outstanding == 0
+        assert core.time == pytest.approx(300.0)
+
+    def test_completion_without_stall_does_not_jump(self):
+        core = Core(0, make_trace(10, gap=0), max_outstanding=4)
+        core.issue_next()
+        t0 = core.register_miss()
+        core.complete_miss(t0, core_time=250.0)
+        assert core.time == pytest.approx(0.0)  # OoO hid the latency
+        assert core.last_completion == pytest.approx(250.0)
+
+    def test_drained(self):
+        core = Core(0, make_trace(1, gap=0))
+        core.issue_next()
+        token = core.register_miss()
+        assert core.finished and not core.drained
+        core.complete_miss(token, core_time=10.0)
+        assert core.drained
+
+    def test_completion_time_covers_inflight(self):
+        core = Core(0, make_trace(1, gap=0))
+        core.issue_next()
+        token = core.register_miss()
+        core.complete_miss(token, core_time=750.0)
+        assert core.completion_time == pytest.approx(750.0)

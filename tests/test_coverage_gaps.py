@@ -1,0 +1,119 @@
+"""Targeted tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.compression import BdiCompressor, CompressedBlock, DecompressionError
+from repro.dram import MainMemory, RequestKind, SystemConfig
+from repro.dram.memory_system import MemoryStats
+from repro.scramble import DataScrambler
+from repro.workloads import DataModel, DataProfile
+from repro.workloads.tracegen import CompositeDataModel
+
+
+class TestBdiPayloadLength:
+    def test_lengths_for_every_config(self):
+        bdi = BdiCompressor()
+        # zeros / repeat8 / (base,delta) geometries.
+        assert bdi.payload_length(bytes([0])) == 1
+        assert bdi.payload_length(bytes([1]) + bytes(8)) == 9
+        assert bdi.payload_length(bytes([2])) == 18  # b8d1
+        assert bdi.payload_length(bytes([3])) == 26  # b8d2
+        assert bdi.payload_length(bytes([5])) == 23  # b4d1
+
+    def test_length_matches_real_encodings(self):
+        bdi = BdiCompressor()
+        lines = [
+            bytes(64),
+            (0xABCD).to_bytes(8, "little") * 8,
+            b"".join((10_000 + i).to_bytes(8, "little") for i in range(8)),
+        ]
+        for line in lines:
+            block = bdi.compress(line)
+            assert bdi.payload_length(block.payload) == len(block.payload)
+
+    def test_errors(self):
+        bdi = BdiCompressor()
+        with pytest.raises(DecompressionError):
+            bdi.payload_length(b"")
+        with pytest.raises(DecompressionError):
+            bdi.payload_length(bytes([99]))
+        with pytest.raises(DecompressionError):
+            bdi.decompress_prefix(b"")
+
+
+class TestScramblerInstances:
+    def test_same_seed_same_keystream_across_instances(self):
+        a = DataScrambler(123)
+        b = DataScrambler(123)
+        assert a.keystream(0x40, 64) == b.keystream(0x40, 64)
+        assert a.seed == 123
+
+    def test_scramble_composes_with_any_instance(self):
+        data = bytes(range(64))
+        scrambled = DataScrambler(9).scramble(0x80, data)
+        assert DataScrambler(9).descramble(0x80, scrambled) == data
+
+
+class TestMemoryStats:
+    def test_count_kind_accumulates(self):
+        stats = MemoryStats()
+        stats.count_kind(RequestKind.DEMAND_READ)
+        stats.count_kind(RequestKind.DEMAND_READ)
+        stats.count_kind(RequestKind.REPLACEMENT_AREA_WRITE)
+        assert stats.requests_by_kind["demand_read"] == 2
+        assert stats.total_requests == 3
+
+    def test_full_line_mask_single_subrank(self):
+        from repro.dram import DramOrganization
+
+        memory = MainMemory(
+            SystemConfig(organization=DramOrganization(subranks=1))
+        )
+        assert memory.full_line_mask() == (0,)
+
+
+class TestCompositeDataModel:
+    def make_models(self):
+        return (
+            DataModel(DataProfile(1.0, 1.0), seed=1),
+            DataModel(DataProfile(0.0, 1.0), seed=2),
+        )
+
+    def test_routes_by_region(self):
+        a, b = self.make_models()
+        composite = CompositeDataModel([(0, 4096, a), (8192, 4096, b)])
+        assert composite.line_class(0) is True  # region a: compressible
+        assert composite.line_class(8192 // 64) is False  # region b
+
+    def test_overlap_rejected(self):
+        a, b = self.make_models()
+        with pytest.raises(ValueError):
+            CompositeDataModel([(0, 8192, a), (4096, 8192, b)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeDataModel([])
+
+    def test_out_of_region_defaults_to_first(self):
+        a, b = self.make_models()
+        composite = CompositeDataModel([(0, 4096, a), (8192, 4096, b)])
+        # Far outside any region (e.g. metadata space): served by model a.
+        assert composite.line_class(1 << 30) is True
+
+    def test_store_version_routing(self):
+        a, b = self.make_models()
+        composite = CompositeDataModel([(0, 4096, a), (8192, 4096, b)])
+        composite.note_store(0)
+        assert composite.version_of(0) == 1
+        assert b.version_of(0) == 0  # other region untouched
+
+
+class TestCompressedBlockBasics:
+    def test_ratio(self):
+        block = CompressedBlock("bdi", bytes(16))
+        assert block.ratio == pytest.approx(4.0)
+        assert block.size == 16
+
+    def test_zero_size_guard(self):
+        block = CompressedBlock("bdi", b"")
+        assert block.ratio == 64.0  # guarded division

@@ -1,0 +1,132 @@
+"""Unit tests for the C-Pack dictionary compressor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import CpackCompressor, DecompressionError
+from repro.compression.cpack import _Dictionary
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@pytest.fixture
+def cpack():
+    return CpackCompressor()
+
+
+def line_of_u32(values):
+    assert len(values) == 16
+    return b"".join(v.to_bytes(4, "little") for v in values)
+
+
+class TestDictionary:
+    def test_fifo_eviction(self):
+        d = _Dictionary()
+        for word in range(1, 20):
+            d.push(word)
+        assert d.find_full(1) is None  # evicted
+        assert d.find_full(19) is not None
+
+    def test_duplicates_not_reinserted(self):
+        d = _Dictionary()
+        d.push(5)
+        d.push(5)
+        assert d.find_full(5) == 0
+
+    def test_zero_never_stored(self):
+        d = _Dictionary()
+        d.push(0)
+        assert d.find_full(0) is None
+
+    def test_partial_match_24(self):
+        d = _Dictionary()
+        d.push(0x12345678)
+        assert d.find_partial(0x123456FF, keep_bits=24) == 0
+        assert d.find_partial(0x12FF5678, keep_bits=24) is None
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(DecompressionError):
+            _Dictionary().lookup(0)
+
+
+class TestRoundTrips:
+    def test_all_zeros(self, cpack):
+        block = cpack.compress(bytes(CACHELINE_BYTES))
+        assert block is not None
+        assert block.size <= 4  # 16 x 2-bit codes
+        assert cpack.decompress(block.payload) == bytes(CACHELINE_BYTES)
+
+    def test_repeated_word(self, cpack):
+        data = line_of_u32([0xCAFEBABE] * 16)
+        block = cpack.compress(data)
+        assert block is not None
+        # First word raw (36 bits), the rest 6-bit full matches.
+        assert block.size <= 16
+        assert cpack.decompress(block.payload) == data
+
+    def test_partial_matches(self, cpack):
+        data = line_of_u32([0x10000000 + i for i in range(16)])
+        block = cpack.compress(data)
+        assert block is not None
+        assert block.size < 40
+        assert cpack.decompress(block.payload) == data
+
+    def test_small_bytes(self, cpack):
+        data = line_of_u32([i for i in range(16)])
+        block = cpack.compress(data)
+        assert block is not None
+        assert cpack.decompress(block.payload) == data
+
+    def test_incompressible(self, cpack):
+        import hashlib
+
+        data = b"".join(hashlib.sha256(bytes([i])).digest()[:4] for i in range(16))
+        block = cpack.compress(data)
+        if block is not None:
+            assert cpack.decompress(block.payload) == data
+
+    def test_prefix_decode_with_padding(self, cpack):
+        data = line_of_u32([0x20000000] * 16)
+        block = cpack.compress(data)
+        assert block.size <= 30
+        padded = block.payload + bytes(30 - len(block.payload))
+        assert cpack.decompress_prefix(padded) == data
+
+
+class TestErrors:
+    def test_wrong_line_size(self, cpack):
+        with pytest.raises(ValueError):
+            cpack.compress(bytes(32))
+
+    def test_truncated_payload(self, cpack):
+        block = cpack.compress(bytes(CACHELINE_BYTES))
+        with pytest.raises(DecompressionError):
+            cpack.decompress(block.payload[:0])
+
+    def test_trailing_garbage(self, cpack):
+        block = cpack.compress(bytes(CACHELINE_BYTES))
+        with pytest.raises(DecompressionError):
+            cpack.decompress(block.payload + b"\xff")
+
+
+class TestProperties:
+    @given(st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES))
+    def test_any_compressed_line_roundtrips(self, data):
+        cpack = CpackCompressor()
+        block = cpack.compress(data)
+        if block is not None:
+            assert cpack.decompress(block.payload) == data
+            assert block.size < CACHELINE_BYTES
+
+    @given(
+        st.lists(
+            st.sampled_from([0, 1, 0xFF, 0x12345600, 0x12345678, 0xDEAD0000]),
+            min_size=16, max_size=16,
+        )
+    )
+    def test_patterned_lines_compress_and_roundtrip(self, words):
+        cpack = CpackCompressor()
+        data = line_of_u32(words)
+        block = cpack.compress(data)
+        assert block is not None
+        assert cpack.decompress(block.payload) == data

@@ -1,0 +1,115 @@
+"""Unit tests for the data-content model."""
+
+import pytest
+
+from repro.compression import CompressionEngine
+from repro.workloads import DataModel, DataProfile
+from repro.workloads.datagen import LINES_PER_PAGE
+
+
+@pytest.fixture
+def engine():
+    return CompressionEngine()
+
+
+class TestDataProfile:
+    def test_valid_defaults(self):
+        profile = DataProfile()
+        assert profile.compressible_fraction == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DataProfile(compressible_fraction=1.5)
+        with pytest.raises(ValueError):
+            DataProfile(page_uniformity=-0.1)
+        with pytest.raises(ValueError):
+            DataProfile(store_churn=2.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_content(self, engine):
+        a = DataModel(DataProfile(), seed=7, engine=engine)
+        b = DataModel(DataProfile(), seed=7, engine=engine)
+        for line in range(50):
+            assert a.line_data(line) == b.line_data(line)
+
+    def test_different_seed_different_content(self, engine):
+        a = DataModel(DataProfile(), seed=1, engine=engine)
+        b = DataModel(DataProfile(), seed=2, engine=engine)
+        assert any(a.line_data(line) != b.line_data(line) for line in range(20))
+
+    def test_version_changes_content(self, engine):
+        model = DataModel(DataProfile(), seed=3, engine=engine)
+        line = 123
+        before = model.line_data(line)
+        model.note_store(line)
+        assert model.version_of(line) == 1
+        # Content must change with the version (new data was written).
+        assert model.line_data(line) != before
+
+    def test_explicit_version_stable(self, engine):
+        model = DataModel(DataProfile(), seed=3, engine=engine)
+        v0 = model.line_data(55, version=0)
+        model.note_store(55)
+        assert model.line_data(55, version=0) == v0
+
+
+class TestCompressibilityTargets:
+    def test_content_matches_class(self, engine):
+        model = DataModel(DataProfile(0.5, 0.8), seed=11, engine=engine)
+        for line in range(200):
+            data = model.line_data(line)
+            assert engine.is_compressible(data) == model.line_class(line)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    def test_overall_fraction_close_to_target(self, engine, fraction):
+        model = DataModel(DataProfile(fraction, 0.5), seed=13, engine=engine)
+        compressible, total = model.measure_compressibility(range(0, 4000, 3))
+        assert compressible / total == pytest.approx(fraction, abs=0.07)
+
+    def test_pure_pages_are_uniform(self, engine):
+        model = DataModel(DataProfile(0.5, 1.0), seed=17, engine=engine)
+        for page in range(20):
+            lines = range(page * LINES_PER_PAGE, (page + 1) * LINES_PER_PAGE)
+            classes = {model.line_class(line) for line in lines}
+            assert len(classes) == 1
+
+    def test_zero_uniformity_mixes_pages(self, engine):
+        model = DataModel(DataProfile(0.5, 0.0), seed=19, engine=engine)
+        mixed_pages = 0
+        for page in range(30):
+            lines = range(page * LINES_PER_PAGE, (page + 1) * LINES_PER_PAGE)
+            classes = {model.line_class(line) for line in lines}
+            if len(classes) == 2:
+                mixed_pages += 1
+        assert mixed_pages > 20  # almost all pages should be mixed
+
+    def test_store_churn_flips_classes_rarely(self, engine):
+        model = DataModel(DataProfile(0.5, 0.5, store_churn=0.1), seed=23,
+                          engine=engine)
+        flips = 0
+        samples = 200
+        for line in range(samples):
+            before = model.line_class(line, version=0)
+            after = model.line_class(line, version=1)
+            if before != after:
+                flips += 1
+        assert 0 < flips < samples * 0.25
+
+    def test_zero_churn_never_flips(self, engine):
+        model = DataModel(DataProfile(0.5, 0.5, store_churn=0.0), seed=29,
+                          engine=engine)
+        for line in range(100):
+            assert model.line_class(line, 0) == model.line_class(line, 5)
+
+    def test_flip_cache_consistent_with_direct(self, engine):
+        model = DataModel(DataProfile(0.5, 0.5, store_churn=0.2), seed=31,
+                          engine=engine)
+        line = 77
+        # Query high version first (populates cache), then lower ones.
+        high = model.line_class(line, version=10)
+        low = model.line_class(line, version=2)
+        fresh = DataModel(DataProfile(0.5, 0.5, store_churn=0.2), seed=31,
+                          engine=engine)
+        assert fresh.line_class(line, version=2) == low
+        assert fresh.line_class(line, version=10) == high

@@ -1,0 +1,90 @@
+"""Unit tests for the per-bank DRAM state machine."""
+
+import pytest
+
+from repro.dram import DramTiming
+from repro.dram.bank import Bank
+
+
+@pytest.fixture
+def timing():
+    return DramTiming()
+
+
+@pytest.fixture
+def bank(timing):
+    return Bank(timing)
+
+
+class TestBankLifecycle:
+    def test_starts_closed(self, bank):
+        assert bank.open_row is None
+        assert bank.classify_access(5) == "empty"
+
+    def test_activate_opens_row(self, bank, timing):
+        bank.do_activate(100.0, 42)
+        assert bank.open_row == 42
+        assert bank.classify_access(42) == "hit"
+        assert bank.classify_access(43) == "miss"
+
+    def test_column_after_trcd(self, bank, timing):
+        bank.do_activate(100.0, 42)
+        assert bank.earliest_column(0.0, 42) == 100.0 + timing.t_rcd
+
+    def test_precharge_after_tras(self, bank, timing):
+        bank.do_activate(100.0, 42)
+        assert bank.earliest_precharge(0.0) == 100.0 + timing.t_ras
+
+    def test_activate_after_trp(self, bank, timing):
+        bank.do_activate(0.0, 1)
+        pre_time = bank.earliest_precharge(0.0)
+        bank.do_precharge(pre_time)
+        assert bank.open_row is None
+        assert bank.earliest_activate(0.0) == pre_time + timing.t_rp
+
+    def test_write_recovery_extends_precharge(self, bank, timing):
+        bank.do_activate(0.0, 1)
+        col = bank.earliest_column(0.0, 1)
+        bank.do_column(col, is_write=True, data_beats=4)
+        expected = col + timing.t_cwd + 4 + timing.t_wr
+        assert bank.earliest_precharge(0.0) >= expected
+
+    def test_read_to_precharge_trtp(self, bank, timing):
+        bank.do_activate(0.0, 1)
+        col = 1000.0
+        bank.do_column(col, is_write=False, data_beats=4)
+        assert bank.earliest_precharge(0.0) >= col + timing.t_rtp
+
+
+class TestBankErrors:
+    def test_cannot_activate_open_bank(self, bank):
+        bank.do_activate(0.0, 1)
+        with pytest.raises(ValueError):
+            bank.earliest_activate(0.0)
+
+    def test_cannot_precharge_closed_bank(self, bank):
+        with pytest.raises(ValueError):
+            bank.earliest_precharge(0.0)
+
+    def test_cannot_read_wrong_row(self, bank):
+        bank.do_activate(0.0, 1)
+        with pytest.raises(ValueError):
+            bank.earliest_column(0.0, 2)
+
+
+class TestBankStats:
+    def test_counts(self, bank):
+        bank.do_activate(0.0, 1)
+        bank.do_column(50.0, is_write=False, data_beats=4)
+        bank.do_column(60.0, is_write=True, data_beats=4)
+        bank.do_precharge(200.0)
+        assert bank.stats.activates == 1
+        assert bank.stats.reads == 1
+        assert bank.stats.writes == 1
+        assert bank.stats.precharges == 1
+
+    def test_force_close_for_refresh(self, bank):
+        bank.do_activate(0.0, 1)
+        bank.force_close(500.0)
+        assert bank.open_row is None
+        assert bank.earliest_activate(0.0) >= 500.0

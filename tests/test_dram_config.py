@@ -1,0 +1,155 @@
+"""Unit tests for DRAM configuration and address mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import (
+    AddressMapper,
+    DramOrganization,
+    DramTiming,
+    MemoryAddress,
+    SystemConfig,
+)
+
+
+class TestDramTiming:
+    def test_table2_defaults(self):
+        t = DramTiming()
+        assert t.t_rcd == 22
+        assert t.t_rp == 22
+        assert t.t_cas == 22
+        assert t.t_rfc == 560  # 350 ns at 1600 MHz
+        assert t.t_refi == 12480  # 7.8 us at 1600 MHz
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DramTiming(t_rcd=0)
+        with pytest.raises(ValueError):
+            DramTiming(t_rfc=-1)
+
+
+class TestDramOrganization:
+    def test_table2_capacity_is_16gb(self):
+        org = DramOrganization()
+        assert org.total_bytes == 16 * 1024**3
+
+    def test_row_is_8kb(self):
+        assert DramOrganization().row_bytes == 8192
+
+    def test_banks_per_rank(self):
+        assert DramOrganization().banks_per_rank == 16
+
+    def test_subrank_split(self):
+        org = DramOrganization()
+        assert org.chips_per_subrank == 4
+
+    def test_rejects_unsplittable_subranks(self):
+        with pytest.raises(ValueError):
+            DramOrganization(subranks=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DramOrganization(channels=0)
+
+    def test_subrank_of_row_parity(self):
+        org = DramOrganization(subranks=2)
+        assert org.subrank_of_row(7) == 1
+        assert org.subrank_of_row(8) == 0
+
+    def test_single_subrank(self):
+        org = DramOrganization(subranks=1)
+        assert org.subrank_of_row(5) == 0
+
+
+class TestAddressMapper:
+    @pytest.fixture
+    def mapper(self):
+        return AddressMapper(DramOrganization())
+
+    def test_decode_zero(self, mapper):
+        decoded = mapper.decode(0)
+        assert decoded == MemoryAddress(0, 0, 0, 0, 0, 0)
+
+    def test_short_bursts_stay_in_one_row(self, mapper):
+        # The two low column bits sit at the bottom: lines 0-3 share a
+        # (channel, bank group, bank, row) and advance the column.
+        decoded = [mapper.decode(i * 64) for i in range(4)]
+        assert len({(d.channel, d.bank_group, d.bank, d.row) for d in decoded}) == 1
+        assert [d.column for d in decoded] == [0, 1, 2, 3]
+
+    def test_channel_interleaves_after_column_low(self, mapper):
+        a = mapper.decode(0)
+        b = mapper.decode(4 * 64)
+        assert a.channel == 0
+        assert b.channel == 1
+
+    def test_bank_group_interleaves_after_channel(self, mapper):
+        a = mapper.decode(0)
+        b = mapper.decode(8 * 64)  # col_low x channels lines later
+        assert b.channel == a.channel
+        assert b.bank_group == a.bank_group + 1
+        assert b.column == a.column
+
+    def test_column_high_advances_after_bank_groups_wrap(self, mapper):
+        a = mapper.decode(0)
+        b = mapper.decode(4 * 2 * 4 * 64)  # col_low x ch x bg lines later
+        assert b.channel == a.channel
+        assert b.bank_group == a.bank_group
+        assert b.column == a.column + 4
+
+    def test_column_low_bits_validation(self):
+        from repro.dram import AddressMapper, DramOrganization
+
+        with pytest.raises(ValueError):
+            AddressMapper(DramOrganization(), column_low_bits=-1)
+        with pytest.raises(ValueError):
+            AddressMapper(DramOrganization(), column_low_bits=8)
+
+    def test_fields_within_bounds(self, mapper):
+        org = mapper.organization
+        for address in range(0, 1 << 22, 4096 + 64):
+            d = mapper.decode(address)
+            assert 0 <= d.channel < org.channels
+            assert 0 <= d.rank < org.ranks_per_channel
+            assert 0 <= d.bank_group < org.bank_groups
+            assert 0 <= d.bank < org.banks_per_group
+            assert 0 <= d.row < org.rows_per_bank
+            assert 0 <= d.column < org.blocks_per_row
+
+    def test_line_address_strips_offset(self, mapper):
+        assert mapper.line_address(64) == 1
+        assert mapper.line_address(65) == 1
+        assert mapper.line_address(127) == 1
+
+    @given(st.integers(min_value=0, max_value=16 * 1024**3 - 64))
+    def test_encode_decode_roundtrip(self, address):
+        mapper = AddressMapper(DramOrganization())
+        aligned = (address // 64) * 64
+        assert mapper.encode(mapper.decode(aligned)) == aligned
+
+
+class TestSystemConfig:
+    def test_clock_ratio(self):
+        config = SystemConfig()
+        assert config.core_cycles_per_bus_cycle == pytest.approx(2.5)
+
+    def test_clock_conversions_inverse(self):
+        config = SystemConfig()
+        assert config.bus_to_core(config.core_to_bus(1000.0)) == pytest.approx(1000.0)
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            SystemConfig(write_drain_low=50, write_drain_high=40)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cpu_clock_ghz=0)
+
+    def test_table2_llc(self):
+        config = SystemConfig()
+        assert config.llc_bytes == 8 * 1024 * 1024
+        assert config.llc_ways == 8
+        assert config.llc_latency_cycles == 20
+        assert config.cores == 8
+        assert config.issue_width == 4

@@ -1,0 +1,169 @@
+"""Property-based timing invariants for the DRAM channel.
+
+Feeds randomized request mixes through a command-logging channel and
+verifies the protocol-level invariants that the scheduler must never
+violate, whatever the workload:
+
+* one command per cycle on the channel command bus;
+* data-bus occupancy windows never overlap within a sub-rank;
+* column commands to one sub-rank respect tCCD_S;
+* ACT pairs respect tRRD_S and the tFAW sliding window per rank;
+* every enqueued request eventually completes, exactly once.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import AddressMapper, DramOrganization, DramTiming, RequestKind
+from repro.dram.channel import Channel
+from repro.dram.request import DramRequest
+
+ORG = DramOrganization()
+TIMING = DramTiming()
+MAPPER = AddressMapper(ORG)
+
+
+def make_channel():
+    return Channel(TIMING, ORG, log_commands=True)
+
+
+request_strategy = st.builds(
+    dict,
+    line=st.integers(min_value=0, max_value=4095),
+    is_write=st.booleans(),
+    compressed=st.booleans(),
+    arrival_gap=st.integers(min_value=0, max_value=30),
+)
+
+
+def build_requests(specs):
+    requests = []
+    arrival = 0.0
+    for spec in specs:
+        arrival += spec["arrival_gap"]
+        byte_address = spec["line"] * 64 * 2  # stay in channel 0
+        decoded = MAPPER.decode(byte_address)
+        if decoded.channel != 0:
+            byte_address = spec["line"] * 64
+            decoded = MAPPER.decode(byte_address)
+            if decoded.channel != 0:
+                continue
+        if spec["compressed"]:
+            mask = (ORG.subrank_of_location(decoded.row, decoded.bank_group,
+                                            decoded.bank),)
+            beats = 4
+        else:
+            mask = (0, 1)
+            beats = 4
+        requests.append(
+            DramRequest(
+                byte_address=byte_address,
+                decoded=decoded,
+                is_write=spec["is_write"],
+                subrank_mask=mask,
+                data_beats=beats,
+                kind=RequestKind.DEMAND_READ,
+                arrival_cycle=arrival,
+            )
+        )
+    return requests
+
+
+def run_channel(requests):
+    channel = make_channel()
+    completed = []
+    pending = sorted(requests, key=lambda r: r.arrival_cycle)
+    for request in pending:
+        completed.extend(channel.advance(request.arrival_cycle))
+        channel.enqueue(request)
+    for _ in range(100000):
+        target = channel.next_event_cycle()
+        if target is None:
+            channel.flush_writes()
+            target = channel.next_event_cycle()
+            if target is None:
+                break
+        completed.extend(channel.advance(target + 1.0))
+    return channel, completed
+
+
+class TestChannelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(request_strategy, min_size=1, max_size=40))
+    def test_protocol_invariants(self, specs):
+        requests = build_requests(specs)
+        if not requests:
+            return
+        channel, completed = run_channel(requests)
+
+        # 1. Everything completes exactly once.
+        assert sorted(r.request_id for r in completed) == sorted(
+            r.request_id for r in requests
+        )
+
+        log = channel.command_log
+        # 2. Command bus: one command per cycle.
+        cycles = [entry[0] for entry in log]
+        assert len(cycles) == len(set(cycles))
+        assert cycles == sorted(cycles)
+
+        # 3. Data-bus windows never overlap within a sub-rank.
+        by_request = {r.request_id: r for r in requests}
+        windows = defaultdict(list)
+        for cycle, command, rank, __, request_id in log:
+            if command not in ("RD", "WR"):
+                continue
+            request = by_request[request_id]
+            delay = TIMING.t_cwd if request.is_write else TIMING.t_cas
+            start = cycle + delay
+            for subrank in request.subrank_mask:
+                windows[(rank, subrank)].append((start, start + request.data_beats))
+        for intervals in windows.values():
+            intervals.sort()
+            for (s1, e1), (s2, __) in zip(intervals, intervals[1:]):
+                assert s2 >= e1, f"overlapping data windows: {intervals}"
+
+        # 4. tCCD_S between column commands sharing a sub-rank.
+        col_times = defaultdict(list)
+        for cycle, command, rank, __, request_id in log:
+            if command in ("RD", "WR"):
+                for subrank in by_request[request_id].subrank_mask:
+                    col_times[(rank, subrank)].append(cycle)
+        for times in col_times.values():
+            for t1, t2 in zip(times, times[1:]):
+                assert t2 - t1 >= TIMING.t_ccd_s
+
+        # 5. ACT spacing: tRRD_S globally, tFAW per 4-ACT window.
+        act_times = [c for c, command, *_ in log if command == "ACT"]
+        for t1, t2 in zip(act_times, act_times[1:]):
+            assert t2 - t1 >= TIMING.t_rrd_s
+        for i in range(len(act_times) - 4):
+            assert act_times[i + 4] - act_times[i] >= TIMING.t_faw
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(request_strategy, min_size=5, max_size=30))
+    def test_read_latency_non_negative_and_bounded(self, specs):
+        requests = build_requests(specs)
+        if not requests:
+            return
+        __, completed = run_channel(requests)
+        for request in completed:
+            assert request.completion_cycle > request.arrival_cycle
+            assert request.issue_cycle >= request.arrival_cycle
+            # A single channel with this queue depth should never take
+            # absurdly long (starvation guard works).
+            assert request.total_latency < 100000
+
+    def test_same_bank_same_row_requests_hit(self):
+        specs = [
+            dict(line=0, is_write=False, compressed=False, arrival_gap=0),
+            dict(line=1, is_write=False, compressed=False, arrival_gap=0),
+            dict(line=2, is_write=False, compressed=False, arrival_gap=0),
+        ]
+        requests = build_requests(specs)
+        channel, completed = run_channel(requests)
+        outcomes = [r.row_outcome for r in completed]
+        assert outcomes.count("hit") >= 1

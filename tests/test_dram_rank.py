@@ -1,0 +1,116 @@
+"""Unit tests for rank-level DRAM constraints."""
+
+import pytest
+
+from repro.dram import DramOrganization, DramTiming
+from repro.dram.rank import Rank
+
+
+@pytest.fixture
+def timing():
+    return DramTiming()
+
+
+@pytest.fixture
+def rank(timing):
+    return Rank(timing, DramOrganization())
+
+
+class TestActivationWindows:
+    def test_trrd_same_group(self, rank, timing):
+        rank.note_activate(100.0, bank_group=0)
+        assert rank.earliest_activate(0.0, bank_group=0) >= 100.0 + timing.t_rrd_l
+
+    def test_trrd_other_group(self, rank, timing):
+        rank.note_activate(100.0, bank_group=0)
+        earliest = rank.earliest_activate(0.0, bank_group=1)
+        assert earliest >= 100.0 + timing.t_rrd_s
+        assert earliest < 100.0 + timing.t_rrd_l
+
+    def test_tfaw_limits_fifth_activate(self, rank, timing):
+        for i in range(4):
+            rank.note_activate(float(i), bank_group=i % 4)
+        assert rank.earliest_activate(0.0, bank_group=0) >= 0.0 + timing.t_faw
+
+
+class TestColumnConstraints:
+    def test_tccd_same_group_longer(self, rank, timing):
+        rank.note_column(100.0, bank_group=0, is_write=False, subrank_mask=(0,), data_beats=4)
+        same = rank.earliest_column(0.0, 0, False, (0,), 4)
+        other = rank.earliest_column(0.0, 1, False, (0,), 4)
+        assert same >= 100.0 + timing.t_ccd_l
+        assert other >= 100.0 + timing.t_ccd_s
+
+    def test_tccd_does_not_couple_subranks(self, rank, timing):
+        # Sub-ranks are quasi-independent chip groups: a column command
+        # on sub-rank 0 does not delay sub-rank 1.
+        rank.note_column(100.0, bank_group=0, is_write=False, subrank_mask=(0,), data_beats=4)
+        assert rank.earliest_column(0.0, 0, False, (1,), 4) == 0.0
+
+    def test_write_to_read_turnaround(self, rank, timing):
+        data_end = rank.note_column(100.0, 0, is_write=True, subrank_mask=(0, 1), data_beats=4)
+        earliest_read = rank.earliest_column(0.0, 1, False, (0,), 4)
+        assert earliest_read >= data_end + timing.t_wtr
+
+    def test_read_to_write_spacing(self, rank, timing):
+        rank.note_column(100.0, 0, is_write=False, subrank_mask=(0,), data_beats=4)
+        assert rank.earliest_column(0.0, 1, True, (0,), 4) >= 100.0 + timing.t_rtw
+
+
+class TestSubrankBuses:
+    def test_busy_subrank_delays_conflicting_read(self, rank, timing):
+        end = rank.note_column(100.0, 0, False, (0,), 8)
+        # Same sub-rank: command must wait so its data starts after `end`.
+        earliest = rank.earliest_column(0.0, 1, False, (0,), 4)
+        assert earliest + timing.t_cas >= end
+
+    def test_other_subrank_not_delayed_by_bus(self, rank, timing):
+        rank.note_column(100.0, 0, False, (0,), 8)
+        earliest = rank.earliest_column(0.0, 1, False, (1,), 4)
+        # Neither tCCD nor bus occupancy of sub-rank 0 applies.
+        assert earliest == 0.0
+
+    def test_full_width_access_reserves_both(self, rank):
+        rank.note_column(100.0, 0, False, (0, 1), 4)
+        free = rank.bus_free
+        assert free[0] == free[1] > 100.0
+
+    def test_beat_accounting(self, rank):
+        rank.note_column(100.0, 0, False, (0,), 4)
+        rank.note_column(200.0, 1, False, (0, 1), 4)
+        assert rank.stats.data_beats_by_subrank == [8, 4]
+
+
+class TestRefresh:
+    def test_refresh_due_after_trefi(self, rank, timing):
+        assert not rank.refresh_pending(timing.t_refi - 1)
+        assert rank.refresh_pending(timing.t_refi)
+
+    def test_refresh_closes_banks_and_blocks(self, rank, timing):
+        rank.banks[3].do_activate(0.0, 7)
+        start = rank.earliest_refresh(float(timing.t_refi))
+        end = rank.do_refresh(start)
+        assert end == start + timing.t_rfc
+        assert rank.banks[3].open_row is None
+        assert rank.earliest_activate(start, 0) >= end
+        assert rank.next_refresh_due == 2 * timing.t_refi
+
+    def test_refresh_waits_for_open_banks(self, rank, timing):
+        rank.banks[0].do_activate(float(timing.t_refi), 1)
+        start = rank.earliest_refresh(float(timing.t_refi))
+        # Must wait at least tRAS + tRP past the activate.
+        assert start >= timing.t_refi + timing.t_ras + timing.t_rp
+
+    def test_refresh_counter(self, rank, timing):
+        rank.do_refresh(float(timing.t_refi))
+        assert rank.stats.refreshes == 1
+
+
+class TestBankIndexing:
+    def test_flat_index(self, rank):
+        org = DramOrganization()
+        seen = set()
+        for group in range(org.bank_groups):
+            for bank in range(org.banks_per_group):
+                seen.add(rank.bank_index(group, bank))
+        assert seen == set(range(org.banks_per_rank))

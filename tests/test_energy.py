@@ -1,0 +1,74 @@
+"""Unit tests for the DRAM energy model."""
+
+import pytest
+
+from repro.energy import DramPowerParams, EnergyModel, EnergyReport
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestEnergyModel:
+    def test_zero_run_zero_energy(self, model):
+        report = model.report(0, [0, 0], [0, 0], 0, 0, 0.0)
+        assert report.total_nj == 0.0
+
+    def test_activation_scales_with_all_chips(self, model):
+        report = model.report(10, [0, 0], [0, 0], 0, 0, 0.0)
+        assert report.activate_nj == pytest.approx(10 * 1.0 * 8)
+
+    def test_subrank_burst_energises_half_the_chips(self):
+        subranked = EnergyModel(subranks=2)
+        conventional = EnergyModel(subranks=1)
+        # Same 4 beats of read data.
+        sub = subranked.report(0, [4, 0], [0, 0], 32, 0, 0.0)
+        conv = conventional.report(0, [4], [0], 64, 0, 0.0)
+        assert sub.read_nj == pytest.approx(conv.read_nj / 2)
+
+    def test_background_scales_with_time(self, model):
+        short = model.report(0, [0, 0], [0, 0], 0, 0, 1000.0)
+        long = model.report(0, [0, 0], [0, 0], 0, 0, 2000.0)
+        assert long.background_nj == pytest.approx(2 * short.background_nj)
+
+    def test_refresh_energy(self, model):
+        report = model.report(0, [0, 0], [0, 0], 0, 5, 0.0)
+        assert report.refresh_nj > 0
+
+    def test_io_scales_with_bytes(self, model):
+        a = model.report(0, [0, 0], [0, 0], 64, 0, 0.0)
+        b = model.report(0, [0, 0], [0, 0], 128, 0, 0.0)
+        assert b.io_nj == pytest.approx(2 * a.io_nj)
+
+    def test_write_beats_cost_more_than_read_beats(self, model):
+        r = model.report(0, [4, 4], [0, 0], 0, 0, 0.0)
+        w = model.report(0, [0, 0], [4, 4], 0, 0, 0.0)
+        assert w.write_nj > r.read_nj
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.report(0, [0, 0], [0, 0], 0, 0, -1.0)
+
+    def test_unsplittable_subranks_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(chips_per_rank=8, subranks=3)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(act_pre_nj=0)
+
+
+class TestEnergyReport:
+    def test_total_is_sum(self):
+        report = EnergyReport(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert report.total_nj == pytest.approx(21.0)
+        assert report.dynamic_nj == pytest.approx(15.0)
+
+    def test_as_dict_keys(self):
+        report = EnergyReport(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        d = report.as_dict()
+        assert set(d) == {
+            "activate", "read", "write", "io", "refresh", "background", "total",
+        }
+        assert d["total"] == pytest.approx(21.0)

@@ -1,0 +1,48 @@
+"""Integration tests: energy accounting through full simulations."""
+
+import pytest
+
+from repro.sim.runner import ExperimentScale, run_benchmark
+
+SMOKE = ExperimentScale(name="energy-smoke", factor=64, cores=4,
+                        records_per_core=800, warmup_per_core=400)
+
+
+class TestEnergyAccounting:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            system: run_benchmark("STREAM", system, scale=SMOKE, seed=21)
+            for system in ("baseline", "attache", "ideal")
+        }
+
+    def test_every_component_positive(self, results):
+        for result in results.values():
+            breakdown = result.energy.as_dict()
+            for key in ("activate", "read", "io", "background", "total"):
+                assert breakdown[key] > 0, key
+
+    def test_background_scales_with_runtime(self, results):
+        base = results["baseline"]
+        attache = results["attache"]
+        ratio_energy = (attache.energy.background_nj
+                        / base.energy.background_nj)
+        ratio_runtime = (attache.runtime_core_cycles
+                         / base.runtime_core_cycles)
+        assert ratio_energy == pytest.approx(ratio_runtime, rel=1e-6)
+
+    def test_compression_moves_fewer_bytes(self, results):
+        assert (results["ideal"].bytes_transferred
+                < results["baseline"].bytes_transferred)
+
+    def test_dynamic_energy_tracks_bytes(self, results):
+        base = results["baseline"]
+        ideal = results["ideal"]
+        assert ideal.energy.io_nj < base.energy.io_nj
+        assert ideal.energy.read_nj < base.energy.read_nj
+
+    def test_refresh_energy_accrues(self, results):
+        # Runs may or may not cross a tREFI boundary at this scale;
+        # refresh energy must simply never be negative.
+        for result in results.values():
+            assert result.energy.refresh_nj >= 0

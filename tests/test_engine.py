@@ -1,0 +1,147 @@
+"""Unit tests for the best-of compression engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import (
+    SUBRANK_PAYLOAD_BYTES,
+    BdiCompressor,
+    CompressionEngine,
+    FpcCompressor,
+)
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@pytest.fixture
+def engine():
+    return CompressionEngine()
+
+
+def incompressible_line():
+    import hashlib
+
+    return b"".join(hashlib.sha256(bytes([i])).digest()[:8] for i in range(8))
+
+
+class TestEngineBasics:
+    def test_target_size_default(self, engine):
+        assert engine.target_size == SUBRANK_PAYLOAD_BYTES == 30
+
+    def test_zero_line_compresses(self, engine):
+        block = engine.compress(bytes(CACHELINE_BYTES))
+        assert block is not None
+        assert block.size <= 30
+
+    def test_best_of_both_picks_smaller(self, engine):
+        # All-zeros: FPC gets 2 bytes, BDI gets 1 byte -> BDI must win.
+        block = engine.compress(bytes(CACHELINE_BYTES))
+        assert block.algorithm == "bdi"
+
+    def test_fpc_wins_on_sparse_patterns(self, engine):
+        # A line of scattered word patterns that BDI's fixed geometry
+        # cannot capture but FPC can.
+        words = [0, 0x12340000, 0, 3, 0, 0xFFFFFFFE, 0, 0x77777777] * 2
+        data = b"".join(w.to_bytes(4, "little") for w in words)
+        block = engine.compress(data)
+        assert block is not None
+        assert block.algorithm == "fpc"
+
+    def test_incompressible_returns_none(self, engine):
+        assert engine.compress(incompressible_line()) is None
+
+    def test_decompress_roundtrip(self, engine):
+        data = (123456789).to_bytes(8, "little") * 8
+        block = engine.compress(data)
+        assert engine.decompress(block) == data
+
+    def test_decompress_unknown_algorithm(self, engine):
+        from repro.compression import CompressedBlock
+
+        with pytest.raises(ValueError):
+            engine.decompress(CompressedBlock("nope", b"\x00"))
+
+    def test_rejects_wrong_size(self, engine):
+        with pytest.raises(ValueError):
+            engine.compress(bytes(63))
+
+    def test_rejects_bad_target_size(self):
+        with pytest.raises(ValueError):
+            CompressionEngine(target_size=0)
+        with pytest.raises(ValueError):
+            CompressionEngine(target_size=65)
+
+    def test_rejects_duplicate_algorithms(self):
+        with pytest.raises(ValueError):
+            CompressionEngine(algorithms=[BdiCompressor(), BdiCompressor()])
+
+    def test_rejects_empty_algorithm_list(self):
+        with pytest.raises(ValueError):
+            CompressionEngine(algorithms=[])
+
+
+class TestStats:
+    def test_counters(self, engine):
+        engine.compress(bytes(CACHELINE_BYTES))
+        engine.compress(incompressible_line())
+        assert engine.stats.blocks_compressed == 1
+        assert engine.stats.blocks_incompressible == 1
+        assert engine.stats.compressible_fraction == 0.5
+
+    def test_mean_ratio_above_one_for_compressible(self, engine):
+        engine.compress(bytes(CACHELINE_BYTES))
+        assert engine.stats.mean_ratio > 1.0
+
+    def test_wins_by_algorithm(self, engine):
+        engine.compress(bytes(CACHELINE_BYTES))
+        assert engine.stats.wins_by_algorithm.get("bdi") == 1
+
+    def test_empty_stats(self):
+        stats = CompressionEngine().stats
+        assert stats.compressible_fraction == 0.0
+        assert stats.mean_ratio == 1.0
+
+
+class TestMemoisation:
+    def test_cache_returns_same_result(self):
+        engine = CompressionEngine(cache_entries=4)
+        data = bytes(CACHELINE_BYTES)
+        first = engine.compress(data)
+        second = engine.compress(data)
+        assert first == second
+
+    def test_cache_eviction_keeps_correctness(self):
+        engine = CompressionEngine(cache_entries=2)
+        lines = [(i).to_bytes(8, "little") * 8 for i in range(8)]
+        sizes = [engine.compressed_size(line) for line in lines]
+        assert sizes == [engine.compressed_size(line) for line in lines]
+
+    def test_cache_disabled(self):
+        engine = CompressionEngine(cache_entries=0)
+        assert engine.is_compressible(bytes(CACHELINE_BYTES))
+
+    def test_is_compressible_does_not_touch_stats(self, engine):
+        engine.is_compressible(bytes(CACHELINE_BYTES))
+        assert engine.stats.blocks_compressed == 0
+
+    def test_compressed_size_of_incompressible_is_line_size(self, engine):
+        assert engine.compressed_size(incompressible_line()) == CACHELINE_BYTES
+
+
+class TestEngineProperties:
+    @given(st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES))
+    def test_engine_roundtrip(self, data):
+        engine = CompressionEngine()
+        block = engine.compress(data)
+        if block is not None:
+            assert engine.decompress(block) == data
+            assert block.size <= engine.target_size
+
+    @given(st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES))
+    def test_single_algorithm_engines_agree_with_components(self, data):
+        bdi_engine = CompressionEngine(algorithms=[BdiCompressor()])
+        fpc_engine = CompressionEngine(algorithms=[FpcCompressor()])
+        both = CompressionEngine()
+        assert both.compressed_size(data) <= min(
+            bdi_engine.compressed_size(data), fpc_engine.compressed_size(data)
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the FPC compressor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import DecompressionError, FpcCompressor
+from repro.util.bitops import CACHELINE_BYTES
+
+
+@pytest.fixture
+def fpc():
+    return FpcCompressor()
+
+
+def line_of_u32(values):
+    assert len(values) == 16
+    return b"".join(v.to_bytes(4, "little") for v in values)
+
+
+class TestPatterns:
+    def test_all_zeros(self, fpc):
+        block = fpc.compress(bytes(CACHELINE_BYTES))
+        assert block is not None
+        # Two zero runs of 8 words: 2 * 6 bits = 12 bits -> 2 bytes.
+        assert block.size == 2
+        assert fpc.decompress(block.payload) == bytes(CACHELINE_BYTES)
+
+    def test_small_signed_values(self, fpc):
+        data = line_of_u32([1, 7, 0xFFFFFFF9, 2] * 4)  # -7 sign-extends
+        block = fpc.compress(data)
+        assert block is not None
+        assert block.size < 16
+        assert fpc.decompress(block.payload) == data
+
+    def test_halfword_padded(self, fpc):
+        data = line_of_u32([0xABCD0000] * 16)
+        block = fpc.compress(data)
+        assert block is not None
+        assert fpc.decompress(block.payload) == data
+
+    def test_two_sign_extended_halfwords(self, fpc):
+        word = (0x0042 << 16) | 0xFFAA  # high=+0x42, low=-86
+        data = line_of_u32([word] * 16)
+        block = fpc.compress(data)
+        assert block is not None
+        assert block.size <= 40
+        assert fpc.decompress(block.payload) == data
+
+    def test_repeated_bytes(self, fpc):
+        data = line_of_u32([0x5A5A5A5A] * 16)
+        block = fpc.compress(data)
+        assert block is not None
+        assert fpc.decompress(block.payload) == data
+
+    def test_uncompressed_words_embedded(self, fpc):
+        # Words with no pattern are carried verbatim but zero words around
+        # them still compress the line overall.
+        data = line_of_u32([0, 0x12345678, 0, 0x9ABCDEF1] + [0] * 12)
+        block = fpc.compress(data)
+        assert block is not None
+        assert fpc.decompress(block.payload) == data
+
+    def test_zero_run_capped_at_8(self, fpc):
+        # 16 zero words must decode as exactly two max-length runs.
+        data = bytes(CACHELINE_BYTES)
+        block = fpc.compress(data)
+        assert fpc.decompress(block.payload) == data
+
+
+class TestIncompressible:
+    def test_high_entropy_line(self, fpc):
+        import hashlib
+
+        data = b"".join(hashlib.sha256(bytes([i])).digest()[:4] for i in range(16))
+        assert fpc.compress(data) is None
+
+    def test_rejects_wrong_line_size(self, fpc):
+        with pytest.raises(ValueError):
+            fpc.compress(bytes(16))
+
+
+class TestDecompressErrors:
+    def test_truncated_payload(self, fpc):
+        block = fpc.compress(bytes(CACHELINE_BYTES))
+        with pytest.raises(DecompressionError):
+            fpc.decompress(block.payload[:1])
+
+    def test_empty_payload(self, fpc):
+        with pytest.raises(DecompressionError):
+            fpc.decompress(b"")
+
+    def test_trailing_garbage(self, fpc):
+        block = fpc.compress(bytes(CACHELINE_BYTES))
+        with pytest.raises(DecompressionError):
+            fpc.decompress(block.payload + b"\xff")
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.just(0),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0xFFFFFF80, max_value=0xFFFFFFFF),
+                st.builds(lambda b: b * 0x01010101, st.integers(1, 255)),
+                st.builds(lambda h: h << 16, st.integers(0, 0xFFFF)),
+            ),
+            min_size=16,
+            max_size=16,
+        )
+    )
+    def test_patterned_lines_roundtrip(self, words):
+        fpc = FpcCompressor()
+        data = line_of_u32(words)
+        block = fpc.compress(data)
+        assert block is not None
+        assert fpc.decompress(block.payload) == data
+
+    @given(st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES))
+    def test_any_compressed_line_roundtrips(self, data):
+        fpc = FpcCompressor()
+        block = fpc.compress(data)
+        if block is not None:
+            assert fpc.decompress(block.payload) == data
+            assert block.size < CACHELINE_BYTES

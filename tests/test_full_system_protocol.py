@@ -1,0 +1,64 @@
+"""End-to-end protocol audit: full simulations produce clean DDR logs.
+
+Runs complete Attaché and baseline simulations with command logging on
+and feeds every channel's log through the protocol verifier — the
+strongest statement the substrate can make about its own timing model.
+"""
+
+import pytest
+
+from repro.core import AttacheController, BaselineController
+from repro.cpu.cache import LastLevelCache
+from repro.dram import (
+    DramOrganization,
+    MainMemory,
+    SystemConfig,
+    verify_command_log,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads import build_workload
+
+
+def run_logged(system: str, workload_name: str, seed: int):
+    subranks = 1 if system == "baseline" else 2
+    config = SystemConfig(
+        organization=DramOrganization(subranks=subranks),
+        cores=2,
+        llc_bytes=128 * 1024,
+    )
+    workload = build_workload(workload_name, cores=2, records_per_core=1200,
+                              seed=seed, footprint_scale=1 / 64)
+    memory = MainMemory(config, log_commands=True)
+    if system == "baseline":
+        controller = BaselineController(memory, workload.data_model)
+    else:
+        controller = AttacheController(memory, workload.data_model)
+    simulator = Simulator(config, workload, controller,
+                          LastLevelCache(config.llc_bytes, config.llc_ways))
+    result = simulator.run()
+    return config, memory, result
+
+
+@pytest.mark.parametrize("system,workload_name", [
+    ("baseline", "STREAM"),
+    ("attache", "STREAM"),
+    ("attache", "RAND"),
+    ("attache", "mcf"),
+])
+def test_full_run_has_clean_protocol_log(system, workload_name):
+    config, memory, result = run_logged(system, workload_name, seed=13)
+    assert result.runtime_core_cycles > 0
+    total_commands = 0
+    for channel in memory.channels:
+        violations = verify_command_log(
+            channel.command_log, memory.issued_requests, config.timing
+        )
+        assert violations == [], violations[:5]
+        total_commands += len(channel.command_log)
+    assert total_commands > result.llc_misses  # every miss needed commands
+
+
+def test_issued_requests_only_tracked_when_logging():
+    config = SystemConfig(organization=DramOrganization(subranks=1))
+    assert MainMemory(config).issued_requests is None
+    assert MainMemory(config, log_commands=True).issued_requests == []

@@ -1,0 +1,89 @@
+"""Tests for the timing-free functional simulation."""
+
+import pytest
+
+from repro.core.copr import CoprConfig
+from repro.core.metadata_cache import MetadataCache
+from repro.sim import run_functional
+from repro.sim.functional import MissStream
+from repro.workloads import build_workload
+
+
+def small_run(benchmark="STREAM", **kwargs):
+    defaults = dict(
+        cores=2,
+        records_per_core=2500,
+        seed=5,
+        footprint_scale=1 / 64,
+        llc_bytes=64 * 1024,
+    )
+    defaults.update(kwargs)
+    return run_functional(benchmark, **defaults)
+
+
+class TestMissStream:
+    def test_yields_misses_and_writebacks(self):
+        workload = build_workload("lbm", cores=2, records_per_core=3000,
+                                  seed=5, footprint_scale=1 / 64)
+        stream = MissStream(workload, llc_bytes=32 * 1024)
+        events = list(stream.events())
+        assert any(not e.is_writeback for e in events)
+        assert any(e.is_writeback for e in events)
+
+    def test_event_addresses_are_line_aligned(self):
+        workload = build_workload("RAND", cores=1, records_per_core=500,
+                                  seed=5, footprint_scale=1 / 64)
+        for event in MissStream(workload, llc_bytes=16 * 1024).events():
+            assert event.address % 64 == 0
+
+    def test_compressibility_tags_follow_profile(self):
+        workload = build_workload("libquantum", cores=2,
+                                  records_per_core=2000, seed=5,
+                                  footprint_scale=1 / 64)
+        events = list(MissStream(workload, llc_bytes=32 * 1024).events())
+        reads = [e for e in events if not e.is_writeback]
+        fraction = sum(e.compressible for e in reads) / len(reads)
+        assert fraction < 0.2  # libquantum is barely compressible
+
+
+class TestFunctionalRun:
+    def test_counts_populate(self):
+        run = small_run()
+        assert run.demand_reads > 0
+        assert run.demand_requests == run.demand_reads + run.demand_writes
+
+    def test_compressible_fraction_matches_profile(self):
+        run = small_run("STREAM")
+        assert run.compressible_fraction == pytest.approx(0.5, abs=0.12)
+
+    def test_metadata_cache_measured(self):
+        cache = MetadataCache(capacity_bytes=32 * 1024, metadata_base=0)
+        run = small_run(metadata_cache=cache)
+        assert run.metadata_hit_rate is not None
+        assert run.metadata_installs > 0
+        assert 0 <= run.metadata_traffic_overhead <= 2.0
+
+    def test_copr_measured(self):
+        run = small_run(copr_config=CoprConfig(papr_entries=2048,
+                                               lipr_entries=512))
+        assert run.copr_accuracy is not None
+        assert run.copr_accuracy > 0.5
+        assert sum(run.copr_by_source.values()) == run.demand_reads
+
+    def test_stream_has_high_copr_accuracy(self):
+        run = small_run("STREAM", copr_config=CoprConfig(
+            papr_entries=2048, lipr_entries=512))
+        assert run.copr_accuracy > 0.8
+
+    def test_random_hurts_metadata_cache_more_than_stream(self):
+        stream_cache = MetadataCache(capacity_bytes=16 * 1024, metadata_base=0)
+        rand_cache = MetadataCache(capacity_bytes=16 * 1024, metadata_base=0)
+        stream = small_run("STREAM", metadata_cache=stream_cache)
+        rand = small_run("RAND", metadata_cache=rand_cache)
+        assert rand.metadata_hit_rate < stream.metadata_hit_rate
+
+    def test_no_components_still_counts_traffic(self):
+        run = small_run()
+        assert run.metadata_hit_rate is None
+        assert run.copr_accuracy is None
+        assert run.metadata_extra_requests == 0

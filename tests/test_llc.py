@@ -1,0 +1,109 @@
+"""Unit tests for the last-level cache model."""
+
+import pytest
+
+from repro.cpu import LastLevelCache
+
+
+def small_cache(ways=2, sets=4):
+    return LastLevelCache(capacity_bytes=ways * sets * 64, ways=ways)
+
+
+class TestGeometry:
+    def test_table2_llc_geometry(self):
+        llc = LastLevelCache()
+        assert llc.sets == 16384
+        assert llc.ways == 8
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ValueError):
+            LastLevelCache(capacity_bytes=1000, ways=8)
+
+    def test_rejects_nonpositive_ways(self):
+        with pytest.raises(ValueError):
+            LastLevelCache(capacity_bytes=1024, ways=0)
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        llc = small_cache()
+        hit, eviction = llc.access(0x1000, is_write=False)
+        assert not hit and eviction is None
+        hit, eviction = llc.access(0x1000, is_write=False)
+        assert hit and eviction is None
+
+    def test_same_line_different_offsets_hit(self):
+        llc = small_cache()
+        llc.access(0x1000, is_write=False)
+        hit, __ = llc.access(0x1030, is_write=False)
+        assert hit
+
+    def test_lru_eviction_order(self):
+        llc = small_cache(ways=2, sets=1)
+        llc.access(0 * 64, False)
+        llc.access(1 * 64, False)
+        llc.access(0 * 64, False)  # refresh line 0
+        __, eviction = llc.access(2 * 64, False)
+        assert eviction is not None
+        assert eviction.line_address == 1  # LRU victim
+
+    def test_set_isolation(self):
+        llc = small_cache(ways=1, sets=4)
+        llc.access(0 * 64, False)  # set 0
+        __, eviction = llc.access(1 * 64, False)  # set 1
+        assert eviction is None
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        llc = small_cache()
+        llc.access(0x40, is_write=True)
+        assert llc.is_dirty(0x40)
+
+    def test_read_does_not_clean(self):
+        llc = small_cache()
+        llc.access(0x40, is_write=True)
+        llc.access(0x40, is_write=False)
+        assert llc.is_dirty(0x40)
+
+    def test_dirty_eviction_flagged(self):
+        llc = small_cache(ways=1, sets=1)
+        llc.access(0, is_write=True)
+        __, eviction = llc.access(64, is_write=False)
+        assert eviction.dirty
+        assert llc.stats.writebacks == 1
+
+    def test_clean_eviction_flagged(self):
+        llc = small_cache(ways=1, sets=1)
+        llc.access(0, is_write=False)
+        __, eviction = llc.access(64, is_write=False)
+        assert not eviction.dirty
+        assert llc.stats.writebacks == 0
+
+    def test_drain_dirty_lines(self):
+        llc = small_cache()
+        llc.access(0, is_write=True)
+        llc.access(64, is_write=False)
+        llc.access(128, is_write=True)
+        dirty = sorted(llc.drain_dirty_lines())
+        assert dirty == [0, 2]
+        assert llc.drain_dirty_lines() == []
+
+
+class TestStats:
+    def test_miss_rate(self):
+        llc = small_cache()
+        llc.access(0, False)
+        llc.access(0, False)
+        llc.access(64, False)
+        assert llc.stats.accesses == 3
+        assert llc.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_stats(self):
+        assert small_cache().stats.miss_rate == 0.0
+
+    def test_contains(self):
+        llc = small_cache()
+        llc.access(0x200, False)
+        assert llc.contains(0x200)
+        assert not llc.contains(0x4000)

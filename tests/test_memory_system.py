@@ -1,0 +1,126 @@
+"""Unit tests for the MainMemory facade."""
+
+import pytest
+
+from repro.dram import DramOrganization, DramTiming, MainMemory, RequestKind, SystemConfig
+
+
+@pytest.fixture
+def memory():
+    return MainMemory(SystemConfig())
+
+
+class TestDataBeats:
+    def test_full_line_both_subranks(self, memory):
+        assert memory.data_beats(64, 2) == 4
+
+    def test_compressed_line_one_subrank(self, memory):
+        assert memory.data_beats(32, 1) == 4
+
+    def test_full_line_one_subrank_doubles(self, memory):
+        assert memory.data_beats(64, 1) == 8
+
+    def test_conventional_system(self):
+        config = SystemConfig(organization=DramOrganization(subranks=1))
+        memory = MainMemory(config)
+        assert memory.data_beats(64, 1) == 4
+
+    def test_full_line_mask(self, memory):
+        assert memory.full_line_mask() == (0, 1)
+
+
+class TestIssueAndAdvance:
+    def test_read_completes(self, memory):
+        completions = []
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0,
+                     on_complete=completions.append)
+        done = memory.advance(10_000.0)
+        assert len(done) == 1
+        assert done[0].completion_cycle > 0
+
+    def test_channel_routing(self, memory):
+        # Channels interleave above the two column-low bits (4 lines).
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.issue(4 * 64, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        assert memory.channels[0].pending_reads == 1
+        assert memory.channels[1].pending_reads == 1
+
+    def test_write_buffer_forwarding(self, memory):
+        fired = []
+        memory.issue(128, True, 64, None, RequestKind.DEMAND_WRITE, 0.0)
+        result = memory.issue(128, False, 64, None, RequestKind.DEMAND_READ, 1.0,
+                              on_complete=fired.append)
+        assert result is None
+        assert fired == [1.0]
+        assert memory.stats.forwarded_reads == 1
+
+    def test_forwarding_requires_same_address(self, memory):
+        memory.issue(128, True, 64, None, RequestKind.DEMAND_WRITE, 0.0)
+        result = memory.issue(256, False, 64, None, RequestKind.DEMAND_READ, 1.0)
+        assert result is not None
+
+    def test_completions_sorted(self, memory):
+        for i in range(8):
+            memory.issue(i * 64, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        done = memory.advance(100_000.0)
+        cycles = [r.completion_cycle for r in done]
+        assert cycles == sorted(cycles)
+
+    def test_kind_accounting(self, memory):
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.issue(64, False, 64, None, RequestKind.METADATA_READ, 0.0)
+        memory.issue(128, True, 64, None, RequestKind.METADATA_WRITE, 0.0)
+        counts = memory.stats.requests_by_kind
+        assert counts["demand_read"] == 1
+        assert counts["metadata_read"] == 1
+        assert counts["metadata_write"] == 1
+        assert memory.stats.total_requests == 3
+
+    def test_subrank_mask_passthrough(self, memory):
+        request = memory.issue(0, False, 32, (1,), RequestKind.DEMAND_READ, 0.0)
+        assert request.subrank_mask == (1,)
+        assert request.data_beats == 4
+
+
+class TestTelemetry:
+    def test_mean_read_latency(self, memory):
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.advance(10_000.0)
+        assert memory.mean_read_latency() > 0
+
+    def test_mean_read_latency_empty(self, memory):
+        assert memory.mean_read_latency() == 0.0
+
+    def test_command_counts(self, memory):
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.advance(10_000.0)
+        counts = memory.command_counts()
+        assert counts.get("ACT") == 1
+        assert counts.get("RD") == 1
+
+    def test_beats_by_subrank(self, memory):
+        memory.issue(0, False, 32, (0,), RequestKind.DEMAND_READ, 0.0)
+        memory.advance(10_000.0)
+        beats = memory.data_beats_by_subrank()
+        assert beats[0] == 4
+        assert beats[1] == 0
+
+    def test_row_buffer_outcomes(self, memory):
+        # Adjacent lines share a row (column-low bits are lowest).
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.issue(64, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        memory.advance(10_000.0)
+        outcomes = memory.row_buffer_outcomes()
+        assert outcomes["empty"] == 1
+        assert outcomes["hit"] == 1
+
+    def test_next_event_cycle(self, memory):
+        assert memory.next_event_cycle() is None
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 5.0)
+        assert memory.next_event_cycle() is not None
+
+    def test_pending_requests(self, memory):
+        memory.issue(0, False, 64, None, RequestKind.DEMAND_READ, 0.0)
+        assert memory.pending_requests == 1
+        memory.advance(10_000.0)
+        assert memory.pending_requests == 0

@@ -1,0 +1,123 @@
+"""Four-algorithm engine + BLEM with two CID information bits.
+
+Exercises the paper's Table I extension point: shrinking the CID to 13
+bits frees two information bits, enough to select among four on-the-fly
+compression algorithms (BDI, FPC, C-Pack, BPC).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    BdiCompressor,
+    BpcCompressor,
+    CompressionEngine,
+    CpackCompressor,
+    FpcCompressor,
+)
+from repro.core.blem import BlemConfig, BlemEngine
+from repro.scramble import DataScrambler
+from repro.util.bitops import CACHELINE_BYTES
+
+
+def four_algorithm_engine():
+    return CompressionEngine(
+        algorithms=[BdiCompressor(), FpcCompressor(), CpackCompressor(),
+                    BpcCompressor()]
+    )
+
+
+def four_algorithm_blem(seed=77):
+    return BlemEngine(
+        four_algorithm_engine(),
+        DataScrambler(seed),
+        BlemConfig(cid_bits=13, info_bits=2),
+    )
+
+
+class TestFourAlgorithmEngine:
+    def test_all_algorithms_registered(self):
+        engine = four_algorithm_engine()
+        assert engine.algorithm_names == ("bdi", "fpc", "cpack", "bpc")
+
+    def test_each_algorithm_can_win(self):
+        engine = four_algorithm_engine()
+        winners = set()
+        # Arithmetic ramp with large base: BPC's bit planes collapse.
+        bpc_line = b"".join(
+            ((0x89ABCDEF + 0x01010101 * i) % 2**32).to_bytes(4, "little")
+            for i in range(16)
+        )
+        cases = [
+            bytes(CACHELINE_BYTES),  # bdi zeros
+            b"".join(v.to_bytes(4, "little") for v in
+                     [0, 5, 0, 0xFFFFFFFE, 0, 3, 0, 7] * 2),  # fpc patterns
+            bpc_line,
+        ]
+        for data in cases:
+            block = engine.compress(data)
+            if block is not None:
+                winners.add(block.algorithm)
+        assert len(winners) >= 2
+
+    def test_wider_engine_never_worse(self):
+        narrow = CompressionEngine()
+        wide = four_algorithm_engine()
+        lines = [
+            bytes(CACHELINE_BYTES),
+            b"".join((0x1000 + i).to_bytes(4, "little") for i in range(16)),
+            b"".join((7 * i).to_bytes(4, "little") for i in range(16)),
+        ]
+        for line in lines:
+            assert wide.compressed_size(line) <= narrow.compressed_size(line)
+
+    def test_compressible_fraction_improves_or_ties(self):
+        from repro.workloads import DataModel, DataProfile
+
+        narrow = CompressionEngine()
+        wide = four_algorithm_engine()
+        model = DataModel(DataProfile(0.5, 0.8), seed=5, engine=narrow)
+        lines = [model.line_data(i) for i in range(300)]
+        narrow_hits = sum(narrow.is_compressible(line) for line in lines)
+        wide_hits = sum(wide.is_compressible(line) for line in lines)
+        assert wide_hits >= narrow_hits
+
+
+class TestBlemWithTwoInfoBits:
+    def test_config(self):
+        blem = four_algorithm_blem()
+        assert blem.config.cid_bits == 13
+        assert blem.config.info_bits == 2
+        assert blem.config.header_bits() == 16
+
+    def test_rejects_too_many_algorithms_for_info_bits(self):
+        with pytest.raises(ValueError):
+            BlemEngine(
+                four_algorithm_engine(),
+                DataScrambler(1),
+                BlemConfig(cid_bits=14, info_bits=1),
+            )
+
+    def test_roundtrip_each_algorithm_family(self):
+        blem = four_algorithm_blem()
+        lines = [
+            bytes(CACHELINE_BYTES),
+            (0xDEADBEEF).to_bytes(8, "little") * 8,
+            b"".join((3 * i).to_bytes(4, "little") for i in range(16)),
+            b"".join(v.to_bytes(4, "little") for v in [0, 9, 0, 2] * 4),
+        ]
+        for index, line in enumerate(lines):
+            address = index * 64
+            stored, spilled = blem.encode_write(address, line, 0)
+            assert blem.decode_read(address, stored, spilled) == line
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES),
+        address=st.integers(min_value=0, max_value=2**28).map(lambda a: a * 64),
+    )
+    def test_any_line_roundtrips(self, data, address):
+        blem = four_algorithm_blem()
+        stored, spilled = blem.encode_write(address, data, address // 64 % 2)
+        assert blem.decode_read(address, stored, spilled) == data

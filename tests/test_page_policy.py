@@ -1,0 +1,110 @@
+"""Tests for the open/closed page-management policy option."""
+
+import pytest
+
+from repro.dram import AddressMapper, DramOrganization, DramTiming, RequestKind
+from repro.dram.channel import Channel
+from repro.dram.request import DramRequest
+
+ORG = DramOrganization()
+TIMING = DramTiming()
+MAPPER = AddressMapper(ORG)
+
+
+def make_request(byte_address, arrival=0.0, is_write=False):
+    return DramRequest(
+        byte_address=byte_address,
+        decoded=MAPPER.decode(byte_address),
+        is_write=is_write,
+        subrank_mask=(0, 1),
+        data_beats=4,
+        kind=RequestKind.DEMAND_READ,
+        arrival_cycle=arrival,
+    )
+
+
+def drain(channel):
+    done = []
+    for _ in range(10000):
+        target = channel.next_event_cycle()
+        if target is None:
+            channel.flush_writes()
+            target = channel.next_event_cycle()
+            if target is None:
+                return done
+        done.extend(channel.advance(target + 1.0))
+    raise RuntimeError("did not converge")
+
+
+def same_bank_different_row_addresses():
+    from repro.dram.config import MemoryAddress
+
+    a = MAPPER.encode(MemoryAddress(0, 0, 0, 0, row=0, column=0))
+    b = MAPPER.encode(MemoryAddress(0, 0, 0, 0, row=1, column=0))
+    return a, b
+
+
+class TestClosedPagePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(TIMING, ORG, page_policy="half-open")
+
+    def test_closed_page_speeds_up_row_conflicts(self):
+        a, b = same_bank_different_row_addresses()
+        # Open policy: the second request must wait tRAS + PRE + ACT.
+        open_channel = Channel(TIMING, ORG, page_policy="open")
+        ra, rb = make_request(a), make_request(b, arrival=200.0)
+        open_channel.enqueue(ra)
+        drain(open_channel)
+        open_channel.advance(200.0)
+        open_channel.enqueue(rb)
+        drain(open_channel)
+        open_latency = rb.completion_cycle - rb.arrival_cycle
+
+        closed_channel = Channel(TIMING, ORG, page_policy="closed")
+        ca, cb = make_request(a), make_request(b, arrival=200.0)
+        closed_channel.enqueue(ca)
+        drain(closed_channel)
+        closed_channel.advance(200.0)
+        closed_channel.enqueue(cb)
+        drain(closed_channel)
+        closed_latency = cb.completion_cycle - cb.arrival_cycle
+
+        assert closed_latency < open_latency
+
+    def test_closed_page_keeps_row_open_for_queued_hits(self):
+        closed_channel = Channel(TIMING, ORG, page_policy="closed")
+        # Two same-row requests queued together: the second must be a hit
+        # (no premature auto-precharge).
+        first = make_request(0)
+        second = make_request(64)
+        closed_channel.enqueue(first)
+        closed_channel.enqueue(second)
+        drain(closed_channel)
+        assert second.row_outcome == "hit"
+
+    def test_closed_page_closes_idle_rows(self):
+        closed_channel = Channel(TIMING, ORG, page_policy="closed")
+        request = make_request(0)
+        closed_channel.enqueue(request)
+        drain(closed_channel)
+        bank = closed_channel.ranks[0].banks[0]
+        assert bank.open_row is None
+
+    def test_open_page_keeps_rows_open(self):
+        open_channel = Channel(TIMING, ORG, page_policy="open")
+        request = make_request(0)
+        open_channel.enqueue(request)
+        drain(open_channel)
+        bank = open_channel.ranks[0].banks[0]
+        assert bank.open_row == 0
+
+    def test_policies_complete_identical_request_sets(self):
+        addresses = [i * 64 for i in range(16)] + [4096 * 64 + i * 64 for i in range(8)]
+        for policy in ("open", "closed"):
+            channel = Channel(TIMING, ORG, page_policy=policy)
+            requests = [make_request(address) for address in addresses]
+            for request in requests:
+                channel.enqueue(request)
+            done = drain(channel)
+            assert len(done) == len(requests)

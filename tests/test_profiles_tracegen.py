@@ -1,0 +1,140 @@
+"""Unit tests for benchmark profiles and trace generation."""
+
+import itertools
+
+import pytest
+
+from repro.cpu import MemOp
+from repro.workloads import (
+    GAP_BENCHMARKS,
+    MIX_BENCHMARKS,
+    PROFILES,
+    SPEC_BENCHMARKS,
+    SYNTHETIC_BENCHMARKS,
+    TraceGenerator,
+    build_workload,
+    get_profile,
+)
+from repro.workloads.profiles import all_benchmark_names
+
+
+class TestProfileRegistry:
+    def test_suite_sizes(self):
+        assert len(SPEC_BENCHMARKS) == 10
+        assert len(GAP_BENCHMARKS) == 6
+        assert len(SYNTHETIC_BENCHMARKS) == 2
+
+    def test_lookup(self):
+        assert get_profile("mcf").suite == "spec"
+        assert get_profile("bc.kron").suite == "gap"
+        assert get_profile("RAND").suite == "synthetic"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_profile("nonexistent")
+
+    def test_average_compressibility_near_half(self):
+        # Fig. 4: on average ~50 % of lines compress to 30 B.
+        fractions = [p.data.compressible_fraction for p in PROFILES.values()]
+        assert 0.4 < sum(fractions) / len(fractions) < 0.6
+
+    def test_libquantum_is_incompressible(self):
+        assert get_profile("libquantum").data.compressible_fraction < 0.15
+
+    def test_all_names_ordering(self):
+        names = all_benchmark_names()
+        assert names[0] == "mcf"
+        assert "mix1" in names and "mix2" in names
+        assert len(names) == 20
+
+    def test_mixes_reference_known_benchmarks(self):
+        for members in MIX_BENCHMARKS.values():
+            assert len(members) == 8
+            for name in members:
+                assert name in PROFILES
+
+    def test_every_profile_builds_its_pattern(self):
+        for profile in PROFILES.values():
+            pattern = profile.make_pattern(0, 1 << 20, seed=1)
+            address = next(pattern.addresses())
+            assert address % 64 == 0
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        profile = get_profile("mcf")
+        a = list(TraceGenerator(profile, 0, 1 << 20, seed=5).records(100))
+        b = list(TraceGenerator(profile, 0, 1 << 20, seed=5).records(100))
+        assert a == b
+
+    def test_write_fraction_respected(self):
+        profile = get_profile("lbm")  # write_fraction 0.45
+        records = list(TraceGenerator(profile, 0, 1 << 20, seed=6).records(4000))
+        stores = sum(1 for r in records if r.op is MemOp.STORE)
+        assert stores / len(records) == pytest.approx(0.45, abs=0.05)
+
+    def test_mean_gap_respected(self):
+        profile = get_profile("milc")  # mean_gap 7
+        records = list(TraceGenerator(profile, 0, 1 << 20, seed=7).records(4000))
+        mean = sum(r.gap for r in records) / len(records)
+        assert mean == pytest.approx(7, rel=0.2)
+
+    def test_endless_stream(self):
+        profile = get_profile("STREAM")
+        generator = TraceGenerator(profile, 0, 1 << 20, seed=8)
+        records = list(itertools.islice(generator.records(None), 10))
+        assert len(records) == 10
+
+
+class TestBuildWorkload:
+    def test_rate_mode_disjoint_regions(self):
+        workload = build_workload("mcf", cores=4, records_per_core=10,
+                                  footprint_scale=0.01)
+        assert workload.cores == 4
+        bases = workload.region_bases
+        assert len(set(bases)) == 4
+        assert bases == sorted(bases)
+
+    def test_rate_mode_same_profile(self):
+        workload = build_workload("lbm", cores=3, records_per_core=10,
+                                  footprint_scale=0.01)
+        assert all(p.name == "lbm" for p in workload.profiles)
+
+    def test_mix_assigns_different_profiles(self):
+        workload = build_workload("mix1", cores=8, records_per_core=10,
+                                  footprint_scale=0.01)
+        names = {p.name for p in workload.profiles}
+        assert len(names) == 8
+
+    def test_mix_round_robin_on_fewer_cores(self):
+        workload = build_workload("mix1", cores=4, records_per_core=10,
+                                  footprint_scale=0.01)
+        assert workload.cores == 4
+
+    def test_traces_stay_in_their_regions(self):
+        workload = build_workload("RAND", cores=2, records_per_core=200,
+                                  footprint_scale=0.01)
+        for base, trace, profile in zip(
+            workload.region_bases, workload.traces, workload.profiles
+        ):
+            size = max(4096, int(profile.footprint_bytes * 0.01))
+            for record in trace:
+                assert base <= record.address < base + size + 4096
+
+    def test_data_model_routes_by_region(self):
+        workload = build_workload("mix1", cores=8, records_per_core=10,
+                                  footprint_scale=0.01)
+        # Content requests on different cores' lines must not raise.
+        for base in workload.region_bases:
+            data = workload.data_model.line_data(base // 64)
+            assert len(data) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_workload("mcf", cores=0)
+        with pytest.raises(ValueError):
+            build_workload("mcf", records_per_core=0)
+        with pytest.raises(ValueError):
+            build_workload("mcf", footprint_scale=0)
+        with pytest.raises(KeyError):
+            build_workload("unknown-bench")

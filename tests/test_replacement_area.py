@@ -1,0 +1,65 @@
+"""Unit tests for the Replacement Area."""
+
+import pytest
+
+from repro.core.replacement_area import LINES_PER_RA_BLOCK, ReplacementArea
+
+MEM = 16 * 1024**3
+RA_BASE = 15 * 1024**3
+
+
+@pytest.fixture
+def ra():
+    return ReplacementArea(RA_BASE, MEM)
+
+
+class TestGeometry:
+    def test_capacity_is_0_2_percent(self, ra):
+        assert ra.capacity_bytes == MEM // 512
+
+    def test_block_address_direct_mapped(self, ra):
+        assert ra.block_address(0) == RA_BASE
+        assert ra.block_address(LINES_PER_RA_BLOCK - 1) == RA_BASE
+        assert ra.block_address(LINES_PER_RA_BLOCK) == RA_BASE + 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplacementArea(RA_BASE + 1, MEM)
+        with pytest.raises(ValueError):
+            ReplacementArea(RA_BASE, 0)
+
+
+class TestBits:
+    def test_write_then_read(self, ra):
+        address = ra.write_bit(1234, 1)
+        assert address == ra.block_address(1234)
+        assert ra.read_bit(1234) == 1
+
+    def test_overwrite(self, ra):
+        ra.write_bit(10, 1)
+        ra.write_bit(10, 0)
+        assert ra.read_bit(10) == 0
+
+    def test_read_without_write_raises(self, ra):
+        with pytest.raises(KeyError):
+            ra.read_bit(99)
+
+    def test_has_bit(self, ra):
+        assert not ra.has_bit(5)
+        ra.write_bit(5, 0)
+        assert ra.has_bit(5)
+
+    def test_bad_bit_value(self, ra):
+        with pytest.raises(ValueError):
+            ra.write_bit(0, 2)
+
+    def test_line_out_of_range(self, ra):
+        with pytest.raises(ValueError):
+            ra.write_bit(MEM // 64, 0)
+
+    def test_stats(self, ra):
+        ra.write_bit(1, 1)
+        ra.read_bit(1)
+        ra.read_bit(1)
+        assert ra.stats.writes == 1
+        assert ra.stats.reads == 2

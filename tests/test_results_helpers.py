@@ -1,0 +1,108 @@
+"""Tests for result-container helpers and profile validation edges."""
+
+import pytest
+
+from repro.energy import EnergyReport
+from repro.sim.runner import SystemResult
+from repro.sim.simulator import SimulationResult
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.datagen import DataProfile
+
+
+def fake_result(runtime, energy=1000.0, latency=100.0, bandwidth_bytes=6400,
+                bus_cycles=1000.0):
+    return SimulationResult(
+        system="x",
+        workload="w",
+        runtime_core_cycles=runtime,
+        runtime_bus_cycles=bus_cycles,
+        instructions=10_000,
+        llc_misses=100,
+        llc_accesses=500,
+        memory_requests_by_kind={"demand_read": 100},
+        forwarded_reads=0,
+        bytes_transferred=bandwidth_bytes,
+        mean_read_latency_bus_cycles=latency,
+        energy=EnergyReport(0, 0, 0, 0, 0, energy),
+        row_buffer_outcomes={"hit": 1, "miss": 0, "empty": 0},
+    )
+
+
+class TestSimulationResultDerived:
+    def test_ipc(self):
+        result = fake_result(runtime=5000.0)
+        assert result.ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_runtime(self):
+        assert fake_result(runtime=0.0).ipc == 0.0
+
+    def test_mpki(self):
+        assert fake_result(runtime=1.0).mpki == pytest.approx(10.0)
+
+    def test_bandwidth(self):
+        result = fake_result(runtime=1.0, bandwidth_bytes=6400,
+                             bus_cycles=1000.0)
+        assert result.bandwidth_bytes_per_bus_cycle == pytest.approx(6.4)
+
+
+class TestSystemResult:
+    def make(self):
+        outcome = SystemResult(workload="w")
+        outcome.results["baseline"] = fake_result(
+            runtime=2000.0, energy=2000.0, latency=200.0, bandwidth_bytes=4000)
+        outcome.results["attache"] = fake_result(
+            runtime=1000.0, energy=1500.0, latency=100.0, bandwidth_bytes=5000)
+        return outcome
+
+    def test_speedup(self):
+        assert self.make().speedup("attache") == pytest.approx(2.0)
+
+    def test_energy_ratio(self):
+        assert self.make().energy_ratio("attache") == pytest.approx(0.75)
+
+    def test_latency_ratio(self):
+        assert self.make().latency_ratio("attache") == pytest.approx(0.5)
+
+    def test_bandwidth_ratio(self):
+        assert self.make().bandwidth_ratio("attache") == pytest.approx(1.25)
+
+    def test_custom_reference(self):
+        outcome = self.make()
+        assert outcome.speedup("baseline", over="attache") == pytest.approx(0.5)
+
+
+class TestProfileValidationEdges:
+    def test_unknown_pattern_kind(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "spec", DataProfile(), "spiral")
+
+    def test_unknown_mixed_component(self):
+        profile = BenchmarkProfile(
+            "x", "spec", DataProfile(), "mixed",
+            {"components": "stream,teleport"},
+        )
+        with pytest.raises(ValueError):
+            profile.make_pattern(0, 1 << 20, seed=1)
+
+    def test_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "spec", DataProfile(), "stream",
+                             write_fraction=1.5)
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "spec", DataProfile(), "stream",
+                             mean_gap=-1)
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "spec", DataProfile(), "stream",
+                             footprint_bytes=64)
+
+    def test_mixed_components_build(self):
+        profile = BenchmarkProfile(
+            "x", "gap", DataProfile(), "mixed",
+            {"components": "stream,random,chase,zipf"},
+        )
+        pattern = profile.make_pattern(0, 1 << 20, seed=1)
+        assert next(pattern.addresses()) % 64 == 0

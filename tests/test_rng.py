@@ -1,0 +1,83 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng, splitmix64
+
+
+class TestSplitmix64:
+    def test_known_vector(self):
+        # Reference value from the canonical splitmix64 implementation
+        # seeded with 0: first output is 0xE220A8397B1DCDAF.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    def test_output_is_64_bit(self):
+        for state in (0, 1, (1 << 64) - 1, 0xDEADBEEF):
+            assert 0 <= splitmix64(state) < (1 << 64)
+
+
+class TestDeterministicRng:
+    def test_reproducible(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.next_u64() for _ in range(10)] == [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+    def test_next_below_in_range(self):
+        rng = DeterministicRng(7)
+        for _ in range(1000):
+            assert 0 <= rng.next_below(13) < 13
+
+    def test_next_below_rejects_nonpositive(self):
+        rng = DeterministicRng(7)
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+
+    def test_next_float_in_unit_interval(self):
+        rng = DeterministicRng(3)
+        values = [rng.next_float() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # A uniform sample of 1000 should cover both halves.
+        assert any(v < 0.5 for v in values)
+        assert any(v >= 0.5 for v in values)
+
+    def test_next_bytes_length_and_determinism(self):
+        assert len(DeterministicRng(9).next_bytes(13)) == 13
+        assert DeterministicRng(9).next_bytes(13) == DeterministicRng(9).next_bytes(13)
+
+    def test_choice(self):
+        rng = DeterministicRng(11)
+        items = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(items) in items
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(5)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_fork_streams_are_independent(self):
+        parent = DeterministicRng(100)
+        child_a = parent.fork(1)
+        child_b = parent.fork(2)
+        assert child_a.next_u64() != child_b.next_u64()
+
+    def test_fork_is_deterministic(self):
+        assert DeterministicRng(100).fork(1).next_u64() == DeterministicRng(100).fork(1).next_u64()
+
+    def test_next_below_roughly_uniform(self):
+        rng = DeterministicRng(2024)
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[rng.next_below(8)] += 1
+        assert min(counts) > 800  # expectation is 1000 per bucket

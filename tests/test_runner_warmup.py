@@ -1,0 +1,111 @@
+"""Tests for the experiment runner's warm-up phase and scaling."""
+
+import pytest
+
+from repro.core import AttacheController, MetadataCacheController
+from repro.core.controllers import BaselineController, IdealController
+from repro.dram import DramOrganization, MainMemory, SystemConfig
+from repro.sim.runner import ExperimentScale, run_benchmark
+from repro.workloads import DataModel, DataProfile
+
+
+def make_attache(fraction=1.0):
+    memory = MainMemory(SystemConfig(organization=DramOrganization(subranks=2)))
+    model = DataModel(DataProfile(fraction, 1.0), seed=4)
+    return AttacheController(memory, model)
+
+
+class TestWarmInterfaces:
+    def test_attache_warm_trains_copr(self):
+        controller = make_attache(fraction=1.0)
+        for line in range(200):
+            controller.warm_read(line * 64)
+        # After warm-up on all-compressible lines, COPR should predict
+        # compressible for a nearby line.
+        assert controller.copr.predict(0) is True
+        # Warm-up records no accuracy statistics.
+        assert controller.copr.stats.predictions == 0
+
+    def test_attache_warm_write_updates_versions(self):
+        controller = make_attache()
+        model = controller._data_model
+        model.note_store(5)
+        controller.warm_write(5 * 64)
+        assert controller._version_written[5] == 1
+        # The stored image is re-encoded lazily and decodes to the new
+        # version's content (read path verifies integrity).
+        controller.read_line(5 * 64, 0.0, lambda t: None)
+
+    def test_reset_stats_clears_everything(self):
+        controller = make_attache()
+        controller.warm_read(0)
+        controller.read_line(64, 0.0, lambda t: None)
+        controller.reset_stats()
+        assert controller.stats.demand_reads == 0
+        assert controller.copr.stats.predictions == 0
+        assert controller.blem.stats.writes_compressed == 0
+
+    def test_metadata_controller_warm_fills_cache(self):
+        memory = MainMemory(SystemConfig(organization=DramOrganization(subranks=2)))
+        model = DataModel(DataProfile(0.5, 0.8), seed=4)
+        controller = MetadataCacheController(memory, model)
+        controller.warm_read(0)
+        controller.reset_stats()
+        controller.read_line(64, 0.0, lambda t: None)  # same metadata block
+        assert controller.metadata_cache.stats.hits == 1
+        assert controller.stats.metadata_reads == 0
+
+    def test_baseline_and_ideal_warm_are_safe(self):
+        memory = MainMemory(SystemConfig(organization=DramOrganization(subranks=1)))
+        model = DataModel(DataProfile(0.5, 0.8), seed=4)
+        baseline = BaselineController(memory, model)
+        baseline.warm_read(0)
+        baseline.warm_write(64)
+        baseline.reset_stats()
+
+        memory2 = MainMemory(SystemConfig(organization=DramOrganization(subranks=2)))
+        ideal = IdealController(memory2, model)
+        ideal.warm_read(0)
+        ideal.warm_write(64)
+        assert ideal._stored_compressed  # state was trained
+
+
+class TestScaleWarmup:
+    def test_default_warmup_is_double(self):
+        scale = ExperimentScale(name="x", factor=32, records_per_core=1000)
+        assert scale.effective_warmup == 2000
+
+    def test_explicit_warmup(self):
+        scale = ExperimentScale(name="x", factor=32, records_per_core=1000,
+                                warmup_per_core=500)
+        assert scale.effective_warmup == 500
+
+    def test_zero_warmup_allowed(self):
+        scale = ExperimentScale(name="x", factor=32, records_per_core=1000,
+                                warmup_per_core=0)
+        assert scale.effective_warmup == 0
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="x", factor=32, warmup_per_core=-1)
+
+    def test_warmup_changes_measured_window(self):
+        cold = ExperimentScale(name="c", factor=64, cores=2,
+                               records_per_core=800, warmup_per_core=0)
+        warm = ExperimentScale(name="w", factor=64, cores=2,
+                               records_per_core=800, warmup_per_core=2400)
+        cold_result = run_benchmark("STREAM", "attache", scale=cold, seed=9)
+        warm_result = run_benchmark("STREAM", "attache", scale=warm, seed=9)
+        # Warm predictors mispredict less on the measured window.
+        assert warm_result.copr_accuracy >= cold_result.copr_accuracy - 0.02
+        # The measured instruction counts are comparable windows.
+        assert warm_result.instructions == pytest.approx(
+            cold_result.instructions, rel=0.2
+        )
+
+    def test_warm_run_is_deterministic(self):
+        scale = ExperimentScale(name="w", factor=64, cores=2,
+                                records_per_core=500, warmup_per_core=1000)
+        a = run_benchmark("lbm", "attache", scale=scale, seed=3)
+        b = run_benchmark("lbm", "attache", scale=scale, seed=3)
+        assert a.runtime_core_cycles == b.runtime_core_cycles

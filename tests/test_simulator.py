@@ -1,0 +1,100 @@
+"""Integration tests: full-system simulation across all four systems."""
+
+import pytest
+
+from repro.sim import run_benchmark, run_comparison
+from repro.sim.runner import TINY_SCALE, ExperimentScale, build_system
+
+SMOKE = ExperimentScale(name="smoke", factor=64, cores=2, records_per_core=600)
+
+
+class TestSingleRuns:
+    @pytest.mark.parametrize("system", ["baseline", "ideal", "metadata_cache",
+                                        "attache"])
+    def test_system_runs_to_completion(self, system):
+        result = run_benchmark("STREAM", system, scale=SMOKE, seed=7)
+        assert result.runtime_core_cycles > 0
+        assert result.instructions > 0
+        assert result.llc_misses > 0
+        assert result.energy.total_nj > 0
+
+    def test_attache_records_copr_accuracy(self):
+        result = run_benchmark("STREAM", "attache", scale=SMOKE, seed=7)
+        assert result.copr_accuracy is not None
+        assert 0.0 <= result.copr_accuracy <= 1.0
+
+    def test_metadata_cache_records_hit_rate(self):
+        result = run_benchmark("STREAM", "metadata_cache", scale=SMOKE, seed=7)
+        assert result.metadata_hit_rate is not None
+
+    def test_baseline_has_no_extras(self):
+        result = run_benchmark("STREAM", "baseline", scale=SMOKE, seed=7)
+        kinds = set(result.memory_requests_by_kind)
+        assert kinds <= {"demand_read", "demand_write"}
+
+    def test_attache_never_issues_metadata_requests(self):
+        result = run_benchmark("RAND", "attache", scale=SMOKE, seed=7)
+        kinds = set(result.memory_requests_by_kind)
+        assert "metadata_read" not in kinds
+        assert "metadata_write" not in kinds
+
+    def test_deterministic_across_runs(self):
+        a = run_benchmark("STREAM", "attache", scale=SMOKE, seed=7)
+        b = run_benchmark("STREAM", "attache", scale=SMOKE, seed=7)
+        assert a.runtime_core_cycles == b.runtime_core_cycles
+        assert a.memory_requests_by_kind == b.memory_requests_by_kind
+
+    def test_mpki_is_memory_intensive(self):
+        result = run_benchmark("RAND", "baseline", scale=SMOKE, seed=7)
+        assert result.mpki > 1.0  # paper's benchmark selection criterion
+
+
+class TestComparisons:
+    def test_compression_systems_beat_baseline_on_compressible(self):
+        outcome = run_comparison(
+            "STREAM", systems=["baseline", "ideal", "attache"],
+            scale=SMOKE, seed=3,
+        )
+        assert outcome.speedup("ideal") > 1.0
+        assert outcome.speedup("attache") > 1.0
+
+    def test_ideal_upper_bounds_attache(self):
+        outcome = run_comparison(
+            "STREAM", systems=["baseline", "ideal", "attache"],
+            scale=SMOKE, seed=3,
+        )
+        assert outcome.speedup("ideal") >= outcome.speedup("attache") * 0.98
+
+    def test_energy_savings_on_compressible(self):
+        outcome = run_comparison(
+            "STREAM", systems=["baseline", "attache"], scale=SMOKE, seed=3
+        )
+        assert outcome.energy_ratio("attache") < 1.05
+
+    def test_bandwidth_and_latency_ratios_defined(self):
+        outcome = run_comparison(
+            "STREAM", systems=["baseline", "attache"], scale=SMOKE, seed=3
+        )
+        assert outcome.bandwidth_ratio("attache") > 0
+        assert outcome.latency_ratio("attache") > 0
+
+
+class TestBuildSystem:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_system("turbo")
+
+    def test_baseline_is_conventional(self):
+        config, __ = build_system("baseline", TINY_SCALE)
+        assert config.organization.subranks == 1
+
+    def test_others_are_subranked(self):
+        for system in ("ideal", "metadata_cache", "attache"):
+            config, __ = build_system(system, TINY_SCALE)
+            assert config.organization.subranks == 2
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", factor=0)
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", factor=1, cores=0)

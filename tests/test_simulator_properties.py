@@ -1,0 +1,65 @@
+"""Property-based tests for the full-system simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.runner import ExperimentScale, run_benchmark
+from repro.workloads.profiles import PROFILES
+
+
+def tiny_scale(records, cores=2, warmup=0):
+    return ExperimentScale(name="prop", factor=64, cores=cores,
+                           records_per_core=records, warmup_per_core=warmup)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        benchmark=st.sampled_from(["STREAM", "RAND", "lbm", "omnetpp"]),
+        records=st.integers(min_value=50, max_value=400),
+        seed=st.integers(min_value=1, max_value=1000),
+    )
+    def test_any_tiny_run_terminates_and_balances(self, benchmark, records, seed):
+        result = run_benchmark(
+            benchmark, "attache", scale=tiny_scale(records), seed=seed
+        )
+        # Conservation: every LLC miss produced exactly one demand read
+        # (issued to DRAM or satisfied by write-buffer forwarding).
+        demand = result.memory_requests_by_kind.get("demand_read", 0)
+        assert demand + result.forwarded_reads == result.llc_misses
+        # Runtime covers at least the instruction stream at peak IPC.
+        assert result.runtime_core_cycles >= result.instructions / 4 / 2
+        assert result.energy.total_nj > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=1, max_value=50))
+    def test_baseline_never_slower_than_itself_rerun(self, seed):
+        a = run_benchmark("lbm", "baseline", scale=tiny_scale(200), seed=seed)
+        b = run_benchmark("lbm", "baseline", scale=tiny_scale(200), seed=seed)
+        assert a.runtime_core_cycles == b.runtime_core_cycles
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        benchmark=st.sampled_from(list(PROFILES)),
+        seed=st.integers(min_value=1, max_value=100),
+    )
+    def test_every_profile_simulates_on_every_system(self, benchmark, seed):
+        for system in ("baseline", "attache"):
+            result = run_benchmark(
+                benchmark, system, scale=tiny_scale(120), seed=seed
+            )
+            assert result.runtime_core_cycles > 0
+
+    def test_warmup_never_leaks_into_measured_stats(self):
+        scale = tiny_scale(150, warmup=600)
+        result = run_benchmark("STREAM", "attache", scale=scale, seed=7)
+        # Measured windows see only the timed records.
+        assert result.llc_accesses == 2 * 150
+
+    def test_more_cores_more_instructions(self):
+        two = run_benchmark("lbm", "baseline",
+                            scale=tiny_scale(150, cores=2), seed=3)
+        four = run_benchmark("lbm", "baseline",
+                             scale=tiny_scale(150, cores=4), seed=3)
+        assert four.instructions > two.instructions

@@ -1,0 +1,81 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.sim.runner import ExperimentScale
+from repro.sim.sweep import METRICS, Sweep, SweepPoint, run_sweep
+
+SMOKE = ExperimentScale(name="sweep-smoke", factor=64, cores=2,
+                        records_per_core=300, warmup_per_core=0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        benchmarks=["STREAM", "libquantum"],
+        systems=["baseline", "ideal"],
+        seeds=[1],
+        scale=SMOKE,
+    )
+
+
+class TestRunSweep:
+    def test_cross_product_size(self, sweep):
+        assert len(sweep.points) == 4
+
+    def test_points_carry_results(self, sweep):
+        for point in sweep.points:
+            assert point.result.runtime_core_cycles > 0
+            assert point.metric("ipc") > 0
+
+    def test_metric_names_validated(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.points[0].metric("warp_factor")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([], ["baseline"], scale=SMOKE)
+        with pytest.raises(ValueError):
+            run_sweep(["STREAM"], [], scale=SMOKE)
+
+    def test_parameter_grid(self):
+        sweep = run_sweep(
+            benchmarks=["STREAM"],
+            systems=["metadata_cache"],
+            scale=SMOKE,
+            parameter_grid={"metadata_policy": ["lru", "drrip"]},
+        )
+        assert len(sweep.points) == 2
+        policies = {p.parameters["metadata_policy"] for p in sweep.points}
+        assert policies == {"lru", "drrip"}
+
+
+class TestTabulation:
+    def test_metric_table_pivot(self, sweep):
+        table = sweep.metric_table("runtime_core_cycles")
+        assert set(table) == {"STREAM", "libquantum"}
+        assert set(table["STREAM"]) == {"baseline", "ideal"}
+
+    def test_pivot_on_parameter_axis(self):
+        sweep = run_sweep(
+            benchmarks=["STREAM"], systems=["metadata_cache"], scale=SMOKE,
+            parameter_grid={"metadata_policy": ["lru", "ship"]},
+        )
+        table = sweep.metric_table("mpki", rows="metadata_policy",
+                                   columns="benchmark")
+        assert set(table) == {"lru", "ship"}
+
+    def test_unknown_axis(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.metric_table("ipc", rows="flavor")
+
+    def test_csv_export(self, sweep):
+        text = sweep.to_csv(metrics=["ipc", "mpki"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,system,seed,ipc,mpki"
+        assert len(lines) == 5
+
+    def test_csv_all_metrics_by_default(self, sweep):
+        header = sweep.to_csv().splitlines()[0]
+        for metric in METRICS:
+            assert metric in header

@@ -1,0 +1,72 @@
+"""Tests for the DRAM command-timeline renderer."""
+
+import pytest
+
+from repro.dram import AddressMapper, DramOrganization, DramTiming, RequestKind
+from repro.dram.channel import Channel
+from repro.dram.request import DramRequest
+from repro.dram.timeline import render_timeline
+
+ORG = DramOrganization()
+TIMING = DramTiming()
+MAPPER = AddressMapper(ORG)
+
+
+def run_some_traffic():
+    channel = Channel(TIMING, ORG, log_commands=True)
+    for i in range(8):
+        address = i * 64
+        channel.enqueue(DramRequest(
+            byte_address=address,
+            decoded=MAPPER.decode(address),
+            is_write=False,
+            subrank_mask=(0, 1),
+            data_beats=4,
+            kind=RequestKind.DEMAND_READ,
+            arrival_cycle=0.0,
+        ))
+    channel.advance(100000.0)
+    return channel
+
+
+class TestRenderTimeline:
+    def test_renders_real_log(self):
+        channel = run_some_traffic()
+        art = render_timeline(channel.command_log, ORG.banks_per_rank)
+        assert "A" in art  # at least one ACT
+        assert "R" in art  # at least one read
+        assert "rank 0 bank" in art
+
+    def test_empty_log(self):
+        assert "empty" in render_timeline([], ORG.banks_per_rank)
+
+    def test_window_filtering(self):
+        channel = run_some_traffic()
+        art = render_timeline(channel.command_log, ORG.banks_per_rank,
+                              start_cycle=1e9)
+        assert "no commands" in art
+
+    def test_width_clamped(self):
+        log = [(float(i * 100), "ACT", 0, i % 4, None) for i in range(200)]
+        art = render_timeline(log, 4, max_width=40)
+        for line in art.splitlines()[1:]:
+            __, lane = line.split("|")
+            assert len(lane.strip()) <= 40
+
+    def test_refresh_spans_all_banks(self):
+        log = [(10.0, "REF", 0, -1, None)]
+        art = render_timeline(log, 4)
+        lanes = art.splitlines()[1:]  # skip the legend header
+        assert len(lanes) == 4
+        assert all("F" in lane for lane in lanes)
+
+    def test_priority_column_over_precharge(self):
+        log = [(10.0, "PRE", 0, 0, None), (11.0, "RD", 0, 0, 1)]
+        art = render_timeline(log, 1, resolution=16.0)
+        assert "R" in art and "P" not in art.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline([(0.0, "ACT", 0, 0, None)], 4, resolution=0)
+        with pytest.raises(ValueError):
+            render_timeline([(0.0, "ACT", 0, 0, None)], 0)

@@ -1,0 +1,74 @@
+"""Unit tests for trace records and serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import MemOp, TraceRecord, read_trace, write_trace
+
+
+class TestTraceRecord:
+    def test_fields(self):
+        record = TraceRecord(gap=5, op=MemOp.LOAD, address=0x1000)
+        assert record.gap == 5
+        assert record.op is MemOp.LOAD
+        assert record.address == 0x1000
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            TraceRecord(gap=-1, op=MemOp.LOAD, address=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            TraceRecord(gap=0, op=MemOp.STORE, address=-64)
+
+    def test_records_are_hashable_and_comparable(self):
+        a = TraceRecord(1, MemOp.LOAD, 64)
+        b = TraceRecord(1, MemOp.LOAD, 64)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        records = [
+            TraceRecord(0, MemOp.LOAD, 0),
+            TraceRecord(100, MemOp.STORE, 0xDEADBEEF),
+            TraceRecord(3, MemOp.LOAD, 2**40),
+        ]
+        buffer = io.BytesIO()
+        assert write_trace(buffer, records) == 3
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == records
+
+    def test_empty_trace(self):
+        buffer = io.BytesIO()
+        assert write_trace(buffer, []) == 0
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == []
+
+    def test_truncated_stream_raises(self):
+        buffer = io.BytesIO()
+        write_trace(buffer, [TraceRecord(0, MemOp.LOAD, 64)])
+        truncated = io.BytesIO(buffer.getvalue()[:-3])
+        with pytest.raises(ValueError):
+            list(read_trace(truncated))
+
+    @given(
+        st.lists(
+            st.builds(
+                TraceRecord,
+                gap=st.integers(min_value=0, max_value=2**32 - 1),
+                op=st.sampled_from([MemOp.LOAD, MemOp.STORE]),
+                address=st.integers(min_value=0, max_value=2**64 - 1),
+            ),
+            max_size=50,
+        )
+    )
+    def test_roundtrip_property(self, records):
+        buffer = io.BytesIO()
+        write_trace(buffer, records)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == records
