@@ -10,6 +10,14 @@ Scale: benches default to the ``fast`` preset (capacities and footprints
 scaled down 32x together — see DESIGN.md section 6 and
 ``repro.sim.runner.ExperimentScale``).  Set ``REPRO_BENCH_SCALE=tiny``
 for smoke runs or ``REPRO_BENCH_RECORDS`` to change trace length.
+
+Caching: set ``REPRO_BENCH_CACHE_DIR=<dir>`` to back the in-memory
+results cache with the orchestrator's content-addressed on-disk cache
+(docs/ORCHESTRATOR.md).  Repeat ``pytest benchmarks/`` invocations then
+reuse every previously simulated (workload, system, config, seed) point
+instead of re-simulating it, which collapses the suite's wall-clock.
+Keys include a hash of the ``repro`` sources, so editing the simulator
+invalidates stale entries automatically.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import pytest
 
 from repro.core.blem import BlemConfig
 from repro.core.copr import CoprConfig
+from repro.orchestrator import ResultCache, code_fingerprint, stable_key
 from repro.sim.runner import ExperimentScale, run_benchmark
 from repro.sim.simulator import SimulationResult
 from repro.workloads.profiles import all_benchmark_names
@@ -67,10 +76,17 @@ def functional_workload_kwargs() -> Dict[str, object]:
 
 
 class ResultsCache:
-    """Memoises full-timing simulation results across bench modules."""
+    """Memoises full-timing simulation results across bench modules.
+
+    Always memoises in memory; when ``REPRO_BENCH_CACHE_DIR`` is set it
+    also reads/writes the orchestrator's content-addressed on-disk cache
+    so results survive across pytest sessions and CI runs.
+    """
 
     def __init__(self) -> None:
         self._results: Dict[tuple, SimulationResult] = {}
+        cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+        self._disk = ResultCache(cache_dir) if cache_dir else None
 
     def get(
         self,
@@ -83,11 +99,34 @@ class ResultsCache:
         key = (workload, system, copr_config, blem_config, seed,
                bench_scale().name, bench_scale().records_per_core)
         if key not in self._results:
-            self._results[key] = run_benchmark(
-                workload, system, scale=bench_scale(), seed=seed,
-                copr_config=copr_config, blem_config=blem_config,
-            )
+            self._results[key] = self._simulate_or_load(key)
         return self._results[key]
+
+    def _simulate_or_load(self, key: tuple) -> SimulationResult:
+        workload, system, copr_config, blem_config, seed = key[:5]
+        disk_key = None
+        if self._disk is not None:
+            disk_key = stable_key({
+                "kind": "bench",
+                "workload": workload,
+                "system": system,
+                "copr_config": copr_config,
+                "blem_config": blem_config,
+                "seed": seed,
+                "scale": bench_scale(),
+                "code": code_fingerprint(),
+            })
+            cached = self._disk.get(disk_key)
+            if cached is not None:
+                return cached
+        result = run_benchmark(
+            workload, system, scale=bench_scale(), seed=seed,
+            copr_config=copr_config, blem_config=blem_config,
+        )
+        if self._disk is not None:
+            self._disk.put(disk_key, result,
+                           meta={"workload": workload, "system": system})
+        return result
 
     def sweep(
         self,

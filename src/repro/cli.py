@@ -150,15 +150,32 @@ def _cmd_functional(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _run_grid(args: argparse.Namespace, run_dir=None):
+    """Shared sweep/orchestrate execution path."""
     from repro.sim.sweep import run_sweep
 
-    sweep = run_sweep(
+    return run_sweep(
         benchmarks=list(args.benchmarks),
         systems=list(args.systems),
-        seeds=[args.seed],
+        seeds=list(args.seeds) if args.seeds else [args.seed],
         scale=_scale_from_args(args),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        run_dir=run_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=args.progress,
     )
+
+
+def _report_failures(sweep) -> None:
+    for outcome in sweep.failures:
+        print(f"FAILED {outcome.spec.describe()} "
+              f"after {outcome.attempts} attempt(s): {outcome.error}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = _run_grid(args, run_dir=args.run_dir)
     csv_text = sweep.to_csv(metrics=list(args.metrics))
     if args.output == "-":
         print(csv_text, end="")
@@ -166,7 +183,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(csv_text)
         print(f"wrote {len(sweep.points)} rows to {args.output}")
-    return 0
+    _report_failures(sweep)
+    return 1 if sweep.failures else 0
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    """Durable, resumable grid runs: ``orchestrate`` / ``orchestrate --resume``."""
+    import pathlib
+
+    from repro.orchestrator.manifest import RunManifest
+    from repro.sim.runner import ExperimentScale
+
+    if args.resume:
+        run_dir = pathlib.Path(args.resume)
+        # Probe before RunManifest(): its constructor creates the run
+        # directory, which would turn a typo'd path into an empty run.
+        if not (run_dir / "run.json").exists():
+            print(f"no run.json under {run_dir}; nothing to resume")
+            return 1
+        spec = RunManifest(run_dir).read_spec()
+        args.benchmarks = spec["benchmarks"]
+        args.systems = spec["systems"]
+        args.seeds = spec["seeds"]
+        scale = ExperimentScale.from_dict(spec["scale"])
+        if args.cache_dir is None:
+            args.cache_dir = spec.get("cache_dir")
+        sweep = _run_grid_with_scale(args, scale, run_dir)
+    else:
+        if args.run_dir is None:
+            print("orchestrate needs --run-dir (or --resume <run-dir>)")
+            return 1
+        run_dir = pathlib.Path(args.run_dir)
+        sweep = _run_grid(args, run_dir=run_dir)
+
+    csv_path = run_dir / "sweep.csv"
+    csv_path.write_text(sweep.to_csv(metrics=list(args.metrics)),
+                        encoding="utf-8")
+
+    summary = _read_summary(run_dir)
+    rows = [["grid points", str(len(sweep.points) + len(sweep.failures))],
+            ["csv", str(csv_path)]]
+    if summary:
+        rows += [
+            ["simulated", str(summary["done"])],
+            ["cached", str(summary["cached"])],
+            ["failed", str(summary["failed"])],
+            ["cache hit rate", f"{100 * summary['cache_hit_rate']:.1f}%"],
+            ["worker utilization",
+             f"{100 * summary['worker_utilization']:.1f}%"],
+            ["elapsed", f"{summary['elapsed_s']:.2f}s"],
+        ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"orchestrated run: {run_dir}"))
+    _report_failures(sweep)
+    return 1 if sweep.failures else 0
+
+
+def _run_grid_with_scale(args, scale, run_dir):
+    from repro.sim.sweep import run_sweep
+
+    return run_sweep(
+        benchmarks=list(args.benchmarks),
+        systems=list(args.systems),
+        seeds=list(args.seeds),
+        scale=scale,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        run_dir=run_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=args.progress,
+    )
+
+
+def _read_summary(run_dir):
+    import json
+
+    path = run_dir / "telemetry.jsonl"
+    summary = None
+    if path.exists():
+        for line in path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("event") == "summary":
+                summary = record
+    return summary
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,17 +307,55 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a benchmark x system grid, export CSV"
     )
     _add_common(sweep_parser)
-    sweep_parser.add_argument("--benchmarks", nargs="+", default=["STREAM"])
-    sweep_parser.add_argument(
+    _add_grid(sweep_parser)
+    sweep_parser.add_argument("--output", default="-",
+                              help="CSV path, or '-' for stdout")
+
+    orchestrate_parser = commands.add_parser(
+        "orchestrate",
+        help="durable parallel grid run (manifest + telemetry + resume)",
+    )
+    _add_common(orchestrate_parser)
+    _add_grid(orchestrate_parser)
+    orchestrate_parser.add_argument(
+        "--resume", metavar="RUN_DIR", default=None,
+        help="resume an interrupted/failed run from its run directory "
+             "(grid and scale come from its run.json)",
+    )
+    return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_grid(parser: argparse.ArgumentParser) -> None:
+    """Axes + orchestration flags shared by ``sweep`` and ``orchestrate``."""
+    parser.add_argument("--benchmarks", nargs="+", default=["STREAM"])
+    parser.add_argument(
         "--systems", nargs="+", choices=SYSTEMS, default=["baseline", "attache"]
     )
-    sweep_parser.add_argument(
+    parser.add_argument("--seeds", nargs="+", type=int, default=None,
+                        help="seed axis (defaults to the single --seed)")
+    parser.add_argument(
         "--metrics", nargs="+",
         default=["runtime_core_cycles", "ipc", "energy_nj"],
     )
-    sweep_parser.add_argument("--output", default="-",
-                              help="CSV path, or '-' for stdout")
-    return parser
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="parallel worker processes")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--run-dir", default=None,
+                        help="durable run directory (manifest/telemetry)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point wall-clock timeout in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per grid point after a failure")
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live progress line on stderr")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -225,6 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "functional": _cmd_functional,
         "sweep": _cmd_sweep,
+        "orchestrate": _cmd_orchestrate,
     }
     return handlers[args.command](args)
 

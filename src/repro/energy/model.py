@@ -19,6 +19,7 @@ x8 values; what the paper's Figure 13 depends on is the *structure*:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -93,6 +94,18 @@ class EnergyReport:
             "background": self.background_nj,
             "total": self.total_nj,
         }
+
+    def to_dict(self) -> Dict[str, float]:
+        """Lossless serialisation of the stored fields (no derived keys).
+
+        Unlike :meth:`as_dict` (display-oriented, includes ``total``),
+        this round-trips exactly through :meth:`from_dict`.
+        """
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "EnergyReport":
+        return cls(**{f.name: payload[f.name] for f in dataclasses.fields(cls)})
 
 
 class EnergyModel:

@@ -1,0 +1,96 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is the sha256 hex
+digest from :meth:`repro.orchestrator.jobs.JobSpec.key`.  Each entry
+stores the ``SimulationResult.to_dict()`` payload plus a small metadata
+envelope.  Writes are atomic (temp file + rename) so a killed sweep can
+never leave a truncated entry; unreadable or schema-mismatched entries
+read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """Maps job keys to cached :class:`SimulationResult` payloads."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for *key*, or ``None`` on any kind of miss."""
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Absent, truncated, corrupt or written by another schema
+            # version: all of these are just misses.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult,
+            meta: Optional[Dict[str, object]] = None) -> pathlib.Path:
+        """Store *result* under *key* atomically; returns the entry path."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "meta": dict(meta or {}),
+                   "result": result.to_dict()}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=str(path.parent),
+            prefix=f".{key[:8]}.", suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = ["CacheStats", "ResultCache"]

@@ -1,0 +1,387 @@
+"""The orchestrator: a fault-tolerant worker pool over job specs.
+
+Each attempt of each job runs in its *own* worker process, so a crash
+(segfault, OOM-kill, unhandled exception) takes down one attempt, never
+the sweep: the parent observes the dead worker, retries with exponential
+backoff up to ``retries`` times, and finally marks the point ``failed``
+in the run manifest while every other point proceeds.  Per-job wall
+timeouts are enforced by terminating the worker, which a thread pool or
+``ProcessPoolExecutor`` cannot do per task.
+
+Results cross the process boundary as ``SimulationResult.to_dict()``
+payloads over a pipe, the same lossless encoding the result cache and
+run manifests store, so a simulated point, a cached point and a resumed
+point are bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.jobs import JobSpec, execute_job
+from repro.orchestrator.manifest import RunManifest
+from repro.orchestrator.telemetry import RunTelemetry
+from repro.sim.simulator import SimulationResult
+
+
+def _worker_entry(conn, runner, job_payload) -> None:
+    """Worker-side wrapper: run one job, ship the outcome over *conn*."""
+    try:
+        result = runner(JobSpec.from_dict(job_payload))
+        conn.send({"status": "ok", "result": result.to_dict()})
+    except BaseException as exc:  # isolate *everything*, incl. KeyboardInterrupt
+        conn.send({
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        })
+    finally:
+        conn.close()
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one grid point after orchestration."""
+
+    spec: JobSpec
+    key: str
+    status: str  #: "done" | "failed" | "cached"
+    attempts: int = 0
+    wall_s: float = 0.0  #: total worker seconds across attempts
+    error: Optional[str] = None
+    result: Optional[SimulationResult] = None
+    source: str = "run"  #: "run" | "cache" | "manifest"
+
+
+@dataclass
+class OrchestrationReport:
+    """Everything ``Orchestrator.run`` learned, in input order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def results(self) -> List[Optional[SimulationResult]]:
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def cached(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == "cached"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class _Pending:
+    index: int
+    attempt: int  #: next attempt number (1-based)
+    ready_at: float  #: monotonic time before which we must not launch
+
+
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    started: float
+    deadline: float  #: monotonic give-up time (inf when no timeout)
+
+
+class Orchestrator:
+    """Executes job specs as a pool of isolated worker processes.
+
+    Args:
+        jobs: worker processes to keep busy (1 = serial, still isolated).
+        cache: optional :class:`ResultCache`; hits skip the worker
+            entirely and misses are populated after a successful run.
+        timeout_s: per-*attempt* wall-clock limit (None = unlimited).
+        retries: extra attempts after the first, per job.
+        backoff_s: base of the exponential retry backoff
+            (``backoff_s * 2**(attempt-1)`` before attempt N+1).
+        runner: the function executed inside the worker; defaults to
+            :func:`repro.orchestrator.jobs.execute_job`.  Must be
+            importable at module level (it crosses the process boundary).
+        include_code: fold :func:`code_fingerprint` into cache keys.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        backoff_s: float = 0.25,
+        runner: Callable[[JobSpec], SimulationResult] = execute_job,
+        include_code: bool = True,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.runner = runner
+        self.include_code = include_code
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: List[JobSpec],
+        run_dir=None,
+        run_spec: Optional[Dict[str, object]] = None,
+        telemetry_path=None,
+        progress: bool = False,
+        stream=None,
+    ) -> OrchestrationReport:
+        """Execute *specs*, reusing the cache and any prior run state.
+
+        When *run_dir* is given the run is durable and resumable:
+        completed points recorded in its manifest are loaded instead of
+        re-simulated, and every terminal event is appended to the
+        manifest as it happens.
+        """
+        manifest = RunManifest(run_dir) if run_dir is not None else None
+        if manifest is not None and run_spec is not None:
+            manifest.write_spec(run_spec)
+        if manifest is not None and telemetry_path is None:
+            telemetry_path = manifest.run_dir / "telemetry.jsonl"
+
+        telemetry = RunTelemetry(
+            path=telemetry_path, progress=progress, stream=stream,
+            workers=self.jobs,
+        )
+        keys = [spec.key(include_code=self.include_code) for spec in specs]
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        telemetry.begin(len(specs))
+
+        pending: "deque[_Pending]" = deque()
+        completed_before = manifest.completed_keys() if manifest else {}
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            outcome = self._reuse(spec, key, completed_before, manifest)
+            if outcome is not None:
+                outcomes[index] = outcome
+                self._finalise(outcome, index, manifest, telemetry,
+                               was_running=False)
+            else:
+                pending.append(_Pending(index=index, attempt=1, ready_at=0.0))
+
+        self._drive(specs, keys, outcomes, pending, manifest, telemetry)
+
+        report = OrchestrationReport(outcomes=[o for o in outcomes])
+        report.summary = telemetry.summary()
+        if self.cache is not None:
+            report.summary["cache_stats"] = {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "stores": self.cache.stats.stores,
+            }
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _reuse(self, spec, key, completed_before, manifest):
+        """A cached/resumed outcome for this job, or None to run it."""
+        if manifest is not None and key in completed_before:
+            result = manifest.load_result(key)
+            if result is not None:
+                return JobOutcome(spec=spec, key=key, status="cached",
+                                  result=result, source="manifest")
+        if self.cache is not None:
+            result = self.cache.get(key)
+            if result is not None:
+                return JobOutcome(spec=spec, key=key, status="cached",
+                                  result=result, source="cache")
+        return None
+
+    def _finalise(self, outcome, index, manifest, telemetry, was_running,
+                  busy_wall: Optional[float] = None):
+        """Record one terminal outcome in manifest, cache and telemetry.
+
+        ``busy_wall`` is the final attempt's duration (what telemetry
+        adds to busy worker seconds — earlier attempts were already
+        counted by ``job_retried``); ``outcome.wall_s`` stays the total
+        across attempts for the manifest.
+        """
+        if outcome.status == "done":
+            if self.cache is not None:
+                self.cache.put(outcome.key, outcome.result,
+                               meta={"job": outcome.spec.describe()})
+        if manifest is not None:
+            if outcome.result is not None and outcome.source != "manifest":
+                manifest.store_result(outcome.key, outcome.result)
+            entry = {
+                "ts": time.time(),
+                "index": index,
+                "key": outcome.key,
+                "job": outcome.spec.describe(),
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "wall_s": round(outcome.wall_s, 6),
+                "source": outcome.source,
+            }
+            if outcome.error:
+                entry["error"] = outcome.error
+            manifest.record(entry)
+        telemetry.job_finished(
+            key=outcome.key, label=outcome.spec.describe(),
+            status=outcome.status, attempts=outcome.attempts,
+            wall_s=outcome.wall_s if busy_wall is None else busy_wall,
+            was_running=was_running, error=outcome.error,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _launch(self, spec: JobSpec, item: _Pending, now: float) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(child_conn, self.runner, spec.to_dict()),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        deadline = now + self.timeout_s if self.timeout_s else float("inf")
+        return _Running(index=item.index, attempt=item.attempt,
+                        process=process, conn=parent_conn,
+                        started=now, deadline=deadline)
+
+    def _drive(self, specs, keys, outcomes, pending, manifest, telemetry):
+        """The scheduling loop: launch, poll, retry, finalise."""
+        running: List[_Running] = []
+        attempt_wall: Dict[int, float] = {}  # index -> wall over attempts
+
+        def settle(slot: _Running, failure: Optional[str]) -> float:
+            """Retire one attempt; retry or finalise its job.
+
+            Returns the attempt's wall-clock duration.
+            """
+            index = slot.index
+            wall = time.monotonic() - slot.started
+            attempt_wall[index] = attempt_wall.get(index, 0.0) + wall
+            spec, key = specs[index], keys[index]
+            if failure is None:
+                return wall  # success handled by caller
+            if slot.attempt <= self.retries:
+                delay = self.backoff_s * (2 ** (slot.attempt - 1))
+                pending.append(_Pending(
+                    index=index, attempt=slot.attempt + 1,
+                    ready_at=time.monotonic() + delay,
+                ))
+                telemetry.job_retried(key, spec.describe(), slot.attempt,
+                                      failure, wall)
+            else:
+                outcome = JobOutcome(
+                    spec=spec, key=key, status="failed",
+                    attempts=slot.attempt, wall_s=attempt_wall[index],
+                    error=failure,
+                )
+                outcomes[index] = outcome
+                self._finalise(outcome, index, manifest, telemetry,
+                               was_running=True, busy_wall=wall)
+            return wall
+
+        while pending or running:
+            now = time.monotonic()
+
+            # Launch every ready job while worker slots are free.
+            if len(running) < self.jobs and pending:
+                held = []
+                while pending and len(running) < self.jobs:
+                    item = pending.popleft()
+                    if item.ready_at > now:
+                        held.append(item)
+                        continue
+                    running.append(self._launch(specs[item.index], item, now))
+                    telemetry.job_started()
+                pending.extend(held)
+
+            if not running:
+                # Everything left is backing off; sleep to the earliest.
+                wake = min(item.ready_at for item in pending)
+                time.sleep(max(0.0, min(wake - now, 0.05)))
+                continue
+
+            progressed = False
+            for slot in list(running):
+                payload = None
+                if slot.conn.poll():
+                    try:
+                        payload = slot.conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                    slot.process.join()
+                elif slot.process.exitcode is not None:
+                    # Worker died; drain any message that raced the exit.
+                    slot.process.join()
+                    if slot.conn.poll():
+                        try:
+                            payload = slot.conn.recv()
+                        except (EOFError, OSError):
+                            payload = None
+                    if payload is None:
+                        running.remove(slot)
+                        slot.conn.close()
+                        settle(slot, "worker crashed (exit code "
+                               f"{slot.process.exitcode})")
+                        progressed = True
+                        continue
+                elif now > slot.deadline:
+                    slot.process.terminate()
+                    slot.process.join(5.0)
+                    if slot.process.is_alive():
+                        slot.process.kill()
+                        slot.process.join()
+                    running.remove(slot)
+                    slot.conn.close()
+                    settle(slot, f"timeout after {self.timeout_s}s")
+                    progressed = True
+                    continue
+                else:
+                    continue  # still working
+
+                running.remove(slot)
+                slot.conn.close()
+                progressed = True
+                if payload is None or payload.get("status") != "ok":
+                    error = (payload or {}).get("error", "worker crashed")
+                    settle(slot, error)
+                    continue
+                last_wall = settle(slot, None)
+                index = slot.index
+                result = SimulationResult.from_dict(payload["result"])
+                outcome = JobOutcome(
+                    spec=specs[index], key=keys[index], status="done",
+                    attempts=slot.attempt, wall_s=attempt_wall[index],
+                    result=result,
+                )
+                outcomes[index] = outcome
+                self._finalise(outcome, index, manifest, telemetry,
+                               was_running=True, busy_wall=last_wall)
+
+            if not progressed:
+                time.sleep(0.005)
+
+
+__all__ = ["JobOutcome", "OrchestrationReport", "Orchestrator"]

@@ -1,0 +1,199 @@
+"""Structured per-run telemetry: JSONL records plus a live progress line.
+
+Two audiences, one source of truth:
+
+* machines read ``telemetry.jsonl`` — one ``job`` record per terminal
+  job event and one final ``summary`` record (schema in
+  docs/ORCHESTRATOR.md);
+* humans watch a single self-overwriting progress line on a TTY (plain
+  newline-separated lines when piped, so CI logs stay readable).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+
+@dataclass
+class RunCounters:
+    """Live job-state counts for one orchestrated run."""
+
+    total: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    cached: int = 0
+    #: Seconds of worker time actually spent simulating (sum over
+    #: attempts), the numerator of worker utilization.
+    busy_seconds: float = 0.0
+    wall_seconds_per_point: List[float] = field(default_factory=list)
+
+    @property
+    def finished(self) -> int:
+        return self.done + self.failed + self.cached
+
+    @property
+    def queued(self) -> int:
+        return max(0, self.total - self.finished - self.running)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.finished:
+            return 0.0
+        return self.cached / self.finished
+
+    def utilization(self, elapsed_s: float, workers: int) -> float:
+        if elapsed_s <= 0 or workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed_s * workers))
+
+
+class RunTelemetry:
+    """Accumulates counters, writes JSONL, renders the progress line."""
+
+    def __init__(
+        self,
+        path=None,
+        progress: bool = False,
+        stream: Optional[TextIO] = None,
+        workers: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        self._path = path
+        self._progress = progress
+        self._stream = stream if stream is not None else sys.stderr
+        self._workers = workers
+        self._clock = clock
+        self._start = clock()
+        self.counters = RunCounters()
+        self._used_cr = False
+        if path is not None:
+            # Truncate per orchestrator invocation: a resume's telemetry
+            # describes that resume, the manifest holds full history.
+            open(path, "w", encoding="utf-8").close()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin(self, total_jobs: int) -> None:
+        self.counters.total = total_jobs
+        self._emit({"event": "begin", "total": total_jobs})
+        self._render_progress()
+
+    def job_started(self) -> None:
+        self.counters.running += 1
+        self._render_progress()
+
+    def job_retried(self, key: str, label: str, attempt: int,
+                    error: str, wall_s: float) -> None:
+        """One attempt failed and the job went back to the queue."""
+        self.counters.running -= 1
+        self.counters.busy_seconds += wall_s
+        self._emit({
+            "event": "attempt",
+            "t": round(self.elapsed(), 6),
+            "key": key,
+            "job": label,
+            "attempt": attempt,
+            "error": error,
+            "wall_s": round(wall_s, 6),
+        })
+        self._render_progress()
+
+    def job_finished(
+        self,
+        key: str,
+        label: str,
+        status: str,
+        attempts: int,
+        wall_s: float,
+        was_running: bool,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one terminal job event (done / failed / cached)."""
+        if was_running:
+            self.counters.running -= 1
+        if status == "done":
+            self.counters.done += 1
+        elif status == "failed":
+            self.counters.failed += 1
+        else:
+            self.counters.cached += 1
+        self.counters.busy_seconds += wall_s
+        if status == "done":
+            self.counters.wall_seconds_per_point.append(wall_s)
+        record = {
+            "event": "job",
+            "t": round(self.elapsed(), 6),
+            "key": key,
+            "job": label,
+            "status": status,
+            "attempts": attempts,
+            "wall_s": round(wall_s, 6),
+        }
+        if error:
+            record["error"] = error
+        self._emit(record)
+        self._render_progress()
+
+    def summary(self) -> Dict[str, object]:
+        """Emit and return the final run summary record."""
+        counters = self.counters
+        elapsed = self.elapsed()
+        walls = counters.wall_seconds_per_point
+        record: Dict[str, object] = {
+            "event": "summary",
+            "total": counters.total,
+            "done": counters.done,
+            "failed": counters.failed,
+            "cached": counters.cached,
+            "elapsed_s": round(elapsed, 6),
+            "cache_hit_rate": round(counters.cache_hit_rate, 6),
+            "worker_utilization": round(
+                counters.utilization(elapsed, self._workers), 6
+            ),
+            "workers": self._workers,
+            "mean_point_wall_s": (
+                round(sum(walls) / len(walls), 6) if walls else 0.0
+            ),
+            "max_point_wall_s": round(max(walls), 6) if walls else 0.0,
+        }
+        self._emit(record)
+        if self._progress and self._used_cr:
+            self._stream.write("\n")
+            self._stream.flush()
+        return record
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    # -- output ---------------------------------------------------------
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        if self._path is None:
+            return
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _render_progress(self) -> None:
+        if not self._progress:
+            return
+        c = self.counters
+        line = (
+            f"[orchestrator] {c.finished}/{c.total} finished "
+            f"({c.done} run, {c.cached} cached, {c.failed} failed) "
+            f"| {c.running} running, {c.queued} queued "
+            f"| {self.elapsed():.1f}s"
+        )
+        if self._stream.isatty():
+            self._stream.write("\r\x1b[2K" + line)
+            self._used_cr = True
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+
+__all__ = ["RunCounters", "RunTelemetry"]

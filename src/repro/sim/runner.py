@@ -93,6 +93,26 @@ class ExperimentScale:
             **overrides,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form; crosses worker/cache boundaries losslessly."""
+        return {
+            "name": self.name,
+            "factor": self.factor,
+            "cores": self.cores,
+            "records_per_core": self.records_per_core,
+            "warmup_per_core": self.warmup_per_core,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentScale":
+        return cls(
+            name=payload["name"],
+            factor=payload["factor"],
+            cores=payload["cores"],
+            records_per_core=payload["records_per_core"],
+            warmup_per_core=payload["warmup_per_core"],
+        )
+
 
 #: Paper-fidelity sizes (slow: for spot checks only).
 PAPER_SCALE = ExperimentScale(name="paper", factor=1)

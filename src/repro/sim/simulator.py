@@ -27,6 +27,12 @@ from repro.workloads.tracegen import WorkloadInstance
 
 _INF = float("inf")
 
+#: Version of the ``SimulationResult.to_dict`` payload.  Bump whenever a
+#: field is added/removed/retyped; cached results from other versions are
+#: rejected by :meth:`SimulationResult.from_dict` (and therefore treated
+#: as cache misses by the orchestrator's result cache).
+RESULT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class SimulationResult:
@@ -67,6 +73,53 @@ class SimulationResult:
         if self.runtime_bus_cycles <= 0:
             return 0.0
         return self.bytes_transferred / self.runtime_bus_cycles
+
+    # -- serialisation --------------------------------------------------
+    #
+    # Results cross process boundaries (orchestrator workers) and live in
+    # on-disk caches, so the round trip must be lossless: every stored
+    # field survives ``from_dict(json.loads(json.dumps(to_dict(r))))``
+    # bit-identically (finite floats round-trip exactly through JSON).
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dict (see RESULT_SCHEMA_VERSION)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "system": self.system,
+            "workload": self.workload,
+            "runtime_core_cycles": self.runtime_core_cycles,
+            "runtime_bus_cycles": self.runtime_bus_cycles,
+            "instructions": self.instructions,
+            "llc_misses": self.llc_misses,
+            "llc_accesses": self.llc_accesses,
+            "memory_requests_by_kind": dict(self.memory_requests_by_kind),
+            "forwarded_reads": self.forwarded_reads,
+            "bytes_transferred": self.bytes_transferred,
+            "mean_read_latency_bus_cycles": self.mean_read_latency_bus_cycles,
+            "energy": self.energy.to_dict(),
+            "row_buffer_outcomes": dict(self.row_buffer_outcomes),
+            "copr_accuracy": self.copr_accuracy,
+            "metadata_hit_rate": self.metadata_hit_rate,
+            "collision_rate": self.collision_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result serialised by :meth:`to_dict`.
+
+        Raises :class:`ValueError` on a schema-version mismatch so stale
+        cache entries surface as misses, never as silently-wrong data.
+        """
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"SimulationResult schema mismatch: payload version "
+                f"{version!r}, expected {RESULT_SCHEMA_VERSION}"
+            )
+        data = dict(payload)
+        data.pop("schema_version")
+        data["energy"] = EnergyReport.from_dict(data["energy"])
+        return cls(**data)
 
 
 class Simulator:

@@ -4,6 +4,14 @@ Research workflows around this library keep re-running the same loop:
 for each (benchmark, system, knob...) combination, simulate, collect a
 metric, tabulate.  This module packages that loop with deterministic
 ordering and flat-file export so sweeps are scriptable and diffable.
+
+Execution is delegated to :mod:`repro.orchestrator` whenever the sweep
+asks for parallelism (``jobs > 1``), an on-disk result cache
+(``cache_dir``) or a resumable run directory (``run_dir``); grid points
+become :class:`repro.orchestrator.JobSpec` objects and run in isolated
+worker processes.  The plain ``jobs=1`` path without cache/run dir is
+the original in-process serial loop, and both paths yield byte-identical
+CSV output for the same grid and seeds.
 """
 
 from __future__ import annotations
@@ -53,6 +61,15 @@ class Sweep:
     """A completed sweep: ordered points plus tabulation helpers."""
 
     points: List[SweepPoint] = field(default_factory=list)
+    #: Parameter column order, taken from the grid spec that produced the
+    #: sweep (insertion order of ``parameter_grid``).  ``None`` for
+    #: hand-assembled sweeps, which fall back to the sorted union of the
+    #: per-point parameter keys.
+    parameter_keys: Optional[List[str]] = None
+    #: Grid points that failed after orchestrator retries (each is a
+    #: :class:`repro.orchestrator.JobOutcome`); empty on the serial path,
+    #: which raises instead of recording failures.
+    failures: List[object] = field(default_factory=list)
 
     def metric_table(
         self, metric: str, rows: str = "benchmark", columns: str = "system"
@@ -76,14 +93,20 @@ class Sweep:
             ] = point.metric(metric)
         return table
 
+    def csv_parameter_keys(self) -> List[str]:
+        """Deterministic parameter column order for CSV export."""
+        if self.parameter_keys is not None:
+            return list(self.parameter_keys)
+        return sorted({key for point in self.points for key in point.parameters})
+
     def to_csv(self, metrics: Optional[Sequence[str]] = None) -> str:
         """Serialise the sweep to CSV (one row per point)."""
         metrics = list(metrics) if metrics is not None else sorted(METRICS)
-        parameter_keys = sorted(
-            {key for point in self.points for key in point.parameters}
-        )
+        parameter_keys = self.csv_parameter_keys()
         buffer = io.StringIO()
-        writer = csv.writer(buffer)
+        # \n terminators (not the csv default \r\n): exports are meant to
+        # be diffed and committed as golden files.
+        writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(
             ["benchmark", "system", "seed", *parameter_keys, *metrics]
         )
@@ -96,6 +119,20 @@ class Sweep:
         return buffer.getvalue()
 
 
+def grid_points(
+    benchmarks: Sequence[str],
+    systems: Sequence[str],
+    seeds: Sequence[int],
+    assignments: Sequence[Mapping[str, object]],
+):
+    """The sweep's grid order: benchmark x system x seed x assignment."""
+    for benchmark in benchmarks:
+        for system in systems:
+            for seed in seeds:
+                for assignment in assignments:
+                    yield benchmark, system, seed, assignment
+
+
 def run_sweep(
     benchmarks: Sequence[str],
     systems: Sequence[str],
@@ -103,6 +140,12 @@ def run_sweep(
     scale: ExperimentScale = FAST_SCALE,
     parameter_grid: Optional[Mapping[str, Sequence[object]]] = None,
     apply_parameters: Optional[Callable[..., dict]] = None,
+    jobs: int = 1,
+    cache_dir=None,
+    run_dir=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress: bool = False,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
 
@@ -110,14 +153,25 @@ def run_sweep(
         benchmarks / systems / seeds: primary axes.
         scale: joint scaling preset for every run.
         parameter_grid: optional extra axes, e.g.
-            ``{"metadata_policy": ["lru", "drrip"]}``.
+            ``{"metadata_policy": ["lru", "drrip"]}``; key order defines
+            the CSV parameter-column order.
         apply_parameters: maps one grid assignment to keyword arguments
             for :func:`repro.sim.runner.run_benchmark`; defaults to
             passing the assignment through unchanged.
+        jobs: worker processes; ``1`` without ``cache_dir``/``run_dir``
+            keeps the original in-process serial loop.
+        cache_dir: content-addressed result cache directory — re-running
+            a sweep only simulates new grid points.
+        run_dir: durable run directory (manifest + telemetry + results);
+            re-running with the same directory resumes an interrupted or
+            partially-failed sweep.
+        timeout_s / retries: per-point robustness knobs (orchestrated
+            paths only).
+        progress: render a live progress line on stderr.
     """
     if not benchmarks or not systems or not seeds:
         raise ValueError("benchmarks, systems and seeds must be non-empty")
-    grid_keys = sorted(parameter_grid) if parameter_grid else []
+    grid_keys = list(parameter_grid) if parameter_grid else []
     grid_values = [list(parameter_grid[key]) for key in grid_keys] if grid_keys else [[]]
     assignments = (
         [dict(zip(grid_keys, combo)) for combo in itertools.product(*grid_values)]
@@ -126,17 +180,62 @@ def run_sweep(
     )
     translate = apply_parameters if apply_parameters is not None else (lambda **kw: kw)
 
-    sweep = Sweep()
-    for benchmark in benchmarks:
-        for system in systems:
-            for seed in seeds:
-                for assignment in assignments:
-                    result = run_benchmark(
-                        benchmark, system, scale=scale, seed=seed,
-                        **translate(**assignment),
-                    )
-                    sweep.points.append(SweepPoint(
-                        benchmark=benchmark, system=system, seed=seed,
-                        parameters=dict(assignment), result=result,
-                    ))
+    if jobs == 1 and cache_dir is None and run_dir is None:
+        sweep = Sweep(parameter_keys=grid_keys)
+        for benchmark, system, seed, assignment in grid_points(
+            benchmarks, systems, seeds, assignments
+        ):
+            result = run_benchmark(
+                benchmark, system, scale=scale, seed=seed,
+                **translate(**assignment),
+            )
+            sweep.points.append(SweepPoint(
+                benchmark=benchmark, system=system, seed=seed,
+                parameters=dict(assignment), result=result,
+            ))
+        return sweep
+
+    # Orchestrated path: grid points become job specs for the pool.
+    from repro.orchestrator import JobSpec, Orchestrator, ResultCache
+
+    grid = list(grid_points(benchmarks, systems, seeds, assignments))
+    specs = [
+        JobSpec(benchmark=benchmark, system=system, seed=seed, scale=scale,
+                parameters=translate(**assignment))
+        for benchmark, system, seed, assignment in grid
+    ]
+    run_spec = {
+        "kind": "sweep",
+        "benchmarks": list(benchmarks),
+        "systems": list(systems),
+        "seeds": list(seeds),
+        "scale": scale.to_dict(),
+        "parameter_grid": (
+            {key: list(values) for key, values in parameter_grid.items()}
+            if parameter_grid else {}
+        ),
+        "jobs": jobs,
+        "cache_dir": str(cache_dir) if cache_dir is not None else None,
+    }
+    orchestrator = Orchestrator(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    report = orchestrator.run(
+        specs, run_dir=run_dir, run_spec=run_spec, progress=progress
+    )
+
+    sweep = Sweep(parameter_keys=grid_keys)
+    for (benchmark, system, seed, assignment), outcome in zip(
+        grid, report.outcomes
+    ):
+        if outcome.result is not None:
+            sweep.points.append(SweepPoint(
+                benchmark=benchmark, system=system, seed=seed,
+                parameters=dict(assignment), result=outcome.result,
+            ))
+        else:
+            sweep.failures.append(outcome)
     return sweep

@@ -1,0 +1,106 @@
+"""Round-trip serialization of SimulationResult and friends.
+
+These payloads cross worker-process pipes, on-disk caches and run
+manifests, so the contract is *lossless*: for any result,
+``from_dict(json.loads(json.dumps(to_dict(r)))) == r`` — including the
+JSON hop, because finite floats round-trip exactly through JSON.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import EnergyReport
+from repro.sim.runner import ExperimentScale, TINY_SCALE
+from repro.sim.simulator import RESULT_SCHEMA_VERSION, SimulationResult
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+counts = st.integers(min_value=0, max_value=2**53)
+names = st.text(min_size=1, max_size=12)
+count_maps = st.dictionaries(names, counts, max_size=5)
+
+energies = st.builds(
+    EnergyReport,
+    activate_nj=finite, read_nj=finite, write_nj=finite,
+    io_nj=finite, refresh_nj=finite, background_nj=finite,
+)
+
+results = st.builds(
+    SimulationResult,
+    system=names,
+    workload=names,
+    runtime_core_cycles=finite,
+    runtime_bus_cycles=finite,
+    instructions=counts,
+    llc_misses=counts,
+    llc_accesses=counts,
+    memory_requests_by_kind=count_maps,
+    forwarded_reads=counts,
+    bytes_transferred=counts,
+    mean_read_latency_bus_cycles=finite,
+    energy=energies,
+    row_buffer_outcomes=count_maps,
+    copr_accuracy=st.none() | finite,
+    metadata_hit_rate=st.none() | finite,
+    collision_rate=st.none() | finite,
+)
+
+
+class TestRoundTrip:
+    @given(result=results)
+    @settings(max_examples=200, deadline=None)
+    def test_result_survives_json_hop(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(payload) == result
+
+    @given(report=energies)
+    @settings(max_examples=100, deadline=None)
+    def test_energy_report_round_trip(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert EnergyReport.from_dict(payload) == report
+
+    def test_scale_round_trip(self):
+        for scale in (TINY_SCALE,
+                      ExperimentScale(name="x", factor=3, cores=4,
+                                      records_per_core=7, warmup_per_core=9)):
+            assert ExperimentScale.from_dict(
+                json.loads(json.dumps(scale.to_dict()))
+            ) == scale
+
+
+class TestSchemaGuards:
+    def test_payload_declares_current_version(self, example_result):
+        assert example_result.to_dict()["schema_version"] == RESULT_SCHEMA_VERSION
+
+    def test_other_schema_version_rejected(self, example_result):
+        payload = example_result.to_dict()
+        payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema mismatch"):
+            SimulationResult.from_dict(payload)
+
+    def test_missing_schema_version_rejected(self, example_result):
+        payload = example_result.to_dict()
+        del payload["schema_version"]
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(payload)
+
+    def test_energy_to_dict_has_no_derived_keys(self, example_result):
+        assert "total" not in example_result.energy.to_dict()
+        assert "total" in example_result.energy.as_dict()
+
+
+@pytest.fixture
+def example_result() -> SimulationResult:
+    return SimulationResult(
+        system="attache", workload="mcf",
+        runtime_core_cycles=1234.5, runtime_bus_cycles=617.25,
+        instructions=10_000, llc_misses=321, llc_accesses=4_000,
+        memory_requests_by_kind={"read": 400, "write": 100},
+        forwarded_reads=3, bytes_transferred=64_000,
+        mean_read_latency_bus_cycles=41.7,
+        energy=EnergyReport(1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
+        row_buffer_outcomes={"hit": 10, "miss": 20, "empty": 1},
+        copr_accuracy=0.93, metadata_hit_rate=None, collision_rate=0.0001,
+    )

@@ -1,0 +1,83 @@
+"""CSV export determinism: grid-spec column order and a golden file.
+
+The parameter columns of ``Sweep.to_csv`` come from the grid spec that
+produced the sweep (``parameter_grid`` insertion order), not from
+iterating per-point parameter mappings, so the same grid always exports
+the same bytes — including when points were computed by parallel
+workers in arbitrary completion order.
+"""
+
+import pathlib
+
+from repro.energy import EnergyReport
+from repro.sim.runner import ExperimentScale
+from repro.sim.simulator import SimulationResult
+from repro.sim.sweep import Sweep, SweepPoint, run_sweep
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "sweep_export.csv"
+
+
+def _result(system: str, workload: str, runtime: float) -> SimulationResult:
+    return SimulationResult(
+        system=system, workload=workload,
+        runtime_core_cycles=runtime, runtime_bus_cycles=runtime / 2,
+        instructions=10_000, llc_misses=250, llc_accesses=2_000,
+        memory_requests_by_kind={"read": 100, "write": 25},
+        forwarded_reads=2, bytes_transferred=128_000,
+        mean_read_latency_bus_cycles=42.5,
+        energy=EnergyReport(10.0, 20.0, 30.0, 5.0, 2.5, 100.0),
+        row_buffer_outcomes={"hit": 60, "miss": 30, "empty": 10},
+    )
+
+
+def _fixed_sweep() -> Sweep:
+    # parameter_keys deliberately NOT sorted: the grid spec order wins.
+    sweep = Sweep(parameter_keys=["ways", "policy"])
+    grid = [
+        ("STREAM", "baseline", 1, {"ways": 4, "policy": "lru"}, 4000.0),
+        ("STREAM", "baseline", 1, {"ways": 8, "policy": "lru"}, 3800.0),
+        ("STREAM", "attache", 1, {"ways": 4, "policy": "drrip"}, 2500.0),
+        ("mcf", "attache", 2, {"ways": 8, "policy": "drrip"}, 2750.0),
+    ]
+    for benchmark, system, seed, parameters, runtime in grid:
+        sweep.points.append(SweepPoint(
+            benchmark=benchmark, system=system, seed=seed,
+            parameters=parameters,
+            result=_result(system, benchmark, runtime),
+        ))
+    return sweep
+
+
+class TestGoldenExport:
+    def test_csv_matches_golden_file(self):
+        text = _fixed_sweep().to_csv(
+            metrics=["runtime_core_cycles", "ipc", "mpki", "energy_nj"]
+        )
+        assert text == GOLDEN.read_text(encoding="utf-8")
+
+    def test_parameter_columns_follow_grid_spec_order(self):
+        header = _fixed_sweep().to_csv(metrics=["ipc"]).splitlines()[0]
+        assert header == "benchmark,system,seed,ways,policy,ipc"
+
+    def test_hand_built_sweep_falls_back_to_sorted_union(self):
+        sweep = _fixed_sweep()
+        sweep.parameter_keys = None
+        header = sweep.to_csv(metrics=["ipc"]).splitlines()[0]
+        assert header == "benchmark,system,seed,policy,ways,ipc"
+
+
+class TestRunSweepColumnOrder:
+    def test_parameter_keys_taken_from_grid_spec(self):
+        scale = ExperimentScale(name="csv-test", factor=64, cores=2,
+                                records_per_core=200, warmup_per_core=0)
+        # Insertion order is deliberately reverse-alphabetical.
+        sweep = run_sweep(
+            benchmarks=["STREAM"], systems=["metadata_cache"], seeds=[1],
+            scale=scale,
+            parameter_grid={"verify_data": [True],
+                            "metadata_policy": ["lru"]},
+        )
+        assert sweep.parameter_keys == ["verify_data", "metadata_policy"]
+        header = sweep.to_csv(metrics=["ipc"]).splitlines()[0]
+        assert header == ("benchmark,system,seed,verify_data,"
+                          "metadata_policy,ipc")
