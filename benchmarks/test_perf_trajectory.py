@@ -1,0 +1,69 @@
+"""Single-run performance trajectory: the fast path must stay fast.
+
+Measures the pinned reference workload (``repro.fastpath.bench``) with
+the fast path on and off, publishes the fresh numbers to
+``benchmarks/out/BENCH_single_run.json``, and gates against the
+committed baseline ``benchmarks/BENCH_single_run.json``:
+
+* the two modes must produce bit-identical results (one digest);
+* the fastpath-on/off speedup ratio must not regress more than 25%
+  below the committed baseline ratio.
+
+The gate compares *ratios*, not wall clocks: absolute times depend on
+the machine, but dividing the slow path's time by the fast path's time
+on the same machine cancels that out.  After a deliberate perf change,
+re-measure on a quiet machine (``REPRO_BENCH_PERF_REPEATS=7``) and
+commit the refreshed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.fastpath.bench import run_pinned
+
+from conftest import publish
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_single_run.json"
+
+
+def test_perf_trajectory(report_dir):
+    repeats = int(os.environ.get("REPRO_BENCH_PERF_REPEATS", "3"))
+    report = run_pinned(repeats=repeats)
+    payload = report.to_dict()
+    (report_dir / "BENCH_single_run.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    rows = "\n".join(
+        f"  {label:<28}{value}"
+        for label, value in [
+            ("repeats (best-of)", report.repeats),
+            ("fast wall clock (s)", f"{report.fast.wall_s:.3f}"),
+            ("slow wall clock (s)", f"{report.slow.wall_s:.3f}"),
+            ("fast events/sec", f"{report.fast.events_per_s:.0f}"),
+            ("slow events/sec", f"{report.slow.events_per_s:.0f}"),
+            ("speedup (slow/fast)", f"{report.speedup:.2f}x"),
+            ("baseline speedup", f"{baseline['speedup']:.2f}x"),
+            ("bit-identical", report.identical),
+        ]
+    )
+    publish(report_dir, "BENCH_single_run",
+            "single-run fast path (pinned workload)\n" + rows)
+
+    assert report.identical, (
+        "fast path is not bit-identical to the reference path: "
+        f"fast digest {report.fast.digest[:16]}, "
+        f"slow digest {report.slow.digest[:16]}"
+    )
+    floor = 0.75 * baseline["speedup"]
+    assert report.speedup >= floor, (
+        f"single-run speedup regressed: measured {report.speedup:.2f}x, "
+        f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
+        "If this follows a deliberate change, re-measure and refresh "
+        f"{BASELINE_PATH.name}."
+    )

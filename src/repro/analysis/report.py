@@ -11,10 +11,17 @@ from typing import Dict, List, Sequence
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean; the conventional average for speedup ratios."""
+    """Geometric mean; the conventional average for speedup ratios.
+
+    An empty sequence returns 0.0 (a report over zero benchmarks has no
+    aggregate; callers render it as absent rather than crash a whole
+    sweep summary).  Non-positive values still raise: a zero or negative
+    speedup is always an upstream bug, and silently dropping it would
+    skew the mean.
+    """
     values = list(values)
     if not values:
-        raise ValueError("geometric mean of no values")
+        return 0.0
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -150,6 +150,69 @@ def _cmd_functional(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Time one run (optionally under cProfile) and print its fast-path
+    cache telemetry; ``--fastpath off`` measures the reference path."""
+    import cProfile
+    import pstats
+    import time
+
+    from repro import fastpath
+    from repro.fastpath.bench import result_digest
+
+    profiler = cProfile.Profile() if args.cprofile else None
+    with fastpath.overridden(args.fastpath != "off"):
+        start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        result = run_benchmark(
+            args.benchmark, args.system, scale=_scale_from_args(args),
+            seed=args.seed,
+        )
+        if profiler is not None:
+            profiler.disable()
+        wall = time.perf_counter() - start
+
+    rows = [
+        ["fastpath", "off" if args.fastpath == "off" else "on"],
+        ["wall clock (s)", f"{wall:.3f}"],
+        ["events (instructions)", str(result.instructions)],
+        ["events/sec", f"{result.instructions / wall:.0f}"],
+        ["result digest", result_digest(result)[:16]],
+    ]
+    perf = result.perf or {}
+    for name in ("classify", "keystream", "verified_reads"):
+        counters = perf.get(name)
+        if counters is not None:
+            rows.append([
+                f"{name} cache",
+                f"{counters['hits']}/{counters['hits'] + counters['misses']}"
+                f" hits ({100 * counters['hit_rate']:.1f}%)",
+            ])
+    if "full_encodes" in perf:
+        rows.append(["full encodes", str(perf["full_encodes"])])
+    scheduler = perf.get("scheduler")
+    if scheduler is not None:
+        bucket = scheduler["bucket"]
+        rows += [
+            ["scheduler computes", str(scheduler["computes"])],
+            ["scheduler bucket cache",
+             f"{bucket['hits']}/{bucket['hits'] + bucket['misses']}"
+             f" hits ({100 * bucket['hit_rate']:.1f}%)"],
+            ["scheduler horizon skips", str(scheduler["horizon_skips"])],
+            ["scheduler advances", str(scheduler["advances"])],
+        ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"profile: {args.benchmark} on {args.system}",
+    ))
+    if profiler is not None:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort)
+        stats.print_stats(args.limit)
+    return 0
+
+
 def _run_grid(args: argparse.Namespace, run_dir=None):
     """Shared sweep/orchestrate execution path."""
     from repro.sim.sweep import run_sweep
@@ -303,6 +366,28 @@ def build_parser() -> argparse.ArgumentParser:
     functional_parser.add_argument("--copr", action="store_true",
                                    help="measure the COPR predictor")
 
+    profile_parser = commands.add_parser(
+        "profile",
+        help="time one run and print fast-path cache telemetry",
+    )
+    _add_common(profile_parser)
+    # Defaults pin the reference workload (repro.fastpath.bench); any
+    # other point stays reachable through the common flags.
+    profile_parser.set_defaults(benchmark="RAND", cores=4, records=1500,
+                                warmup=0)
+    profile_parser.add_argument("--system", choices=SYSTEMS,
+                                default="attache")
+    profile_parser.add_argument(
+        "--fastpath", choices=("on", "off"), default="on",
+        help="'off' measures the reference (slow) path",
+    )
+    profile_parser.add_argument("--cprofile", action="store_true",
+                                help="run under cProfile and print hotspots")
+    profile_parser.add_argument("--sort", default="cumulative",
+                                help="cProfile sort column")
+    profile_parser.add_argument("--limit", type=int, default=25,
+                                help="cProfile rows to print")
+
     sweep_parser = commands.add_parser(
         "sweep", help="run a benchmark x system grid, export CSV"
     )
@@ -365,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "functional": _cmd_functional,
+        "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "orchestrate": _cmd_orchestrate,
     }

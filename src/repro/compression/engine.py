@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.compression.base import CompressedBlock, CompressionAlgorithm
 from repro.compression.bdi import BdiCompressor
 from repro.compression.fpc import FpcCompressor
+from repro.fastpath import classifiers as _classifiers
 from repro.util.bitops import CACHELINE_BYTES
 
 #: Target payload size for a compressed line: a 32-byte sub-rank beat
@@ -81,6 +83,29 @@ class CompressionEngine:
         self._cache_entries = cache_entries
         self._cache: "OrderedDict[bytes, Optional[CompressedBlock]]" = OrderedDict()
         self.stats = CompressionStats()
+        # Fast path: size-only classification.  Active only when every
+        # racing algorithm has an exact size classifier — an engine with
+        # an exotic compressor transparently keeps the full-encode path.
+        size_fns = [_classifiers.classify(algo) for algo in self._algorithms]
+        self._size_fns = size_fns if all(size_fns) and fastpath.enabled() else None
+        #: content -> (size, algorithm index, token) of the winner, or
+        #: ``None`` for an incompressible line.  Kept separate from
+        #: ``_cache`` so size-only queries never force materialisation.
+        self._size_cache: "OrderedDict[bytes, Optional[Tuple[int, int, object]]]" = (
+            OrderedDict()
+        )
+        self.perf_classify = fastpath.CacheCounters()
+        self.perf_full_encodes = 0
+        #: name -> fast prefix decoder, for algorithms that have one.
+        self._prefix_decoders = (
+            {
+                algo.name: decoder
+                for algo in self._algorithms
+                if (decoder := _classifiers.prefix_decoder(algo)) is not None
+            }
+            if self._size_fns is not None
+            else {}
+        )
 
     @property
     def target_size(self) -> int:
@@ -115,10 +140,34 @@ class CompressionEngine:
 
     def is_compressible(self, data: bytes) -> bool:
         """True when *data* compresses to at most the target size."""
+        if self._size_fns is not None:
+            if self._cache_entries:
+                cached = self._size_cache.get(data)
+                if cached is not None or data in self._size_cache:
+                    self.perf_classify.hits += 1
+                    return cached is not None
+            # The boolean only needs *one* algorithm under the target, so
+            # stop at the first fit instead of racing all of them.  The
+            # winner stays unknown then, so only the negative (all
+            # classifiers over target — exactly a ``None`` winner) is
+            # written back to the size cache.
+            self.perf_classify.misses += 1
+            target = self._target_size
+            for size_fn in self._size_fns:
+                if size_fn(data, target) is not None:
+                    return True
+            if self._cache_entries:
+                if len(self._size_cache) >= self._cache_entries:
+                    self._size_cache.clear()
+                self._size_cache[data] = None
+            return False
         return self._lookup(data) is not None
 
     def compressed_size(self, data: bytes) -> int:
         """Best payload size, or the full line size if incompressible."""
+        if self._size_fns is not None:
+            winner = self._classify(data)
+            return winner[0] if winner is not None else CACHELINE_BYTES
         best = self._lookup(data)
         return best.size if best is not None else CACHELINE_BYTES
 
@@ -131,6 +180,9 @@ class CompressionEngine:
 
     def decompress_prefix(self, algorithm_name: str, padded_payload: bytes) -> bytes:
         """Decode a zero-padded payload slot with the named algorithm."""
+        decoder = self._prefix_decoders.get(algorithm_name)
+        if decoder is not None:
+            return decoder(padded_payload)
         algorithm = self._by_name.get(algorithm_name)
         if algorithm is None:
             raise ValueError(f"no such algorithm: {algorithm_name!r}")
@@ -139,15 +191,22 @@ class CompressionEngine:
     # ------------------------------------------------------------------
 
     def _lookup(self, data: bytes) -> Optional[CompressedBlock]:
+        # Both caches memoise pure functions of the content, so the
+        # eviction policy cannot affect results; the fast path therefore
+        # skips the LRU recency update and evicts wholesale at capacity.
+        fast = self._size_fns is not None
         if self._cache_entries:
             cached = self._cache.get(data)
             if cached is not None or data in self._cache:
-                self._cache.move_to_end(data)
+                if not fast:
+                    self._cache.move_to_end(data)
                 return cached
-        best = self._compress_uncached(data)
+        best = self._materialize_best(data) if fast else self._compress_uncached(data)
         if self._cache_entries:
+            if fast and len(self._cache) >= self._cache_entries:
+                self._cache.clear()
             self._cache[data] = best
-            if len(self._cache) > self._cache_entries:
+            if not fast and len(self._cache) > self._cache_entries:
                 self._cache.popitem(last=False)
         return best
 
@@ -159,3 +218,50 @@ class CompressionEngine:
                 if best is None or block.size < best.size:
                     best = block
         return best
+
+    # ------------------------------------------------------------------
+    # Fast path: size-only classification, winner-only materialisation
+    # ------------------------------------------------------------------
+
+    def _classify(self, data: bytes) -> Optional[Tuple[int, int, object]]:
+        """Winner of the size race as ``(size, algo index, token)``.
+
+        Matches ``_compress_uncached`` selection exactly: only sizes at or
+        below the target compete, strict-less-than keeps the earliest
+        algorithm on ties.
+        """
+        if self._cache_entries:
+            cached = self._size_cache.get(data)
+            if cached is not None or data in self._size_cache:
+                self.perf_classify.hits += 1
+                return cached
+        self.perf_classify.misses += 1
+        winner: Optional[Tuple[int, int, object]] = None
+        target = self._target_size
+        for index, size_fn in enumerate(self._size_fns):
+            # Passing the target lets classifiers stop early on sizes the
+            # engine would discard; they may report those as None.
+            result = size_fn(data, target)
+            if result is not None and result[0] <= target:
+                if winner is None or result[0] < winner[0]:
+                    winner = (result[0], index, result[1])
+        if self._cache_entries:
+            if len(self._size_cache) >= self._cache_entries:
+                self._size_cache.clear()
+            self._size_cache[data] = winner
+        return winner
+
+    def _materialize_best(self, data: bytes) -> Optional[CompressedBlock]:
+        winner = self._classify(data)
+        if winner is None:
+            return None
+        size, index, token = winner
+        self.perf_full_encodes += 1
+        block = _classifiers.materialize(self._algorithms[index], data, token)
+        if block.size != size:  # pragma: no cover - classifier/codec divergence
+            raise RuntimeError(
+                f"{block.algorithm} classifier predicted {size} bytes but the "
+                f"encoder produced {block.size}; classifier and codec are out "
+                "of sync"
+            )
+        return block

@@ -26,8 +26,9 @@ CID (0.003 %) is available by fixing a single algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
+from repro import fastpath
 from repro.compression import CompressedBlock, CompressionEngine
 from repro.scramble import DataScrambler
 from repro.util.bitops import CACHELINE_BYTES, extract_bits, insert_bits
@@ -74,9 +75,11 @@ class BlemConfig:
         return 2.0 ** -self.cid_bits
 
 
-@dataclass(frozen=True)
-class StoredLine:
+class StoredLine(NamedTuple):
     """The physical image of one line in DRAM, split into sub-rank halves.
+
+    A NamedTuple rather than a dataclass: one is built per encoded write,
+    which makes construction cost part of the write path.
 
     Attributes:
         halves: the two 32-byte images; ``halves[primary]`` carries the
@@ -144,6 +147,25 @@ class BlemEngine:
         if max(self._algorithm_codes.values(), default=0) >= (1 << max(config.info_bits, 1)):
             raise ValueError("info_bits too small for the algorithm count")
         self.stats = BlemStats()
+        self._algorithm_names = list(self._algorithm_codes)
+        # Fast header ops: when the header budget is exactly two bytes the
+        # MSB-first bit fields live entirely in a 16-bit big-endian prefix,
+        # so the per-bit extract/insert loops collapse into integer shifts.
+        # Equivalence is pinned by tests/test_blem.py + test_fastpath.py.
+        self._fast_header = fastpath.enabled() and config.header_bits_budget == 16
+        if self._fast_header:
+            cid_shift = 16 - config.cid_bits
+            info_shift = cid_shift - config.info_bits
+            self._cid_shift = cid_shift
+            self._info_shift = info_shift
+            self._info_mask = (1 << config.info_bits) - 1
+            self._xid_mask = 1 << (15 - config.xid_bit_offset)
+            #: algorithm code -> the 2-byte header prefix of a compressed
+            #: line (CID | info bits, XID = 0), ready to prepend verbatim.
+            self._header_prefix = {
+                code: ((self._cid << cid_shift) | (code << info_shift)).to_bytes(2, "big")
+                for code in self._algorithm_codes.values()
+            }
 
     @property
     def config(self) -> BlemConfig:
@@ -188,15 +210,18 @@ class BlemEngine:
         # read path can descramble the whole slot deterministically.
         padded = block.payload + bytes(slot_bytes - len(block.payload))
         payload = self._scrambler.scramble(address, padded)
-        image = bytes(SUBRANK_BYTES)
-        image = insert_bits(image, 0, config.cid_bits, self._cid)
-        if config.info_bits:
-            image = insert_bits(
-                image, config.cid_bits, config.info_bits,
-                self._algorithm_codes[block.algorithm],
-            )
-        # XID = 0 (already zero), payload after the header budget.
-        image = image[:header_bytes] + payload
+        if self._fast_header:
+            image = self._header_prefix[self._algorithm_codes[block.algorithm]] + payload
+        else:
+            image = bytes(SUBRANK_BYTES)
+            image = insert_bits(image, 0, config.cid_bits, self._cid)
+            if config.info_bits:
+                image = insert_bits(
+                    image, config.cid_bits, config.info_bits,
+                    self._algorithm_codes[block.algorithm],
+                )
+            # XID = 0 (already zero), payload after the header budget.
+            image = image[:header_bytes] + payload
         halves = [bytes(SUBRANK_BYTES), bytes(SUBRANK_BYTES)]
         halves[primary] = image
         return StoredLine(
@@ -210,11 +235,19 @@ class BlemEngine:
         config = self._config
         scrambled = self._scrambler.scramble(address, data)
         spilled: Optional[int] = None
-        collision = extract_bits(scrambled, 0, config.cid_bits) == self._cid
-        if collision:
-            self.stats.write_collisions += 1
-            spilled = extract_bits(scrambled, config.xid_bit_offset, 1)
-            scrambled = insert_bits(scrambled, config.xid_bit_offset, 1, 1)
+        if self._fast_header:
+            header = int.from_bytes(scrambled[:2], "big")
+            collision = (header >> self._cid_shift) == self._cid
+            if collision:
+                self.stats.write_collisions += 1
+                spilled = 1 if header & self._xid_mask else 0
+                scrambled = (header | self._xid_mask).to_bytes(2, "big") + scrambled[2:]
+        else:
+            collision = extract_bits(scrambled, 0, config.cid_bits) == self._cid
+            if collision:
+                self.stats.write_collisions += 1
+                spilled = extract_bits(scrambled, config.xid_bit_offset, 1)
+                scrambled = insert_bits(scrambled, config.xid_bit_offset, 1, 1)
         halves = [scrambled[:SUBRANK_BYTES], scrambled[SUBRANK_BYTES:]]
         if primary == 1:
             halves.reverse()
@@ -239,6 +272,13 @@ class BlemEngine:
         if len(half) != SUBRANK_BYTES:
             raise ValueError(f"expected a {SUBRANK_BYTES}-byte half")
         config = self._config
+        if self._fast_header:
+            header = int.from_bytes(half[:2], "big")
+            if (header >> self._cid_shift) != self._cid:
+                return "uncompressed"
+            if header & self._xid_mask:
+                return "collision"
+            return "compressed"
         if extract_bits(half, 0, config.cid_bits) != self._cid:
             return "uncompressed"
         if extract_bits(half, config.xid_bit_offset, 1) == 1:
@@ -280,12 +320,14 @@ class BlemEngine:
     def _decode_compressed(self, address: int, half: bytes) -> bytes:
         config = self._config
         header_bytes = config.header_bits_budget // 8
-        algorithm_code = (
-            extract_bits(half, config.cid_bits, config.info_bits)
-            if config.info_bits
-            else 0
-        )
-        names = list(self._algorithm_codes)
-        algorithm = names[algorithm_code]
+        if not config.info_bits:
+            algorithm_code = 0
+        elif self._fast_header:
+            algorithm_code = (
+                int.from_bytes(half[:2], "big") >> self._info_shift
+            ) & self._info_mask
+        else:
+            algorithm_code = extract_bits(half, config.cid_bits, config.info_bits)
+        algorithm = self._algorithm_names[algorithm_code]
         padded = self._scrambler.descramble(address, half[header_bytes:])
         return self._engine.decompress_prefix(algorithm, padded)

@@ -29,7 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.workloads.datagen import LINES_PER_PAGE
+
+_FULL_VECTOR = (1 << LINES_PER_PAGE) - 1
 
 
 def _saturating_add(value: int, delta: int, maximum: int = 3) -> int:
@@ -248,6 +251,14 @@ class CoprPredictor:
             else None
         )
         self.stats = CoprStats()
+        # The fast update is specialised for the full GI+PaPR+LiPR
+        # configuration; ablated configs keep the component-wise path.
+        self._fast = (
+            fastpath.enabled()
+            and self._gi is not None
+            and self._papr is not None
+            and self._lipr is not None
+        )
 
     @property
     def config(self) -> CoprConfig:
@@ -291,6 +302,9 @@ class CoprPredictor:
         When *predicted* is given, accuracy statistics are recorded for
         the (prediction, outcome) pair.
         """
+        if self._fast:
+            self._update_fast(address, compressible, predicted)
+            return
         page, line_in_page = self._page_of(address)
         if predicted is not None:
             self.stats.note(
@@ -324,3 +338,72 @@ class CoprPredictor:
             self._lipr.update(
                 page, line_in_page, compressible, page_uniform, seed
             )
+
+    def _update_fast(self, address: int, compressible: bool,
+                     predicted: Optional[bool]) -> None:
+        """Inlined :meth:`update` for the full GI+PaPR+LiPR configuration.
+
+        State-identical to the component-wise path: redundant table
+        lookups of the same key are collapsed (re-getting a key that a
+        get or put just refreshed does not change LRU order, and
+        evictions only happen inside puts, whose membership/occupancy
+        inputs are unchanged), and PaPR's post-update prediction is
+        computed from the counter instead of a third lookup.
+        """
+        line = address // 64
+        page = line // LINES_PER_PAGE
+        line_in_page = line % LINES_PER_PAGE
+        if predicted is not None:
+            stats = self.stats
+            stats.predictions += 1
+            if predicted == compressible:
+                stats.correct += 1
+            source = getattr(self, "_last_source", "default")
+            by_source = stats.by_source
+            by_source[source] = by_source.get(source, 0) + 1
+
+        gi = self._gi
+        region = address // gi._region_bytes
+        if region >= gi._regions:
+            region = gi._regions - 1
+        counters = gi._counters
+        gi_seed = counters[region] > gi._threshold
+        if compressible:
+            value = counters[region] + 1
+            counters[region] = 3 if value > 3 else value
+        else:
+            counters[region] = 0
+
+        table = self._papr._table
+        cache_set = table._data[page % table._sets]
+        counter = cache_set.pop(page, None)
+        if counter is None:
+            page_uniform: Optional[bool] = None
+            counter = 3 if gi_seed else 0
+            if len(cache_set) >= table._ways:
+                cache_set.pop(next(iter(cache_set)))  # evict LRU
+        else:
+            page_uniform = (counter == 3 and compressible) or (
+                counter == 0 and not compressible
+            )
+        if compressible:
+            if counter < 3:
+                counter += 1
+        elif counter > 0:
+            counter -= 1
+        cache_set[page] = counter
+
+        table = self._lipr._table
+        cache_set = table._data[page % table._sets]
+        vector = cache_set.pop(page, None)
+        if vector is None:
+            vector = _FULL_VECTOR if counter >= 2 else 0
+            if len(cache_set) >= table._ways:
+                cache_set.pop(next(iter(cache_set)))  # evict LRU
+        if page_uniform:
+            vector = _FULL_VECTOR if compressible else 0
+        elif compressible:
+            vector |= 1 << line_in_page
+        else:
+            vector &= ~(1 << line_in_page)
+        cache_set[page] = vector

@@ -13,6 +13,9 @@ from typing import List, Optional, Tuple
 
 from repro.util.bitops import CACHELINE_BYTES
 
+#: sentinel distinguishing "absent" from a stored ``False`` dirty flag.
+_MISS = object()
+
 
 @dataclass
 class CacheStats:
@@ -86,10 +89,13 @@ class LastLevelCache:
         """
         line = address // CACHELINE_BYTES
         cache_set = self._lines[self._set_index(line)]
-        if line in cache_set:
+        # pop + reinsert is one lookup cheaper than the idiomatic
+        # contains/getitem/move_to_end triple and leaves the same
+        # LRU order (reinsertion lands at the MRU end).
+        dirty = cache_set.pop(line, _MISS)
+        if dirty is not _MISS:
             self.stats.hits += 1
-            cache_set[line] = cache_set[line] or is_write
-            cache_set.move_to_end(line)
+            cache_set[line] = dirty or is_write
             return True, None
 
         self.stats.misses += 1

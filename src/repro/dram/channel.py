@@ -19,6 +19,22 @@ Performance notes: requests are bucketed per (rank, bank) incrementally,
 and the best-candidate computation is memoised against a queue-state
 version counter — the simulator polls channels far more often than their
 state changes.
+
+The fast path (see ``docs/ARCHITECTURE.md``) additionally caches each
+bucket's candidate *unclamped* (computed at ``now = 0``) and invalidates
+per (rank, bank) bucket on enqueue/issue instead of rescanning every
+bucket, relying on two structural invariants of the timing model:
+
+* every ``earliest_*`` method is ``max(now, state)`` where *state* only
+  changes when a command executes — so a candidate computed at ``now=0``
+  is valid at any clock once re-clamped with ``max(clock, time)``;
+* ranks do not couple outside the shared command bus (handled by the
+  channel's one-command-per-cycle rule), so an issued command can only
+  perturb candidates in its own rank.
+
+Event-horizon skipping rides on the same version counter: when the best
+candidate cannot issue before cycle ``H``, any ``advance(until < H)`` at
+an unchanged version is a pure clock bump.
 """
 
 from __future__ import annotations
@@ -26,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.dram.config import DramOrganization, DramTiming
 from repro.dram.rank import Rank
 from repro.dram.request import DramRequest
@@ -72,6 +89,15 @@ class _Candidate:
         return (self.time, self.command_class, self.arrival)
 
 
+#: Fast-path candidates are plain tuples laid out like
+#: ``_Candidate``: (time, command_class, arrival, request, rank_index,
+#: bank_index).  The fast scheduler builds one per bucket-cache miss,
+#: so construction cost matters; a tuple literal builds several times
+#: faster than a frozen dataclass or a NamedTuple.  Shared consumers
+#: (:meth:`Channel._issue`, ``advance``) unpack by index or attribute
+#: depending on which path produced the candidate.
+
+
 class Channel:
     """One DRAM channel: ranks, request queues and the FR-FCFS scheduler."""
 
@@ -113,6 +139,32 @@ class Channel:
         self._last_command_cycle: float = -1.0
         self._version = 0  #: bumped on any scheduling-relevant change
         self._cached_candidate: Tuple[int, Optional[_Candidate]] = (-1, None)
+        self._fastpath = fastpath.enabled()
+        #: (rank, flat bank) -> (unclamped candidate, starved flag it was
+        #: computed under, head arrival cycle) — one cache per direction,
+        #: keyed by the same tuples as the queue dicts so the compute
+        #: loop never builds keys.
+        self._bucket_cache_read: Dict[Tuple[int, int], Tuple[_Candidate, bool, float]] = {}
+        self._bucket_cache_write: Dict[Tuple[int, int], Tuple[_Candidate, bool, float]] = {}
+        #: (rank, command class) -> bucket keys cached under that class,
+        #: so class-wide invalidation pops a set instead of scanning both
+        #: caches.  Conservatively stale: keys stay after an entry is
+        #: dropped or replaced, so a class pop may invalidate unrelated
+        #: fresh entries — that only forces a recompute, never a stale
+        #: candidate.
+        self._class_keys: Dict[Tuple[int, int], set] = {}
+        #: per-rank unclamped earliest-refresh cycle (fast path).  Every
+        #: input to ``Rank.earliest_refresh`` is rank/bank state that
+        #: only moves when a command issues on that rank, so the value
+        #: is cached until :meth:`_issue` touches the rank and re-clamped
+        #: with ``max(clock, value)`` on use.
+        self._refresh_unclamped: List[Optional[float]] = [None] * len(self.ranks)
+        #: per-rank ``next_refresh_due + t_refi`` (the refresh-debt
+        #: preempt threshold); only a REF command moves it.
+        self._refresh_debt: List[Optional[float]] = [None] * len(self.ranks)
+        self._skip_version = -1  #: version the event horizon was computed at
+        self._skip_until = 0.0  #: no command can issue before this cycle
+        self.perf = fastpath.SchedulerCounters()
         self.stats = ChannelStats()
         #: Optional (cycle, command, rank, bank, request_id) trace for
         #: timing-invariant verification in tests.
@@ -167,6 +219,13 @@ class Channel:
             self._read_by_bank.setdefault(key, []).append(request)
             self._n_reads += 1
         self._version += 1
+        # The appended request can change this bucket's candidate (e.g.
+        # it hits the open row where nothing did); other buckets keep
+        # their cached candidates.
+        if request.is_write:
+            self._bucket_cache_write.pop(key, None)
+        else:
+            self._bucket_cache_read.pop(key, None)
 
     def find_pending_write(self, byte_address: int) -> bool:
         """True when a write to *byte_address* is buffered (forwarding)."""
@@ -183,16 +242,55 @@ class Channel:
         *until* — the data transfer finishes on the bus after the column
         command issues; callers deliver the completion at that time).
         """
+        if (
+            self._fastpath
+            and self._skip_version == self._version
+            and until < self._skip_until
+        ):
+            # Nothing enqueued or issued since the horizon was computed
+            # and the horizon is still ahead: pure clock bump.
+            self.perf.horizon_skips += 1
+            if until > self.clock:
+                self.clock = until
+            return []
+        self.perf.advances += 1
         completed: List[DramRequest] = []
+        drain_low = self._drain_low
+        drain_high = self._drain_high
+        fast = self._fastpath
         while True:
-            self._update_drain_mode()
-            candidate = self._best_candidate()
+            # _update_drain_mode and _best_candidate inlined: this loop
+            # body runs once per issued command and the two calls would
+            # dominate it.
+            n_writes = self._n_writes
+            if self._drain_mode:
+                if n_writes <= drain_low:
+                    self._drain_mode = False
+                    self._version += 1
+            elif n_writes >= drain_high:
+                self._drain_mode = True
+                self._version += 1
+            version = self._version
+            cached_version, candidate = self._cached_candidate
+            if cached_version != version:
+                candidate = self._compute_best_candidate()
+                self._cached_candidate = (version, candidate)
             if candidate is None:
+                self._skip_version = self._version
+                self._skip_until = float("inf")
                 if until > self.clock:
                     self.clock = until
                 break
-            issue_at = max(candidate.time, self._last_command_cycle + 1.0, self.clock)
+            cand_time = candidate[0] if fast else candidate.time
+            issue_at = max(cand_time, self._last_command_cycle + 1.0, self.clock)
             if issue_at > until:
+                # The horizon is clock-independent (the clock only ever
+                # catches up to it), so it stays valid until the version
+                # changes.
+                self._skip_version = self._version
+                self._skip_until = max(
+                    cand_time, self._last_command_cycle + 1.0
+                )
                 if until > self.clock:
                     self.clock = until
                 break
@@ -212,7 +310,8 @@ class Channel:
         candidate = self._best_candidate()
         if candidate is None:
             return None
-        return max(candidate.time, self._last_command_cycle + 1.0, self.clock)
+        cand_time = candidate[0] if self._fastpath else candidate.time
+        return max(cand_time, self._last_command_cycle + 1.0, self.clock)
 
     def flush_writes(self) -> None:
         """Force drain mode regardless of watermarks (end of simulation)."""
@@ -248,6 +347,8 @@ class Channel:
         return best
 
     def _compute_best_candidate(self) -> Optional[_Candidate]:
+        if self._fastpath:
+            return self._compute_best_candidate_fast()
         best: Optional[_Candidate] = None
         for rank_index, rank in enumerate(self.ranks):
             candidate = _Candidate(
@@ -274,13 +375,220 @@ class Channel:
                 best = candidate
         return best
 
-    def _bank_candidate(
-        self, rank_index: int, bank_index: int, requests: List[DramRequest]
-    ) -> Optional[_Candidate]:
+    def _compute_best_candidate_fast(self) -> Optional[_Candidate]:
+        """Cached variant of :meth:`_compute_best_candidate`.
+
+        Selection is provably identical: candidate sort keys form a total
+        order (refresh candidates carry class 0 and ``-inf`` arrival, so
+        no bank candidate ever ties one), which makes the evaluation
+        order irrelevant, and a cached bucket candidate re-clamped with
+        ``max(clock, time)`` equals a fresh computation at this clock.
+        """
+        self.perf.computes += 1
+        clock = self.clock
+        debt = self._refresh_debt
+        for rank_index, rank in enumerate(self.ranks):
+            threshold = debt[rank_index]
+            if threshold is None:
+                threshold = rank.next_refresh_due + self._t.t_refi
+                debt[rank_index] = threshold
+            if clock > threshold:
+                # Refresh debt of a full interval: refresh preempts all
+                # request scheduling until the rank catches up.
+                return (
+                    rank.earliest_refresh(clock), _CLASS_REFRESH,
+                    float("-inf"), None, rank_index, -1,
+                )
+        buckets = self._active_buckets()
+        if buckets is self._write_by_bank:
+            cache = self._bucket_cache_write
+        else:
+            cache = self._bucket_cache_read
+        cap = self._starvation_cap
+        cache_get = cache.get
+        class_keys = self._class_keys
+        hits = misses = 0
+        best: Optional[_Candidate] = None
+        best_time = best_class = best_arrival = None
+        for key, requests in buckets.items():
+            if not requests:
+                continue
+            # The starvation flag is the only clock-dependent input to a
+            # bucket's candidate; a cached entry is reusable iff the
+            # bucket was not invalidated and the flag is unchanged.
+            # requests[0] is stable while the entry lives (any list
+            # mutation invalidates the bucket), so its cached arrival
+            # stands in for the list access.
+            entry = cache_get(key)
+            if entry is not None and entry[1] == ((clock - entry[2]) > cap):
+                hits += 1
+                candidate = entry[0]
+            else:
+                misses += 1
+                arrival = requests[0].arrival_cycle
+                starved = (clock - arrival) > cap
+                candidate = self._bank_candidate_fast(
+                    key[0], key[1], requests, starved
+                )
+                cache[key] = (candidate, starved, arrival)
+                class_key = (key[0], candidate[1])
+                members = class_keys.get(class_key)
+                if members is None:
+                    class_keys[class_key] = {key}
+                else:
+                    members.add(key)
+            # candidate fields by index (0: time, 1: class, 2: arrival).
+            time = candidate[0]
+            if time < clock:
+                time = clock
+            if best is not None:
+                if time > best_time:
+                    continue
+                if time == best_time:
+                    command_class = candidate[1]
+                    if command_class > best_class or (
+                        command_class == best_class
+                        and candidate[2] >= best_arrival
+                    ):
+                        continue
+            best = candidate
+            best_time = time
+            best_class = candidate[1]
+            best_arrival = candidate[2]
+        counters = self.perf.bucket
+        counters.hits += hits
+        counters.misses += misses
+        # Refresh candidates last, from the per-rank cache: the full
+        # ``earliest_refresh`` scans every bank, but all of its inputs
+        # are rank state, so the unclamped value survives until the
+        # next command issues on the rank.
+        refresh_cache = self._refresh_unclamped
+        for rank_index, rank in enumerate(self.ranks):
+            time = refresh_cache[rank_index]
+            if time is None:
+                time = rank.earliest_refresh(0.0)
+                refresh_cache[rank_index] = time
+            if time < clock:
+                time = clock
+            if best is not None and time > best_time:
+                continue
+            # Refresh (class 0) beats any bank candidate at equal time;
+            # an earlier rank's refresh keeps an exact tie.
+            if best is None or time < best_time or (
+                time == best_time and best_class != _CLASS_REFRESH
+            ):
+                best = (
+                    time, _CLASS_REFRESH, float("-inf"), None, rank_index, -1
+                )
+                best_time = time
+                best_class = _CLASS_REFRESH
+                best_arrival = float("-inf")
+        return best
+
+    def _bank_candidate_fast(
+        self,
+        rank_index: int,
+        bank_index: int,
+        requests: List[DramRequest],
+        starved: bool,
+    ) -> tuple:
+        """`_bank_candidate_at(0.0, ...)` with the timing math inlined.
+
+        The bank/rank ``earliest_*`` methods are ``max(now, ...)`` chains
+        over non-negative state (initialised to 0.0, advanced by command
+        execution), so at ``now = 0.0`` the clamp is free and the method
+        stack collapses into attribute reads and compares.  Equivalence
+        with the reference :meth:`_bank_candidate_at` is pinned by the
+        golden fastpath-on/off runs in ``tests/test_fastpath.py``.
+        """
         rank = self.ranks[rank_index]
         bank = rank.banks[bank_index]
+        target = requests[0]
+        open_row = bank.open_row
+        if open_row is not None and not starved:
+            for request in requests:
+                if request.decoded.row == open_row:
+                    target = request
+                    break
+
+        decoded = target.decoded
+        if open_row == decoded.row:
+            # RD/WR: bank tCCD gate plus rank-level column constraints.
+            t = self._t
+            is_write = target.is_write
+            time = rank.refresh_blocked_until
+            v = bank.next_column
+            if v > time:
+                time = v
+            data_delay = t.t_cwd if is_write else t.t_cas
+            t_ccd_s = t.t_ccd_s
+            t_ccd_l = t.t_ccd_l
+            bank_group = decoded.bank_group
+            last_col_any = rank._last_col_any
+            last_col_by_group = rank._last_col_by_group
+            turnaround = rank._next_write_ok if is_write else rank._next_read_ok
+            bus_free = rank._bus_free
+            for subrank in target.subrank_mask:
+                v = last_col_any[subrank] + t_ccd_s
+                if v > time:
+                    time = v
+                v = last_col_by_group[subrank][bank_group] + t_ccd_l
+                if v > time:
+                    time = v
+                v = turnaround[subrank]
+                if v > time:
+                    time = v
+                v = bus_free[subrank] - data_delay
+                if v > time:
+                    time = v
+            command_class = _CLASS_COLUMN
+        elif open_row is None:
+            # ACT: bank tRC gate plus rank tRRD/tFAW windows.
+            t = self._t
+            time = bank.next_activate
+            v = rank.refresh_blocked_until
+            if v > time:
+                time = v
+            v = rank._last_act_any + t.t_rrd_s
+            if v > time:
+                time = v
+            v = rank._last_act_by_group[decoded.bank_group] + t.t_rrd_l
+            if v > time:
+                time = v
+            history = rank._act_history
+            if len(history) == 4:
+                v = history[0] + t.t_faw
+                if v > time:
+                    time = v
+            command_class = _CLASS_ACTIVATE
+        else:
+            time = bank.next_precharge
+            command_class = _CLASS_PRECHARGE
+        return (
+            time, command_class, target.arrival_cycle,
+            target, rank_index, bank_index,
+        )
+
+    def _bank_candidate(
+        self, rank_index: int, bank_index: int, requests: List[DramRequest]
+    ) -> _Candidate:
         oldest = requests[0]  # FIFO buckets: index 0 is the oldest
         starved = (self.clock - oldest.arrival_cycle) > self._starvation_cap
+        return self._bank_candidate_at(
+            self.clock, rank_index, bank_index, requests, starved
+        )
+
+    def _bank_candidate_at(
+        self,
+        now: float,
+        rank_index: int,
+        bank_index: int,
+        requests: List[DramRequest],
+        starved: bool,
+    ) -> _Candidate:
+        rank = self.ranks[rank_index]
+        bank = rank.banks[bank_index]
+        oldest = requests[0]
 
         target = oldest
         if not starved and bank.open_row is not None:
@@ -292,9 +600,9 @@ class Channel:
 
         decoded = target.decoded
         if bank.open_row == decoded.row:
-            time = bank.earliest_column(self.clock, decoded.row)
+            time = bank.earliest_column(now, decoded.row)
             rank_time = rank.earliest_column(
-                self.clock,
+                now,
                 decoded.bank_group,
                 target.is_write,
                 target.subrank_mask,
@@ -305,12 +613,12 @@ class Channel:
             command_class = _CLASS_COLUMN
         elif bank.open_row is None:
             time = max(
-                bank.earliest_activate(self.clock),
-                rank.earliest_activate(self.clock, decoded.bank_group),
+                bank.earliest_activate(now),
+                rank.earliest_activate(now, decoded.bank_group),
             )
             command_class = _CLASS_ACTIVATE
         else:
-            time = bank.earliest_precharge(self.clock)
+            time = bank.earliest_precharge(now)
             command_class = _CLASS_PRECHARGE
         return _Candidate(
             time=time,
@@ -327,33 +635,61 @@ class Channel:
         self._last_command_cycle = cycle
         self.clock = cycle
         self._version += 1
-        rank = self.ranks[candidate.rank_index]
-        if candidate.command_class == _CLASS_REFRESH:
+        # Unpack once: fast-path candidates are plain tuples, slow-path
+        # ones dataclasses; either way the fields land in locals so the
+        # branches below never re-read the candidate.
+        if self._fastpath:
+            __, command_class, __, request, rank_index, bank_index = candidate
+        else:
+            command_class = candidate.command_class
+            request = candidate.request
+            rank_index = candidate.rank_index
+            bank_index = candidate.bank_index
+        # Any command (incl. the auto-precharge rider) moves rank/bank
+        # state that feeds the rank's earliest-refresh value.
+        self._refresh_unclamped[rank_index] = None
+        rank = self.ranks[rank_index]
+        stats = self.stats
+        commands = stats.commands
+        log = self.command_log
+        if command_class == _CLASS_REFRESH:
             rank.do_refresh(cycle)
-            self.stats.count("REF")
-            self._log(cycle, "REF", candidate.rank_index, -1, None)
+            self._refresh_debt[rank_index] = None
+            # Refresh force-closes every bank and raises the rank-wide
+            # refresh block: nothing cached for this rank survives.
+            self._invalidate_rank(rank_index)
+            commands["REF"] = commands.get("REF", 0) + 1
+            if log is not None:
+                self._log(cycle, "REF", rank_index, -1, None)
             return
 
-        request = candidate.request
         assert request is not None
-        bank = rank.banks[candidate.bank_index]
+        bank = rank.banks[bank_index]
         decoded = request.decoded
-        if candidate.command_class == _CLASS_PRECHARGE:
+        if command_class == _CLASS_PRECHARGE:
             if request.row_outcome is None:
                 request.row_outcome = "miss"
                 bank.stats.row_misses += 1
             bank.do_precharge(cycle)
-            self.stats.count("PRE")
-            self._log(cycle, "PRE", candidate.rank_index, candidate.bank_index, request)
+            # PRE only mutates its own bank (open_row, next_activate).
+            self._invalidate_bank(rank_index, bank_index)
+            commands["PRE"] = commands.get("PRE", 0) + 1
+            if log is not None:
+                self._log(cycle, "PRE", rank_index, bank_index, request)
             return
-        if candidate.command_class == _CLASS_ACTIVATE:
+        if command_class == _CLASS_ACTIVATE:
             if request.row_outcome is None:
                 request.row_outcome = "empty"
                 bank.stats.row_empty += 1
             rank.note_activate(cycle, decoded.bank_group)
             bank.do_activate(cycle, decoded.row)
-            self.stats.count("ACT")
-            self._log(cycle, "ACT", candidate.rank_index, candidate.bank_index, request)
+            # ACT mutates its own bank plus the rank's tRRD/tFAW state,
+            # which feeds only other ACTIVATE-class candidates.
+            self._invalidate_bank(rank_index, bank_index)
+            self._invalidate_class(rank_index, _CLASS_ACTIVATE)
+            commands["ACT"] = commands.get("ACT", 0) + 1
+            if log is not None:
+                self._log(cycle, "ACT", rank_index, bank_index, request)
             return
 
         # Column command: the request's data transfer is now scheduled.
@@ -370,10 +706,11 @@ class Channel:
             request.data_beats,
         )
         bank.do_column(cycle, request.is_write, request.data_beats)
-        self._log(cycle, "WR" if request.is_write else "RD",
-                  candidate.rank_index, candidate.bank_index, request)
+        if log is not None:
+            self._log(cycle, "WR" if request.is_write else "RD",
+                      rank_index, bank_index, request)
         request.completion_cycle = data_end
-        key = (candidate.rank_index, candidate.bank_index)
+        key = (rank_index, bank_index)
         if request.is_write:
             self._write_by_bank[key].remove(request)
             self._n_writes -= 1
@@ -383,20 +720,27 @@ class Channel:
                 self._write_addresses[address] = remaining
             else:
                 self._write_addresses.pop(address, None)
-            self.stats.count("WR")
-            self.stats.completed_writes += 1
+            commands["WR"] = commands.get("WR", 0) + 1
+            stats.completed_writes += 1
         else:
             self._read_by_bank[key].remove(request)
             self._n_reads -= 1
-            self.stats.count("RD")
-            self.stats.completed_reads += 1
-            self.stats.read_latency_sum += request.total_latency
-            self.stats.queue_latency_sum += request.queue_latency
+            commands["RD"] = commands.get("RD", 0) + 1
+            stats.completed_reads += 1
+            stats.read_latency_sum += request.total_latency
+            stats.queue_latency_sum += request.queue_latency
+        # RD/WR mutates its own bank (next_precharge, bucket contents)
+        # plus the rank's tCCD/bus/turnaround state, which feeds only
+        # other COLUMN-class candidates.
+        self._invalidate_bank(rank_index, bank_index)
+        self._invalidate_class(rank_index, _CLASS_COLUMN)
         completed.append(request)
         if self._page_policy == "closed":
-            self._maybe_auto_precharge(candidate, bank, decoded.row)
+            self._maybe_auto_precharge(rank_index, bank_index, bank, decoded.row)
 
-    def _maybe_auto_precharge(self, candidate: _Candidate, bank, row: int) -> None:
+    def _maybe_auto_precharge(
+        self, rank_index: int, bank_index: int, bank, row: int
+    ) -> None:
         """Closed-page policy: close the row unless a queued request
         still wants it.
 
@@ -404,10 +748,50 @@ class Channel:
         (RDA/WRA): it consumes no command-bus slot and takes effect at
         the earliest legal precharge point.
         """
-        key = (candidate.rank_index, candidate.bank_index)
+        key = (rank_index, bank_index)
         for bucket in (self._read_by_bank, self._write_by_bank):
             for request in bucket.get(key, ()):  # pending same-row work?
                 if request.decoded.row == row:
                     return
         bank.do_precharge(bank.earliest_precharge(self.clock))
         # Not counted as a PRE command: RDA/WRA rides the column command.
+        # Cache-wise it is covered by the column command's own-bank
+        # invalidation (no candidate is recomputed between the two).
+
+    # ------------------------------------------------------------------
+    # Bucket-cache invalidation (fast path)
+    # ------------------------------------------------------------------
+
+    def _invalidate_bank(self, rank_index: int, bank_index: int) -> None:
+        key = (rank_index, bank_index)
+        self._bucket_cache_read.pop(key, None)
+        self._bucket_cache_write.pop(key, None)
+
+    def _invalidate_rank(self, rank_index: int) -> None:
+        read_pop = self._bucket_cache_read.pop
+        write_pop = self._bucket_cache_write.pop
+        class_keys = self._class_keys
+        for command_class in (_CLASS_COLUMN, _CLASS_ACTIVATE, _CLASS_PRECHARGE):
+            keys = class_keys.pop((rank_index, command_class), None)
+            if keys:
+                for key in keys:
+                    read_pop(key, None)
+                    write_pop(key, None)
+
+    def _invalidate_class(self, rank_index: int, command_class: int) -> None:
+        """Drop cached candidates of *command_class* within a rank.
+
+        Rank-level timing state is partitioned by command class (ACT:
+        tRRD/tFAW; RD/WR: tCCD/bus/turnaround), so an issued command
+        only perturbs same-class candidates in other banks of its rank.
+        The ``_class_keys`` index is conservatively stale, so this may
+        also drop entries that changed class since they were indexed —
+        harmless over-invalidation.
+        """
+        keys = self._class_keys.pop((rank_index, command_class), None)
+        if keys:
+            read_pop = self._bucket_cache_read.pop
+            write_pop = self._bucket_cache_write.pop
+            for key in keys:
+                read_pop(key, None)
+                write_pop(key, None)

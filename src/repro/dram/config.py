@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import fastpath
 from repro.util.bitops import CACHELINE_BYTES
 
 
@@ -153,6 +154,11 @@ class AddressMapper:
         self._col_low_bits = column_low_bits
         self._col_low = 1 << column_low_bits
         self._col_high = organization.blocks_per_row // self._col_low
+        # decode() is pure and called several times per access (controller,
+        # memory system, sub-rank placement); the fast path memoises the
+        # frozen result per address with a bounded cache.
+        self._decode_cache: dict = {} if fastpath.enabled() else None
+        self._decode_cache_limit = 1 << 16
 
     @property
     def organization(self) -> DramOrganization:
@@ -164,6 +170,19 @@ class AddressMapper:
 
     def decode(self, byte_address: int) -> MemoryAddress:
         """Decode a byte address into DRAM coordinates."""
+        cache = self._decode_cache
+        if cache is not None:
+            decoded = cache.get(byte_address)
+            if decoded is not None:
+                return decoded
+        decoded = self._decode_uncached(byte_address)
+        if cache is not None:
+            if len(cache) >= self._decode_cache_limit:
+                cache.clear()
+            cache[byte_address] = decoded
+        return decoded
+
+    def _decode_uncached(self, byte_address: int) -> MemoryAddress:
         org = self._org
         block = self.line_address(byte_address)
         block, column_low = divmod(block, self._col_low)

@@ -1,0 +1,162 @@
+"""The pinned reference workload and the best-of-N single-run benchmark.
+
+Performance claims need a fixed yardstick.  This module pins ONE
+workload — chosen because it exercises every fast-path cache (BLEM
+compression, scrambling, the FR-FCFS candidate cache) with a trace long
+enough that interpreter noise averages out but short enough to run in a
+CI smoke job — and measures it with the only timing methodology that is
+stable on a shared machine: best-of-N wall clock.
+
+The minimum over repeats estimates the noise floor (scheduler
+interference and frequency scaling only ever *add* time), so ratios of
+minima are comparable across commits on the same machine.  Absolute
+times are NOT comparable across machines; the regression gate in CI
+therefore compares the fastpath-on/off *speedup ratio* against the
+committed baseline (``benchmarks/BENCH_single_run.json``), which divides
+the machine out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import fastpath
+from repro.sim.runner import ExperimentScale, run_benchmark
+
+#: The pinned reference configuration.  Do not change casually: the
+#: committed baseline numbers in benchmarks/BENCH_single_run.json were
+#: measured against exactly this point.
+PINNED_BENCHMARK = "RAND"
+PINNED_SYSTEM = "attache"
+PINNED_SEED = 2018
+
+
+def pinned_scale() -> ExperimentScale:
+    """The pinned workload's scale.
+
+    ``warmup_per_core=0``: warm-up records exercise the same code as
+    timed ones, so they only dilute the measured per-record costs —
+    the benchmark wants every simulated event on the clock.
+    """
+    return ExperimentScale(
+        name="pin", factor=32, cores=4, records_per_core=1500,
+        warmup_per_core=0,
+    )
+
+
+def result_digest(result) -> str:
+    """Canonical digest of a result payload, for bit-identity checks."""
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class BenchRun:
+    """One timed simulation of the pinned workload."""
+
+    wall_s: float
+    events: int  #: retired trace records (instructions)
+    digest: str
+    perf: Optional[dict]  #: SimulationResult.perf of this run
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "events": self.events,
+            "events_per_s": round(self.events_per_s, 3),
+            "digest": self.digest,
+            "perf": self.perf,
+        }
+
+
+def run_once(fastpath_on: bool = True) -> BenchRun:
+    """Run the pinned workload once in the requested mode."""
+    with fastpath.overridden(fastpath_on):
+        start = time.perf_counter()
+        result = run_benchmark(
+            PINNED_BENCHMARK, PINNED_SYSTEM, scale=pinned_scale(),
+            seed=PINNED_SEED,
+        )
+        wall = time.perf_counter() - start
+    return BenchRun(
+        wall_s=wall,
+        events=result.instructions,
+        digest=result_digest(result),
+        perf=result.perf,
+    )
+
+
+@dataclass
+class BenchReport:
+    """Best-of-N measurement of the pinned workload, both modes."""
+
+    fast: BenchRun  #: best (minimum wall clock) fastpath-on run
+    slow: BenchRun  #: best fastpath-off run
+    repeats: int
+    identical: bool  #: every run of both modes produced one digest
+
+    @property
+    def speedup(self) -> float:
+        """slow/fast wall-clock ratio of the best runs (machine-free)."""
+        return self.slow.wall_s / self.fast.wall_s if self.fast.wall_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": PINNED_BENCHMARK,
+            "system": PINNED_SYSTEM,
+            "seed": PINNED_SEED,
+            "scale": {
+                "factor": pinned_scale().factor,
+                "cores": pinned_scale().cores,
+                "records_per_core": pinned_scale().records_per_core,
+                "warmup_per_core": pinned_scale().warmup_per_core,
+            },
+            "repeats": self.repeats,
+            "identical": self.identical,
+            "speedup": round(self.speedup, 3),
+            "fast": self.fast.to_dict(),
+            "slow": self.slow.to_dict(),
+        }
+
+
+def run_pinned(repeats: int = 3) -> BenchReport:
+    """Best-of-*repeats* benchmark of the pinned workload, both modes.
+
+    Interleaves fast and slow runs so slow machine-wide drift (thermal
+    throttling, a background build) biases both modes alike instead of
+    whichever mode happened to run last.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fast_runs, slow_runs = [], []
+    for _ in range(repeats):
+        fast_runs.append(run_once(fastpath_on=True))
+        slow_runs.append(run_once(fastpath_on=False))
+    digests = {run.digest for run in fast_runs + slow_runs}
+    return BenchReport(
+        fast=min(fast_runs, key=lambda run: run.wall_s),
+        slow=min(slow_runs, key=lambda run: run.wall_s),
+        repeats=repeats,
+        identical=len(digests) == 1,
+    )
+
+
+__all__ = [
+    "PINNED_BENCHMARK",
+    "PINNED_SEED",
+    "PINNED_SYSTEM",
+    "BenchReport",
+    "BenchRun",
+    "pinned_scale",
+    "result_digest",
+    "run_once",
+    "run_pinned",
+]

@@ -12,6 +12,11 @@ Results cross the process boundary as ``SimulationResult.to_dict()``
 payloads over a pipe, the same lossless encoding the result cache and
 run manifests store, so a simulated point, a cached point and a resumed
 point are bit-identical.
+
+Launch order is LPT (longest first) whenever per-job wall-clock
+estimates exist — from the run manifest's prior telemetry or an explicit
+map — so a straggler starts early instead of serialising the tail of an
+otherwise-parallel sweep.  Report order is always input order.
 """
 
 from __future__ import annotations
@@ -154,6 +159,7 @@ class Orchestrator:
         telemetry_path=None,
         progress: bool = False,
         stream=None,
+        estimates: Optional[Dict[str, float]] = None,
     ) -> OrchestrationReport:
         """Execute *specs*, reusing the cache and any prior run state.
 
@@ -161,6 +167,14 @@ class Orchestrator:
         completed points recorded in its manifest are loaded instead of
         re-simulated, and every terminal event is appended to the
         manifest as it happens.
+
+        Jobs launch in LPT (longest-processing-time-first) order when
+        duration estimates are available — *estimates* maps
+        ``JobSpec.describe()`` labels to expected wall seconds and is
+        merged over the manifest's prior-run telemetry.  Jobs with no
+        estimate launch first (an unknown job may be the long pole);
+        known jobs follow, longest first.  Results always come back in
+        input order regardless of launch order.
         """
         manifest = RunManifest(run_dir) if run_dir is not None else None
         if manifest is not None and run_spec is not None:
@@ -187,6 +201,7 @@ class Orchestrator:
             else:
                 pending.append(_Pending(index=index, attempt=1, ready_at=0.0))
 
+        pending = self._lpt_order(pending, specs, manifest, estimates)
         self._drive(specs, keys, outcomes, pending, manifest, telemetry)
 
         report = OrchestrationReport(outcomes=[o for o in outcomes])
@@ -200,6 +215,35 @@ class Orchestrator:
         return report
 
     # ------------------------------------------------------------------
+
+    def _lpt_order(self, pending, specs, manifest, estimates):
+        """Longest-estimated-first launch order over the pending queue.
+
+        With parallel workers, launching the long poles first bounds the
+        makespan (classic LPT scheduling); launching them last can leave
+        every worker but one idle behind a straggler.  Estimates come
+        from the manifest's prior-run wall-clock telemetry, overridden
+        by any caller-provided map.  The sort is stable: unestimated
+        jobs keep input order at the front, estimated ones follow
+        longest-first.
+        """
+        if len(pending) < 2:
+            return pending
+        merged: Dict[str, float] = (
+            manifest.wall_estimates() if manifest is not None else {}
+        )
+        if estimates:
+            merged.update(estimates)
+        if not merged:
+            return pending
+        unknown = float("inf")
+        return deque(sorted(
+            pending,
+            key=lambda item: (
+                -merged.get(specs[item.index].describe(), unknown),
+                item.index,
+            ),
+        ))
 
     def _reuse(self, spec, key, completed_before, manifest):
         """A cached/resumed outcome for this job, or None to run it."""

@@ -10,11 +10,24 @@ content (paper, Section IV-B and footnote 3).
 
 Scrambling is an involution (XOR with a fixed keystream), so one class
 serves both directions.
+
+The keystream is a pure function of (seed, address, length); the fast
+path memoises full-line keystreams per address and XORs via a single
+integer operation instead of a per-byte generator.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
+from repro import fastpath
+from repro.util.bitops import CACHELINE_BYTES
 from repro.util.rng import splitmix64
+
+#: Bound on the per-address keystream memo.  Working sets in the bundled
+#: workloads are a few thousand distinct lines; 65536 entries cover them
+#: while capping memory at ~6 MiB.
+_KEYSTREAM_CACHE_ENTRIES = 65536
 
 
 class DataScrambler:
@@ -27,6 +40,13 @@ class DataScrambler:
 
     def __init__(self, seed: int) -> None:
         self._seed = seed & ((1 << 64) - 1)
+        self._fastpath = fastpath.enabled()
+        #: address -> (keystream bytes, keystream as little-endian int).
+        #: A plain dict cleared wholesale at capacity: the keystream is a
+        #: pure function of the address, so the eviction policy is
+        #: invisible to results and LRU bookkeeping would be pure tax.
+        self._keystreams: Dict[int, Tuple[bytes, int]] = {}
+        self.perf_keystream = fastpath.CacheCounters()
 
     @property
     def seed(self) -> int:
@@ -37,6 +57,11 @@ class DataScrambler:
         """Generate *length* keystream bytes for a block at *address*."""
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
+        if self._fastpath and length <= CACHELINE_BYTES:
+            return self._cached_keystream(address)[0][:length]
+        return self._generate(address, length)
+
+    def _generate(self, address: int, length: int) -> bytes:
         out = bytearray()
         # Each 8-byte keystream chunk mixes the seed, the address and the
         # chunk index through two splitmix64 rounds.
@@ -47,9 +72,40 @@ class DataScrambler:
             chunk += 1
         return bytes(out[:length])
 
+    def _cached_keystream(self, address: int) -> Tuple[bytes, int]:
+        cached = self._keystreams.get(address)
+        if cached is not None:
+            self.perf_keystream.hits += 1
+            return cached
+        self.perf_keystream.misses += 1
+        # Same stream as _generate, with the address-only inner round
+        # hoisted out of the chunk loop (it does not depend on `chunk`)
+        # and splitmix64 inlined; chunks assemble into one integer so the
+        # bytes form materialises in a single to_bytes call.
+        inner = splitmix64(self._seed ^ (address * 0x2545F4914F6CDD1D))
+        key_int = 0
+        shift = 0
+        for chunk in range(CACHELINE_BYTES // 8):
+            z = ((inner ^ chunk) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+            key_int |= ((z ^ (z >> 31)) & 0xFFFFFFFFFFFFFFFF) << shift
+            shift += 64
+        entry = (key_int.to_bytes(CACHELINE_BYTES, "little"), key_int)
+        if len(self._keystreams) >= _KEYSTREAM_CACHE_ENTRIES:
+            self._keystreams.clear()
+        self._keystreams[address] = entry
+        return entry
+
     def scramble(self, address: int, data: bytes) -> bytes:
         """Scramble *data* destined for *address*."""
-        key = self.keystream(address, len(data))
+        length = len(data)
+        if self._fastpath and length <= CACHELINE_BYTES:
+            key_int = self._cached_keystream(address)[1]
+            if length != CACHELINE_BYTES:
+                key_int &= (1 << (8 * length)) - 1
+            return (int.from_bytes(data, "little") ^ key_int).to_bytes(length, "little")
+        key = self._generate(address, length)
         return bytes(d ^ k for d, k in zip(data, key))
 
     # XOR scrambling is self-inverse; an explicit alias keeps call sites

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro import fastpath
 from repro.core.controllers import MemoryController
 from repro.cpu.cache import LastLevelCache
 from repro.cpu.core import Core
@@ -54,6 +55,14 @@ class SimulationResult:
     copr_accuracy: Optional[float] = None
     metadata_hit_rate: Optional[float] = None
     collision_rate: Optional[float] = None
+
+    #: Fast-path telemetry (cache hit rates, scheduler counters) attached
+    #: by ``Simulator._collect``.  Deliberately an *unannotated* class
+    #: attribute rather than a dataclass field: it must never enter
+    #: ``to_dict`` (the payload is required to be byte-identical with the
+    #: fast path on and off), and results rebuilt by ``from_dict`` carry
+    #: no telemetry.
+    perf = None
 
     @property
     def ipc(self) -> float:
@@ -162,13 +171,19 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _next_core(self):
-        """Earliest (bus_time, core) ready to issue, or (inf, None)."""
+        """Earliest (bus_time, core) ready to issue, or (inf, None).
+
+        ``Core.next_issue_time`` is inlined (reaching into the core's
+        private fields): this scan runs once per simulator event and the
+        per-core call plus its property lookups dominate it.
+        """
         best_time, best_core = _INF, None
+        core_to_bus = self._config.core_to_bus
         for core in self._cores:
-            t = core.next_issue_time()
-            if t is None:
+            record = core._next_record
+            if record is None or len(core._window) >= core._max_outstanding:
                 continue
-            bus_time = self._config.core_to_bus(t)
+            bus_time = core_to_bus(core.time + record.gap / core._issue_width)
             if bus_time < best_time:
                 best_time, best_core = bus_time, core
         return best_time, best_core
@@ -264,6 +279,35 @@ class Simulator:
 
     # ------------------------------------------------------------------
 
+    def _collect_perf(self) -> dict:
+        """Aggregate the fast-path cache counters into one payload.
+
+        Pure telemetry: every counter here describes *how* the run was
+        computed, never *what* it computed, so it lives outside the
+        serialised result (see ``SimulationResult.perf``).
+        """
+        controller = self._controller
+        scheduler = fastpath.SchedulerCounters()
+        for channel in self._memory.channels:
+            scheduler.merge(channel.perf)
+        perf: dict = {
+            # The memory system's construction-time snapshot, not the
+            # current global: components never mix modes within one run.
+            "fastpath": self._memory._fastpath,
+            "scheduler": scheduler.to_dict(),
+        }
+        engine = getattr(controller, "_engine", None)
+        if engine is not None:
+            perf["classify"] = engine.perf_classify.to_dict()
+            perf["full_encodes"] = engine.perf_full_encodes
+        blem = getattr(controller, "blem", None)
+        if blem is not None:
+            perf["keystream"] = blem._scrambler.perf_keystream.to_dict()
+        verified = getattr(controller, "perf_verified_reads", None)
+        if verified is not None:
+            perf["verified_reads"] = verified.to_dict()
+        return perf
+
     def _collect(self) -> SimulationResult:
         config = self._config
         runtime = max(core.completion_time for core in self._cores)
@@ -297,7 +341,7 @@ class Simulator:
             refreshes=self._memory.total_refreshes(),
             elapsed_cycles=elapsed_bus,
         )
-        return SimulationResult(
+        result = SimulationResult(
             system=controller.name,
             workload=self._workload.name,
             runtime_core_cycles=runtime,
@@ -315,3 +359,5 @@ class Simulator:
             metadata_hit_rate=metadata_hit_rate,
             collision_rate=collision_rate,
         )
+        result.perf = self._collect_perf()
+        return result

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 MASK64 = (1 << 64) - 1
 
+#: bound -> rejection-sampling threshold; the simulator draws from a
+#: handful of distinct bounds millions of times.
+_REJECTION_THRESHOLDS: dict = {}
+
 
 def splitmix64(state: int) -> int:
     """One splitmix64 step: map a 64-bit state to a well-mixed 64-bit output.
@@ -35,8 +39,14 @@ class DeterministicRng:
 
     def next_u64(self) -> int:
         """Return the next 64-bit unsigned value."""
-        self._state = (self._state + 0x9E3779B97F4A7C15) & MASK64
-        return splitmix64(self._state)
+        # splitmix64 inlined: this is the single hottest primitive in the
+        # simulator (content generation calls it per 8 output bytes).
+        state = (self._state + 0x9E3779B97F4A7C15) & MASK64
+        self._state = state
+        z = (state + 0x9E3779B97F4A7C15) & MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        return (z ^ (z >> 31)) & MASK64
 
     def next_below(self, bound: int) -> int:
         """Return a value uniform in ``[0, bound)``.
@@ -45,7 +55,11 @@ class DeterministicRng:
         """
         if bound <= 0:
             raise ValueError(f"bound must be positive, got {bound}")
-        threshold = (MASK64 + 1) - ((MASK64 + 1) % bound)
+        threshold = _REJECTION_THRESHOLDS.get(bound)
+        if threshold is None:
+            threshold = (MASK64 + 1) - ((MASK64 + 1) % bound)
+            if len(_REJECTION_THRESHOLDS) < 4096:
+                _REJECTION_THRESHOLDS[bound] = threshold
         while True:
             value = self.next_u64()
             if value < threshold:
@@ -57,10 +71,21 @@ class DeterministicRng:
 
     def next_bytes(self, count: int) -> bytes:
         """Return *count* pseudo-random bytes."""
-        out = bytearray()
-        while len(out) < count:
-            out += self.next_u64().to_bytes(8, "little")
-        return bytes(out[:count])
+        # Little-endian chunks concatenate into one little-endian integer,
+        # so the whole buffer materialises in a single to_bytes call.
+        chunks = (count + 7) // 8
+        state = self._state
+        out = 0
+        shift = 0
+        for _ in range(chunks):
+            state = (state + 0x9E3779B97F4A7C15) & MASK64
+            z = (state + 0x9E3779B97F4A7C15) & MASK64
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+            out |= ((z ^ (z >> 31)) & MASK64) << shift
+            shift += 64
+        self._state = state
+        return out.to_bytes(8 * chunks, "little")[:count]
 
     def choice(self, items):
         """Return a uniformly chosen element of a non-empty sequence."""

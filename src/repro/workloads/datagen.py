@@ -14,12 +14,14 @@ matches the profile exactly rather than approximately.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro import fastpath
 from repro.compression import CompressionEngine
 from repro.util.bitops import CACHELINE_BYTES
-from repro.util.rng import DeterministicRng, splitmix64
+from repro.util.rng import DeterministicRng
 
 PAGE_BYTES = 4096
 LINES_PER_PAGE = PAGE_BYTES // CACHELINE_BYTES
@@ -87,6 +89,11 @@ class DataModel:
         #: constantly by the simulator and generation is expensive.
         self._content_cache: Dict[Tuple[int, int], bytes] = {}
         self._content_cache_limit = 65536
+        #: (line, version) -> class; line_class is pure and re-queried by
+        #: the warm-up trainer and every content-cache miss.
+        self._class_cache: Dict[Tuple[int, int], bool] = (
+            {} if fastpath.enabled() else None
+        )
         self._total_weight = sum(w for __, w in self._PATTERN_WEIGHTS)
 
     @property
@@ -113,13 +120,19 @@ class DataModel:
     # ------------------------------------------------------------------
 
     def _hash(self, *parts: int) -> int:
+        # splitmix64 inlined into the fold: this hash seeds every content
+        # generation and class draw, so the call overhead is measurable.
         state = self._seed
+        mask = (1 << 64) - 1
         for part in parts:
-            state = splitmix64(state ^ (part * 0x9E3779B97F4A7C15 & ((1 << 64) - 1)))
+            z = (state ^ (part * 0x9E3779B97F4A7C15 & mask)) + 0x9E3779B97F4A7C15 & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            state = (z ^ (z >> 31)) & mask
         return state
 
     def _unit(self, *parts: int) -> float:
-        return (self._hash(*parts) >> 11) / float(1 << 53)
+        return (self._hash(*parts) >> 11) / 9007199254740992.0
 
     def line_class(self, line_address: int, version: int = None) -> bool:
         """Target compressibility class of the line at *version*.
@@ -128,9 +141,19 @@ class DataModel:
         """
         if version is None:
             version = self.version_of(line_address)
+        cache = self._class_cache
+        if cache is not None:
+            cached = cache.get((line_address, version))
+            if cached is not None:
+                return cached
         page = line_address // LINES_PER_PAGE
         base = self._base_class(page, line_address)
-        return base ^ (self._flips_up_to(line_address, version) % 2 == 1)
+        result = base ^ (self._flips_up_to(line_address, version) % 2 == 1)
+        if cache is not None:
+            if len(cache) >= self._content_cache_limit:
+                cache.clear()
+            cache[(line_address, version)] = result
+        return result
 
     def _flips_up_to(self, line_address: int, version: int) -> int:
         """Stores that flipped the line's class in versions 1..version."""
@@ -207,19 +230,19 @@ class DataModel:
     def _pattern_base8_delta1(rng: DeterministicRng) -> bytes:
         base = rng.next_u64()
         words = [(base + rng.next_below(200) - 100) % (1 << 64) for _ in range(8)]
-        return b"".join(w.to_bytes(8, "little") for w in words)
+        return struct.pack("<8Q", *words)
 
     @staticmethod
     def _pattern_base4_delta1(rng: DeterministicRng) -> bytes:
         base = rng.next_u64() & 0xFFFFFFFF
         words = [(base + rng.next_below(200) - 100) % (1 << 32) for _ in range(16)]
-        return b"".join(w.to_bytes(4, "little") for w in words)
+        return struct.pack("<16I", *words)
 
     @staticmethod
     def _pattern_fpc_small_words(rng: DeterministicRng) -> bytes:
         # 32-bit words that sign-extend from 8 bits (FPC prefix 010).
         words = [(rng.next_below(256) - 128) % (1 << 32) for _ in range(16)]
-        return b"".join(w.to_bytes(4, "little") for w in words)
+        return struct.pack("<16I", *words)
 
     @staticmethod
     def _pattern_fpc_sparse(rng: DeterministicRng) -> bytes:
@@ -227,7 +250,7 @@ class DataModel:
         words = [0] * 16
         for _ in range(rng.next_below(4) + 1):
             words[rng.next_below(16)] = rng.next_below(1 << 15)
-        return b"".join(w.to_bytes(4, "little") for w in words)
+        return struct.pack("<16I", *words)
 
     # ------------------------------------------------------------------
     # Telemetry

@@ -30,14 +30,19 @@ class TraceGenerator:
         self._profile = profile
         self._pattern = profile.make_pattern(region_base, region_bytes, seed)
         self._rng = DeterministicRng(seed ^ 0x7ACE)
+        mean = profile.mean_gap
+        #: log(p) of the geometric distribution, fixed per profile.  Kept
+        #: as the division's denominator (not inverted) so gap values
+        #: stay bit-identical to the original per-call formula.
+        self._gap_log_p = math.log(mean / (mean + 1.0)) if mean else None
 
     def _geometric_gap(self) -> int:
         """Draw a gap with mean ``profile.mean_gap`` (geometric)."""
-        mean = self._profile.mean_gap
-        if mean == 0:
+        log_p = self._gap_log_p
+        if log_p is None:
             return 0
         u = max(self._rng.next_float(), 1e-12)
-        return int(math.log(u) / math.log(mean / (mean + 1.0)))
+        return int(math.log(u) / log_p)
 
     def records(self, count: Optional[int] = None) -> Iterator[TraceRecord]:
         """Yield *count* trace records (or endless when ``None``)."""
@@ -71,15 +76,26 @@ class CompositeDataModel:
         ):
             if base_a + size_a > base_b:
                 raise ValueError("data-model regions overlap")
+        #: line address -> owning model; the routing scan is linear in
+        #: the region count and line addresses repeat constantly.
+        self._model_cache: dict = {}
 
     def _model_for_line(self, line_address: int) -> DataModel:
+        model = self._model_cache.get(line_address)
+        if model is not None:
+            return model
         byte_address = line_address * CACHELINE_BYTES
         for base, size, model in self._regions:
             if base <= byte_address < base + size:
-                return model
-        # Out-of-region lines (e.g. never-touched metadata space) default
-        # to the first model's statistics.
-        return self._regions[0][2]
+                break
+        else:
+            # Out-of-region lines (e.g. never-touched metadata space)
+            # default to the first model's statistics.
+            model = self._regions[0][2]
+        if len(self._model_cache) >= 65536:
+            self._model_cache.clear()
+        self._model_cache[line_address] = model
+        return model
 
     def line_data(self, line_address: int, version: int = None) -> bytes:
         return self._model_for_line(line_address).line_data(line_address, version)

@@ -78,11 +78,14 @@ class TestReportHelpers:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([2.0]) == pytest.approx(2.0)
 
+    def test_geometric_mean_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
     def test_geometric_mean_validation(self):
         with pytest.raises(ValueError):
-            geometric_mean([])
-        with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-2.0])
 
     def test_normalise(self):
         out = normalise({"a": 2.0, "b": 4.0}, "a")
