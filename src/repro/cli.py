@@ -153,6 +153,7 @@ def _cmd_functional(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Time one run (optionally under cProfile) and print its fast-path
     cache telemetry; ``--fastpath off`` measures the reference path."""
+    import contextlib
     import cProfile
     import pstats
     import time
@@ -161,7 +162,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.fastpath.bench import result_digest
 
     profiler = cProfile.Profile() if args.cprofile else None
-    with fastpath.overridden(args.fastpath != "off"):
+    # No --fastpath flag means "whatever the environment says", so
+    # REPRO_FASTPATH=0 is honoured instead of silently force-enabled.
+    override = (
+        contextlib.nullcontext() if args.fastpath is None
+        else fastpath.overridden(args.fastpath != "off")
+    )
+    with override:
         start = time.perf_counter()
         if profiler is not None:
             profiler.enable()
@@ -173,35 +180,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             profiler.disable()
         wall = time.perf_counter() - start
 
+    perf = result.perf or {}
+    fastpath_on = bool(perf.get("fastpath"))
     rows = [
-        ["fastpath", "off" if args.fastpath == "off" else "on"],
+        ["fastpath",
+         "on" if fastpath_on
+         else "disabled (reference path; set REPRO_FASTPATH=1 or "
+              "--fastpath on to enable)"],
         ["wall clock (s)", f"{wall:.3f}"],
         ["events (instructions)", str(result.instructions)],
         ["events/sec", f"{result.instructions / wall:.0f}"],
         ["result digest", result_digest(result)[:16]],
     ]
-    perf = result.perf or {}
-    for name in ("classify", "keystream", "verified_reads"):
-        counters = perf.get(name)
-        if counters is not None:
-            rows.append([
-                f"{name} cache",
-                f"{counters['hits']}/{counters['hits'] + counters['misses']}"
-                f" hits ({100 * counters['hit_rate']:.1f}%)",
-            ])
-    if "full_encodes" in perf:
-        rows.append(["full encodes", str(perf["full_encodes"])])
-    scheduler = perf.get("scheduler")
-    if scheduler is not None:
-        bucket = scheduler["bucket"]
-        rows += [
-            ["scheduler computes", str(scheduler["computes"])],
-            ["scheduler bucket cache",
-             f"{bucket['hits']}/{bucket['hits'] + bucket['misses']}"
-             f" hits ({100 * bucket['hit_rate']:.1f}%)"],
-            ["scheduler horizon skips", str(scheduler["horizon_skips"])],
-            ["scheduler advances", str(scheduler["advances"])],
-        ]
+    # Cache telemetry only means something on the fast path — on the
+    # reference path every counter is zero and the table used to print
+    # a confusing block of empty caches.
+    if fastpath_on:
+        for name in ("classify", "keystream", "verified_reads"):
+            counters = perf.get(name)
+            if counters is not None:
+                rows.append([
+                    f"{name} cache",
+                    f"{counters['hits']}/"
+                    f"{counters['hits'] + counters['misses']}"
+                    f" hits ({100 * counters['hit_rate']:.1f}%)",
+                ])
+        if "full_encodes" in perf:
+            rows.append(["full encodes", str(perf["full_encodes"])])
+        scheduler = perf.get("scheduler")
+        if scheduler is not None:
+            bucket = scheduler["bucket"]
+            rows += [
+                ["scheduler computes", str(scheduler["computes"])],
+                ["scheduler bucket cache",
+                 f"{bucket['hits']}/{bucket['hits'] + bucket['misses']}"
+                 f" hits ({100 * bucket['hit_rate']:.1f}%)"],
+                ["scheduler horizon skips", str(scheduler["horizon_skips"])],
+                ["scheduler advances", str(scheduler["advances"])],
+            ]
     print(format_table(
         ["metric", "value"], rows,
         title=f"profile: {args.benchmark} on {args.system}",
@@ -211,6 +227,118 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         stats.sort_stats(args.sort)
         stats.print_stats(args.limit)
     return 0
+
+
+def _obs_config_from_args(args: argparse.Namespace, trace: bool):
+    from repro.obs import ObsConfig
+
+    return ObsConfig(
+        epoch_cycles=args.obs_epoch,
+        trace=trace,
+        trace_sample_every=getattr(args, "trace_sample", 1),
+        trace_capacity=getattr(args, "trace_capacity", 65536),
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record sampled request lifecycles and write a Chrome trace."""
+    from repro.obs import Observability
+
+    hub = Observability(_obs_config_from_args(args, trace=True))
+    result = run_benchmark(
+        args.benchmark, args.system, scale=_scale_from_args(args),
+        seed=args.seed, obs=hub,
+    )
+    tracer = hub.tracer
+    output = args.output or f"{args.benchmark}.{args.system}.trace.json"
+    tracer.write_json(output)
+
+    obs = result.obs
+    rows = [
+        ["trace file", output],
+        ["LLC misses seen", str(tracer.seen)],
+        ["lifecycles traced", str(tracer.traced)],
+        ["events recorded", str(len(tracer.events))],
+        ["events dropped (ring full)", str(tracer.dropped)],
+        ["epochs sampled", str(obs.num_epochs)],
+    ]
+    summary = obs.summary()
+    if summary.get("copr_accuracy") is not None:
+        rows.append(["COPR accuracy",
+                     f"{100 * summary['copr_accuracy']:.1f}%"])
+    rows.append(["bandwidth (B/bus-cycle)",
+                 f"{summary['bandwidth_bytes_per_cycle']:.2f}"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"trace: {args.benchmark} on {args.system}"))
+    print(f"open in Perfetto (https://ui.perfetto.dev) or "
+          f"chrome://tracing: {output}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the per-epoch time series of one observed run."""
+    from repro.obs import Observability
+
+    hub = Observability(_obs_config_from_args(args, trace=False))
+    result = run_benchmark(
+        args.benchmark, args.system, scale=_scale_from_args(args),
+        seed=args.seed, obs=hub,
+    )
+    obs = result.obs
+
+    if args.csv:
+        import csv as csv_module
+        import io
+
+        names = sorted(obs.columns)
+        buffer = io.StringIO()
+        writer = csv_module.writer(buffer, lineterminator="\n")
+        writer.writerow(names)
+        for row in zip(*(obs.columns[name] for name in names)):
+            writer.writerow(row)
+        if args.csv == "-":
+            print(buffer.getvalue(), end="")
+        else:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(buffer.getvalue())
+            print(f"wrote {obs.num_epochs} epochs to {args.csv}")
+        return 0
+
+    accuracy = obs.rate("copr_correct", "copr_predictions")
+    bandwidth = obs.per_cycle("bytes_transferred")
+    misses = obs.series("llc_misses")
+    hits = obs.series("llc_hits")
+    miss_rate = [
+        (m / (m + h) if (m + h) else 0.0) for m, h in zip(misses, hits)
+    ]
+    rows = []
+    for index in range(obs.num_epochs):
+        row = [str(index), f"{obs.series('cycle')[index]:.0f}",
+               f"{bandwidth[index]:.2f}"]
+        row.append(f"{100 * accuracy[index]:.1f}%" if accuracy else "-")
+        row.append(f"{100 * miss_rate[index]:.1f}%" if miss_rate else "-")
+        rows.append(row)
+    print(format_table(
+        ["epoch", "cycle", "BW (B/cyc)", "COPR acc", "LLC miss"],
+        rows,
+        title=f"metrics: {args.benchmark} on {args.system} "
+              f"(epoch = {args.obs_epoch:.0f} bus cycles)",
+    ))
+    summary = obs.summary()
+    print(f"overall: bandwidth {summary['bandwidth_bytes_per_cycle']:.2f} "
+          f"B/cycle over {obs.num_epochs} epochs")
+    return 0
+
+
+def _grid_obs(args: argparse.Namespace):
+    """The grid's ObsConfig when ``--obs`` was passed, else None."""
+    if not getattr(args, "obs", False):
+        return None
+    from repro.obs import ObsConfig
+
+    # Grid points never keep a tracer handle to write out, so sweeps
+    # collect only the time series.
+    return ObsConfig(epoch_cycles=args.obs_epoch, trace=False)
 
 
 def _run_grid(args: argparse.Namespace, run_dir=None):
@@ -228,6 +356,7 @@ def _run_grid(args: argparse.Namespace, run_dir=None):
         timeout_s=args.timeout,
         retries=args.retries,
         progress=args.progress,
+        obs=_grid_obs(args),
     )
 
 
@@ -250,12 +379,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if sweep.failures else 0
 
 
+def _orchestrate_replay(args: argparse.Namespace) -> int:
+    """Re-run one failed grid point in-process from its crash dump."""
+    from repro.obs.crashdump import (
+        find_crash_dumps,
+        load_crash_dump,
+        replay_from_dump,
+    )
+
+    run_dir = args.run_dir or args.resume
+    if run_dir is None:
+        print("replay needs --run-dir <run-dir> (the failed run's directory)")
+        return 1
+    if args.key is None:
+        dumps = find_crash_dumps(run_dir)
+        if not dumps:
+            print(f"no crash dumps under {run_dir}/crashes")
+            return 1
+        print(f"{len(dumps)} crash dump(s) under {run_dir}:")
+        for path in dumps:
+            dump = load_crash_dump(path)
+            print(f"  {dump['key']} attempt {dump['attempt']}: "
+                  f"{dump['error']}")
+        print("replay one with: repro orchestrate replay <key-prefix> "
+              f"--run-dir {run_dir}")
+        return 1
+    dumps = find_crash_dumps(run_dir, key_prefix=args.key)
+    matched_keys = sorted({load_crash_dump(p)["key"] for p in dumps})
+    if not dumps:
+        print(f"no crash dump matching {args.key!r} under {run_dir}/crashes")
+        return 1
+    if len(matched_keys) > 1:
+        print(f"{args.key!r} is ambiguous; matches:")
+        for key in matched_keys:
+            print(f"  {key}")
+        return 1
+    dump = load_crash_dump(dumps[-1])  # the key's latest attempt
+    print(f"replaying {dump['key']} (attempt {dump['attempt']}) "
+          f"from {dumps[-1]}")
+    print(f"original failure: {dump['error']}")
+    result = replay_from_dump(dump, use_pdb=args.pdb)
+    if result is None:
+        return 1  # --pdb post-mortem path: failure reproduced
+    print("replay succeeded — the failure did not reproduce in-process")
+    print(f"  runtime (core cycles): {result.runtime_core_cycles:.0f}")
+    return 0
+
+
 def _cmd_orchestrate(args: argparse.Namespace) -> int:
     """Durable, resumable grid runs: ``orchestrate`` / ``orchestrate --resume``."""
     import pathlib
 
     from repro.orchestrator.manifest import RunManifest
     from repro.sim.runner import ExperimentScale
+
+    if args.action == "replay":
+        return _orchestrate_replay(args)
 
     if args.resume:
         run_dir = pathlib.Path(args.resume)
@@ -316,6 +495,7 @@ def _run_grid_with_scale(args, scale, run_dir):
         timeout_s=args.timeout,
         retries=args.retries,
         progress=args.progress,
+        obs=_grid_obs(args),
     )
 
 
@@ -378,8 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--system", choices=SYSTEMS,
                                 default="attache")
     profile_parser.add_argument(
-        "--fastpath", choices=("on", "off"), default="on",
-        help="'off' measures the reference (slow) path",
+        "--fastpath", choices=("on", "off"), default=None,
+        help="'off' measures the reference (slow) path; omitted, the "
+             "REPRO_FASTPATH environment setting applies",
     )
     profile_parser.add_argument("--cprofile", action="store_true",
                                 help="run under cProfile and print hotspots")
@@ -387,6 +568,39 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="cProfile sort column")
     profile_parser.add_argument("--limit", type=int, default=25,
                                 help="cProfile rows to print")
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="record sampled request lifecycles as Chrome trace JSON",
+    )
+    _add_common(trace_parser)
+    trace_parser.add_argument("--system", choices=SYSTEMS, default="attache")
+    trace_parser.add_argument(
+        "--output", default=None,
+        help="trace path (default <benchmark>.<system>.trace.json)",
+    )
+    _add_obs(trace_parser)
+    trace_parser.add_argument(
+        "--trace-sample", type=_positive_int, default=1,
+        help="trace every Nth LLC miss (1 = all)",
+    )
+    trace_parser.add_argument(
+        "--trace-capacity", type=_positive_int, default=65536,
+        help="ring-buffer cap on stored trace events",
+    )
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="dump the per-epoch observability time series"
+    )
+    _add_common(metrics_parser)
+    metrics_parser.add_argument("--system", choices=SYSTEMS,
+                                default="attache")
+    metrics_parser.add_argument(
+        "--csv", default=None,
+        help="write all columns as CSV to this path ('-' for stdout) "
+             "instead of the rendered table",
+    )
+    _add_obs(metrics_parser)
 
     sweep_parser = commands.add_parser(
         "sweep", help="run a benchmark x system grid, export CSV"
@@ -403,11 +617,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(orchestrate_parser)
     _add_grid(orchestrate_parser)
     orchestrate_parser.add_argument(
+        "action", nargs="?", choices=("replay",), default=None,
+        help="'replay' re-runs one failed grid point from its crash dump",
+    )
+    orchestrate_parser.add_argument(
+        "key", nargs="?", default=None,
+        help="crash-dump job key (or unambiguous prefix) to replay",
+    )
+    orchestrate_parser.add_argument(
+        "--pdb", action="store_true",
+        help="drop into pdb post-mortem when the replay fails again",
+    )
+    orchestrate_parser.add_argument(
         "--resume", metavar="RUN_DIR", default=None,
         help="resume an interrupted/failed run from its run directory "
              "(grid and scale come from its run.json)",
     )
     return parser
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-epoch", type=float, default=2048.0,
+        help="time-series epoch length in memory-bus cycles",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -441,6 +674,10 @@ def _add_grid(parser: argparse.ArgumentParser) -> None:
                         help="retries per grid point after a failure")
     parser.add_argument("--progress", action="store_true",
                         help="render a live progress line on stderr")
+    parser.add_argument("--obs", action="store_true",
+                        help="attach per-epoch time series to every "
+                             "grid point's result")
+    _add_obs(parser)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -451,6 +688,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "functional": _cmd_functional,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "sweep": _cmd_sweep,
         "orchestrate": _cmd_orchestrate,
     }

@@ -120,6 +120,17 @@ class BlemStats:
         total = self.writes_compressed + self.writes_uncompressed
         return self.write_collisions / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """Flat counter view for observability samplers."""
+        return {
+            "writes_compressed": self.writes_compressed,
+            "writes_uncompressed": self.writes_uncompressed,
+            "write_collisions": self.write_collisions,
+            "reads_compressed": self.reads_compressed,
+            "reads_uncompressed": self.reads_uncompressed,
+            "read_collisions": self.read_collisions,
+        }
+
 
 class BlemEngine:
     """Encodes lines on writes and classifies them on reads."""

@@ -31,6 +31,8 @@ from repro.core.metadata_cache import MetadataCache
 from repro.core.replacement_area import ReplacementArea
 from repro.dram.memory_system import MainMemory
 from repro.dram.request import RequestKind
+from repro.obs import Observability
+from repro.obs.metrics import NULL_REGISTRY
 from repro.scramble import DataScrambler
 from repro.util.bitops import CACHELINE_BYTES
 
@@ -81,7 +83,13 @@ class MemoryController(abc.ABC):
 
     name = "abstract"
 
-    def __init__(self, memory: MainMemory, data_model, verify_data: bool = True) -> None:
+    def __init__(
+        self,
+        memory: MainMemory,
+        data_model,
+        verify_data: bool = True,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self._memory = memory
         self._data_model = data_model
         self._verify = verify_data
@@ -92,6 +100,14 @@ class MemoryController(abc.ABC):
         #: aligned address -> sub-rank; pure function of the address
         #: mapping, queried once or more per line access.
         self._subrank_memo: dict = {}
+        # Observability is null by default: the registry hands out no-op
+        # instruments and the tracer is None, so the hot-path hooks cost
+        # one attribute check each.
+        registry = obs.registry if obs is not None else NULL_REGISTRY
+        self._tracer = obs.tracer if obs is not None else None
+        self._read_latency_hist = registry.histogram(
+            "controller.read_latency_bus_cycles"
+        )
         self.stats = ControllerStats()
 
     @property
@@ -122,15 +138,23 @@ class MemoryController(abc.ABC):
 
     def _note_read_done(self, arrival: float, done: float) -> None:
         self.stats.read_latency_sum += done - arrival
+        self._read_latency_hist.observe(done - arrival)
 
     # ------------------------------------------------------------------
     # Interface used by the simulator
     # ------------------------------------------------------------------
 
     @abc.abstractmethod
-    def read_line(self, address: int, cycle: float, on_done: DoneCallback) -> None:
+    def read_line(
+        self,
+        address: int,
+        cycle: float,
+        on_done: DoneCallback,
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Fetch a 64-byte line (LLC miss / RFO); call back when all data
-        needed to return the line has arrived."""
+        needed to return the line has arrived.  *trace_id* identifies a
+        tracer-sampled lifecycle (``None`` = untraced)."""
 
     @abc.abstractmethod
     def write_line(self, address: int, cycle: float) -> None:
@@ -152,7 +176,13 @@ class BaselineController(MemoryController):
 
     name = "baseline"
 
-    def read_line(self, address: int, cycle: float, on_done: DoneCallback) -> None:
+    def read_line(
+        self,
+        address: int,
+        cycle: float,
+        on_done: DoneCallback,
+        trace_id: Optional[int] = None,
+    ) -> None:
         address = self._align(address)
         self.stats.demand_reads += 1
 
@@ -162,7 +192,7 @@ class BaselineController(MemoryController):
 
         self._memory.issue(
             address, False, CACHELINE_BYTES, None,
-            RequestKind.DEMAND_READ, cycle, finish,
+            RequestKind.DEMAND_READ, cycle, finish, trace_id=trace_id,
         )
 
     def write_line(self, address: int, cycle: float) -> None:
@@ -232,11 +262,18 @@ class IdealController(MemoryController, _CompressedStoreMixin):
         data_model,
         engine: Optional[CompressionEngine] = None,
         verify_data: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
-        super().__init__(memory, data_model, verify_data)
+        super().__init__(memory, data_model, verify_data, obs=obs)
         self._init_store(engine if engine is not None else CompressionEngine())
 
-    def read_line(self, address: int, cycle: float, on_done: DoneCallback) -> None:
+    def read_line(
+        self,
+        address: int,
+        cycle: float,
+        on_done: DoneCallback,
+        trace_id: Optional[int] = None,
+    ) -> None:
         address = self._align(address)
         line = self._line_of(address)
         self.stats.demand_reads += 1
@@ -253,7 +290,8 @@ class IdealController(MemoryController, _CompressedStoreMixin):
             mask = None
             size = CACHELINE_BYTES
         self._memory.issue(
-            address, False, size, mask, RequestKind.DEMAND_READ, cycle, finish
+            address, False, size, mask, RequestKind.DEMAND_READ, cycle, finish,
+            trace_id=trace_id,
         )
 
     def write_line(self, address: int, cycle: float) -> None:
@@ -293,8 +331,9 @@ class MetadataCacheController(MemoryController, _CompressedStoreMixin):
         metadata_cache: Optional[MetadataCache] = None,
         engine: Optional[CompressionEngine] = None,
         verify_data: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
-        super().__init__(memory, data_model, verify_data)
+        super().__init__(memory, data_model, verify_data, obs=obs)
         self._init_store(engine if engine is not None else CompressionEngine())
         self.metadata_cache = (
             metadata_cache
@@ -342,13 +381,23 @@ class MetadataCacheController(MemoryController, _CompressedStoreMixin):
 
         return False, wait
 
-    def read_line(self, address: int, cycle: float, on_done: DoneCallback) -> None:
+    def read_line(
+        self,
+        address: int,
+        cycle: float,
+        on_done: DoneCallback,
+        trace_id: Optional[int] = None,
+    ) -> None:
         address = self._align(address)
         line = self._line_of(address)
         self.stats.demand_reads += 1
         compressed = self._stored_state(line)
         lookup_done = cycle + self._predictor_delay
         hit, wait_for_install = self._metadata_traffic(line, lookup_done, False)
+        tracer = self._tracer if trace_id is not None else None
+        if tracer is not None:
+            tracer.instant(trace_id, "metadata_lookup", lookup_done,
+                           hit=hit, compressed=compressed)
 
         if compressed:
             mask: Optional[Tuple[int, ...]] = (self._primary_subrank(address),)
@@ -359,12 +408,14 @@ class MetadataCacheController(MemoryController, _CompressedStoreMixin):
 
         def finish(done: float) -> None:
             self._note_read_done(cycle, done)
+            if tracer is not None:
+                tracer.instant(trace_id, "complete", done)
             on_done(done)
 
         def issue_data(start: float) -> None:
             self._memory.issue(
                 address, False, size, mask, RequestKind.DEMAND_READ,
-                start, finish,
+                start, finish, trace_id=trace_id,
             )
 
         if hit:
@@ -424,8 +475,9 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
         ra_base: int = DEFAULT_RA_BASE,
         verify_data: bool = True,
         predictor_memory_bytes: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        super().__init__(memory, data_model, verify_data)
+        super().__init__(memory, data_model, verify_data, obs=obs)
         engine = engine if engine is not None else CompressionEngine()
         self._init_store(engine)
         self.blem = BlemEngine(
@@ -517,7 +569,13 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
     # Demand path
     # ------------------------------------------------------------------
 
-    def read_line(self, address: int, cycle: float, on_done: DoneCallback) -> None:
+    def read_line(
+        self,
+        address: int,
+        cycle: float,
+        on_done: DoneCallback,
+        trace_id: Optional[int] = None,
+    ) -> None:
         address = self._align(address)
         line = self._line_of(address)
         self.stats.demand_reads += 1
@@ -525,6 +583,13 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
         actual = stored.is_compressed
         predicted = self.copr.predict(address)
         self._decode_and_verify(address, stored)
+        tracer = self._tracer if trace_id is not None else None
+        if tracer is not None:
+            tracer.instant(
+                trace_id, "copr_predict", cycle,
+                predicted=predicted, actual=actual,
+                source=self.copr.last_source,
+            )
         self.copr.update(address, actual, predicted=predicted)
 
         primary = self._primary_subrank(address)
@@ -536,19 +601,35 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
             pending["latest"] = max(pending["latest"], done)
             if pending["count"] == 0:
                 self._note_read_done(cycle, pending["latest"])
+                if tracer is not None:
+                    tracer.instant(trace_id, "complete", pending["latest"])
                 on_done(pending["latest"])
 
         def issue(byte_address, is_write, size, mask, kind, at):
             pending["count"] += 1
-            self._memory.issue(byte_address, is_write, size, mask, kind, at, part_done)
+            self._memory.issue(byte_address, is_write, size, mask, kind, at,
+                               part_done, trace_id=trace_id)
+
+        def note_header(done: float) -> None:
+            # BLEM's header classifies the line the moment the
+            # header-bearing half arrives — no metadata access needed.
+            if tracer is not None:
+                tracer.instant(
+                    trace_id, "blem_header", done,
+                    compressed=actual, collision=stored.collision,
+                )
 
         if predicted:
             # Speculatively open only the primary sub-rank (32 B).
             def first_done(done: float) -> None:
                 # BLEM's header tells the controller whether the guess
                 # was right the moment the first half arrives.
+                note_header(done)
                 if not actual:
                     self.stats.corrective_reads += 1
+                    if tracer is not None:
+                        tracer.instant(trace_id, "misprediction_correction",
+                                       done)
                     issue(
                         address, False, CACHELINE_BYTES // 2, (1 - primary,),
                         RequestKind.CORRECTIVE_READ, done,
@@ -561,9 +642,11 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
             self._memory.issue(
                 address, False, CACHELINE_BYTES // 2, (primary,),
                 RequestKind.DEMAND_READ, start, first_done,
+                trace_id=trace_id,
             )
         else:
             def full_done(done: float) -> None:
+                note_header(done)
                 if actual is False and stored.collision:
                     self._issue_ra_read(line, done, issue)
                 part_done(done)
@@ -572,6 +655,7 @@ class AttacheController(MemoryController, _CompressedStoreMixin):
             self._memory.issue(
                 address, False, CACHELINE_BYTES, None,
                 RequestKind.DEMAND_READ, start, full_done,
+                trace_id=trace_id,
             )
 
     def _issue_ra_read(self, line: int, at: float, issue) -> None:

@@ -229,6 +229,14 @@ class CoprStats:
             self.correct += 1
         self.by_source[source] = self.by_source.get(source, 0) + 1
 
+    def snapshot(self) -> dict:
+        """Flat counter view for observability samplers."""
+        return {
+            "predictions": self.predictions,
+            "correct": self.correct,
+            "by_source": dict(self.by_source),
+        }
+
 
 class CoprPredictor:
     """The combined multi-granularity predictor."""
@@ -263,6 +271,12 @@ class CoprPredictor:
     @property
     def config(self) -> CoprConfig:
         return self._config
+
+    @property
+    def last_source(self) -> str:
+        """Which component produced the most recent prediction
+        ("lipr" / "papr" / "gi" / "default")."""
+        return getattr(self, "_last_source", "default")
 
     @staticmethod
     def _page_of(address: int) -> Tuple[int, int]:

@@ -34,6 +34,15 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def snapshot(self) -> dict:
+        """Flat counter view for observability samplers."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
 
 @dataclass(frozen=True)
 class Eviction:

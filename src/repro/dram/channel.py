@@ -171,6 +171,9 @@ class Channel:
         self.command_log: Optional[List[Tuple[float, str, int, int, Optional[int]]]] = (
             [] if log_commands else None
         )
+        #: Optional event tracer; ``MainMemory`` installs one when the
+        #: run is observed so sampled requests get per-command instants.
+        self.tracer = None
 
     def _log(self, cycle: float, command: str, rank: int, bank: int,
              request: Optional[DramRequest]) -> None:
@@ -652,6 +655,7 @@ class Channel:
         stats = self.stats
         commands = stats.commands
         log = self.command_log
+        tracer = self.tracer
         if command_class == _CLASS_REFRESH:
             rank.do_refresh(cycle)
             self._refresh_debt[rank_index] = None
@@ -676,6 +680,11 @@ class Channel:
             commands["PRE"] = commands.get("PRE", 0) + 1
             if log is not None:
                 self._log(cycle, "PRE", rank_index, bank_index, request)
+            if tracer is not None and request.trace_id is not None:
+                tracer.instant(
+                    request.trace_id, "cmd_PRE", cycle,
+                    rank=rank_index, bank=bank_index,
+                )
             return
         if command_class == _CLASS_ACTIVATE:
             if request.row_outcome is None:
@@ -690,6 +699,11 @@ class Channel:
             commands["ACT"] = commands.get("ACT", 0) + 1
             if log is not None:
                 self._log(cycle, "ACT", rank_index, bank_index, request)
+            if tracer is not None and request.trace_id is not None:
+                tracer.instant(
+                    request.trace_id, "cmd_ACT", cycle,
+                    rank=rank_index, bank=bank_index, row=decoded.row,
+                )
             return
 
         # Column command: the request's data transfer is now scheduled.
@@ -709,6 +723,15 @@ class Channel:
         if log is not None:
             self._log(cycle, "WR" if request.is_write else "RD",
                       rank_index, bank_index, request)
+        if tracer is not None and request.trace_id is not None:
+            tracer.span(
+                request.trace_id,
+                "cmd_WR" if request.is_write else "cmd_RD",
+                cycle, data_end,
+                rank=rank_index, bank=bank_index,
+                row_outcome=request.row_outcome,
+                subranks=list(request.subrank_mask),
+            )
         request.completion_cycle = data_end
         key = (rank_index, bank_index)
         if request.is_write:

@@ -39,11 +39,17 @@ class MainMemory:
     :class:`repro.dram.channel.Channel`.
     """
 
-    def __init__(self, config: SystemConfig, log_commands: bool = False) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        log_commands: bool = False,
+        obs=None,
+    ) -> None:
         from repro.dram.config import AddressMapper
 
         self._config = config
         self._mapper = AddressMapper(config.organization)
+        self._tracer = obs.tracer if obs is not None else None
         self.channels = [
             Channel(
                 config.timing,
@@ -56,6 +62,9 @@ class MainMemory:
             )
             for _ in range(config.organization.channels)
         ]
+        if self._tracer is not None:
+            for channel in self.channels:
+                channel.tracer = self._tracer
         #: All requests ever issued (kept only when logging commands, for
         #: protocol verification against the per-channel command logs).
         self.issued_requests: Optional[List[DramRequest]] = (
@@ -102,6 +111,7 @@ class MainMemory:
         kind: RequestKind,
         cycle: float,
         on_complete: Optional[Callable[[float], None]] = None,
+        trace_id: Optional[int] = None,
     ) -> Optional[DramRequest]:
         """Enqueue a DRAM access; returns the request, or ``None`` if the
         read was satisfied by write-buffer forwarding.
@@ -114,11 +124,37 @@ class MainMemory:
         if subrank_mask is None:
             subrank_mask = self.full_line_mask()
 
+        tracer = self._tracer if trace_id is not None else None
+
         if not is_write and channel.find_pending_write(byte_address):
             self.stats.forwarded_reads += 1
+            if tracer is not None:
+                tracer.instant(trace_id, "forwarded_read", cycle, kind=kind.value)
             if on_complete is not None:
                 on_complete(cycle)
             return None
+
+        if tracer is not None:
+            if on_complete is not None:
+                # Spans ride on the existing completion callback; a write
+                # (``on_complete is None``) must NOT grow one just for
+                # tracing — that would add completion-heap entries and
+                # perturb the event loop the golden results pin down.
+                inner = on_complete
+                span_name = kind.value
+
+                def on_complete(done: float, _inner=inner, _start=cycle) -> None:
+                    tracer.span(trace_id, span_name, _start, done)
+                    _inner(done)
+
+            else:
+                tracer.instant(
+                    trace_id,
+                    "enqueue_" + kind.value,
+                    cycle,
+                    channel=decoded.channel,
+                    subranks=list(subrank_mask),
+                )
 
         request = DramRequest(
             byte_address=byte_address,
@@ -129,6 +165,7 @@ class MainMemory:
             kind=kind,
             arrival_cycle=cycle,
             on_complete=on_complete,
+            trace_id=trace_id,
         )
         channel.enqueue(request)
         if self.issued_requests is not None:

@@ -40,6 +40,9 @@ class DramRequest:
         kind: accounting category.
         arrival_cycle: when the request entered the controller queue.
         on_complete: optional callback fired with the completion cycle.
+        trace_id: lifecycle track for the event tracer; ``None`` for
+            unsampled requests (the common case — tracing reads this
+            field but never sets it).
     """
 
     byte_address: int
@@ -50,6 +53,7 @@ class DramRequest:
     kind: RequestKind
     arrival_cycle: float
     on_complete: Optional[Callable[[float], None]] = None
+    trace_id: Optional[int] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     issue_cycle: Optional[float] = None
     completion_cycle: Optional[float] = None

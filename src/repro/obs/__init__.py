@@ -1,0 +1,108 @@
+"""``repro.obs`` — in-simulation observability.
+
+Three layers, all with near-zero cost when disabled (the default):
+
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms behind a
+  :class:`MetricsRegistry`; the shared :data:`NULL_REGISTRY` hands out
+  no-op instruments so instrumented hot paths stay free by default.
+* :mod:`repro.obs.timeseries` — an epoch-boundary sampler producing the
+  columnar :class:`ObsRecord` attached to ``SimulationResult.obs``.
+* :mod:`repro.obs.tracer` — sampled request-lifecycle tracing exported
+  as Chrome trace-event JSON (Perfetto-loadable).
+
+The :class:`Observability` hub bundles one registry plus (optionally)
+one tracer; ``run_benchmark(obs=...)`` accepts either an
+:class:`ObsConfig` (the hub is built internally) or an
+:class:`Observability` instance (the caller keeps the tracer handle,
+e.g. to write the trace file afterwards).  ``ObsConfig`` is a frozen
+dataclass so it can ride through orchestrator job specs and cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.timeseries import OBS_SCHEMA_VERSION, ObsRecord, TimeSeriesSampler
+from repro.obs.tracer import EventTracer
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability settings for one run (pure data; cache-key safe)."""
+
+    #: Sampling window in memory-bus cycles.
+    epoch_cycles: float = 2048.0
+    #: Record request lifecycles (off leaves only the time series).
+    trace: bool = True
+    #: Trace every Nth LLC miss (1 = all).
+    trace_sample_every: int = 1
+    #: Hard cap on stored trace events; overflow increments ``dropped``.
+    trace_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        if self.trace_sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+
+
+class Observability:
+    """One run's live observability context: registry + optional tracer."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(
+                sample_every=self.config.trace_sample_every,
+                capacity=self.config.trace_capacity,
+            )
+            if self.config.trace
+            else None
+        )
+
+
+def as_observability(obs) -> Optional[Observability]:
+    """Normalise a user-facing ``obs=`` argument to a hub (or ``None``).
+
+    Accepts ``None`` (observability off), an :class:`ObsConfig`, or an
+    already-built :class:`Observability`.
+    """
+    if obs is None:
+        return None
+    if isinstance(obs, Observability):
+        return obs
+    if isinstance(obs, ObsConfig):
+        return Observability(obs)
+    raise TypeError(
+        f"obs must be None, ObsConfig or Observability, got "
+        f"{type(obs).__name__}"
+    )
+
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "OBS_SCHEMA_VERSION",
+    "ObsConfig",
+    "ObsRecord",
+    "Observability",
+    "TimeSeriesSampler",
+    "as_observability",
+]

@@ -1,0 +1,135 @@
+"""Replayable crash dumps for failed orchestrator grid points.
+
+When a worker attempt fails, the pool writes one JSON dump per attempt
+under ``<run-dir>/crashes/``::
+
+    <run-dir>/crashes/<job-key>.attempt<N>.json
+
+containing everything needed to re-run that exact grid point in-process:
+the :class:`~repro.orchestrator.jobs.JobSpec` snapshot, the worker's
+full traceback, the worker's ``random`` RNG state at failure time, and
+the fast-path flag.  ``repro orchestrate replay <key>`` loads the dump
+and re-executes the job in the *current* process, where a debugger can
+attach (``--pdb`` drops into post-mortem on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from typing import Dict, List, Optional
+
+CRASHES_DIR = "crashes"
+
+
+def rng_snapshot() -> Dict[str, object]:
+    """JSON-compatible snapshot of the process's ``random`` state."""
+    version, internal, gauss = random.getstate()
+    return {
+        "version": version,
+        "internal_state": list(internal),
+        "gauss_next": gauss,
+    }
+
+
+def restore_rng(snapshot: Dict[str, object]) -> None:
+    """Inverse of :func:`rng_snapshot`."""
+    random.setstate((
+        snapshot["version"],
+        tuple(snapshot["internal_state"]),
+        snapshot["gauss_next"],
+    ))
+
+
+def crash_dump_path(run_dir, key: str, attempt: int) -> pathlib.Path:
+    return pathlib.Path(run_dir) / CRASHES_DIR / f"{key}.attempt{attempt}.json"
+
+
+def write_crash_dump(
+    run_dir,
+    key: str,
+    attempt: int,
+    job: Dict[str, object],
+    error: str,
+    traceback_text: Optional[str] = None,
+    rng: Optional[Dict[str, object]] = None,
+    fastpath_enabled: Optional[bool] = None,
+) -> pathlib.Path:
+    """Persist one failed attempt; returns the dump path."""
+    path = crash_dump_path(run_dir, key, attempt)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    dump = {
+        "ts": time.time(),
+        "key": key,
+        "attempt": attempt,
+        "job": job,
+        "error": error,
+        "traceback": traceback_text,
+        "rng": rng,
+        "fastpath": fastpath_enabled,
+    }
+    path.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def find_crash_dumps(run_dir, key_prefix: str = "") -> List[pathlib.Path]:
+    """Dump files under *run_dir* whose job key starts with *key_prefix*,
+    oldest attempt first."""
+    crashes = pathlib.Path(run_dir) / CRASHES_DIR
+    if not crashes.is_dir():
+        return []
+
+    def attempt_of(path: pathlib.Path) -> int:
+        suffix = path.stem.rsplit(".attempt", 1)
+        return int(suffix[1]) if len(suffix) == 2 and suffix[1].isdigit() else 0
+
+    matches = [
+        path for path in crashes.glob("*.json")
+        if path.name.startswith(key_prefix)
+    ]
+    return sorted(matches, key=lambda p: (p.stem.split(".attempt")[0],
+                                          attempt_of(p)))
+
+
+def load_crash_dump(path) -> Dict[str, object]:
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def replay_from_dump(dump: Dict[str, object], use_pdb: bool = False):
+    """Re-run the dumped grid point in this process.
+
+    Restores the worker's RNG state when the dump captured one, then
+    executes the job exactly as the worker would have.  With *use_pdb*,
+    a failure drops into ``pdb.post_mortem`` instead of propagating.
+    """
+    from repro.orchestrator.jobs import JobSpec, execute_job
+
+    spec = JobSpec.from_dict(dump["job"])
+    rng = dump.get("rng")
+    if rng:
+        restore_rng(rng)
+    try:
+        return execute_job(spec)
+    except BaseException:
+        if use_pdb:
+            import pdb
+            import sys
+
+            pdb.post_mortem(sys.exc_info()[2])
+            return None
+        raise
+
+
+__all__ = [
+    "CRASHES_DIR",
+    "crash_dump_path",
+    "find_crash_dumps",
+    "load_crash_dump",
+    "replay_from_dump",
+    "restore_rng",
+    "rng_snapshot",
+    "write_crash_dump",
+]

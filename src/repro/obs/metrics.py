@@ -1,0 +1,218 @@
+"""Named metric instruments: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments that
+components create once (at construction) and update on hot paths.  The
+**null registry** is the system-wide default: it hands out shared no-op
+instruments whose update methods do nothing, so instrumented code pays
+one attribute lookup and an empty method call when observability is
+off — cheap enough to leave in paths the perf gate watches.
+
+Instruments are deliberately minimal:
+
+* :class:`Counter` — monotonically increasing float.
+* :class:`Gauge` — last-written value.
+* :class:`Histogram` — fixed bucket bounds chosen at creation; observes
+  land in the first bucket whose upper bound is >= the value, with an
+  implicit +inf overflow bucket.  Sum and count ride along so means
+  survive aggregation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A named value that tracks the most recent observation."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+#: Default histogram bounds for latencies measured in bus cycles.
+LATENCY_BOUNDS: Tuple[float, ...] = (
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+)
+
+
+class Histogram:
+    """Fixed-bound histogram with sum/count for mean reconstruction."""
+
+    __slots__ = ("name", "bounds", "buckets", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(
+            b >= c for b, c in zip(ordered, ordered[1:])
+        ):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.buckets: List[int] = [0] * (len(ordered) + 1)  # +inf overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument type."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    value = 0.0
+    total = 0.0
+    count = 0
+    mean = 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A live namespace of named instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the same instrument, so independent components
+    can share one metric.  Asking for a name that exists with a
+    different type raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, bounds), Histogram
+        )
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every instrument's state, keyed by name (sorted for diffs)."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+
+class NullRegistry:
+    """The default registry: every instrument is the shared no-op.
+
+    Kept API-compatible with :class:`MetricsRegistry` so instrumented
+    components never branch on the registry type — they just hold
+    instruments whose update methods do nothing.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+#: Process-wide shared null registry — the default for every component.
+NULL_REGISTRY = NullRegistry()
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]

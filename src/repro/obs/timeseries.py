@@ -1,0 +1,194 @@
+"""Windowed time-series sampling into a compact columnar record.
+
+The sampler snapshots a probe function at fixed epoch boundaries (every
+N memory-bus cycles).  The probe returns two dicts:
+
+* **cumulative** counters (bytes transferred, LLC misses, COPR
+  predictions, ...) — stored as per-epoch *deltas*, so each column reads
+  as "activity during this epoch";
+* **instant** gauges (queue depths, ...) — stored raw at the sample
+  point.
+
+Storage is columnar (parallel lists keyed by column name) rather than a
+list of row dicts: a 10k-epoch record with 20 columns is 20 lists, not
+10k dicts, and serialises compactly.  The ``cycle`` column records each
+sample's bus cycle; the final sample may close a partial epoch (its
+``cycle`` delta is then shorter than ``epoch_cycles``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Version of the ``ObsRecord.to_dict`` payload.
+OBS_SCHEMA_VERSION = 1
+
+Probe = Callable[[], Tuple[Dict[str, float], Dict[str, float]]]
+
+
+@dataclass
+class ObsRecord:
+    """The serialisable observability payload of one simulated run.
+
+    ``columns`` holds the per-epoch time series (cumulative columns as
+    deltas, instant columns raw, plus the ``cycle`` sample times);
+    ``trace_events`` carries the tracer's Chrome trace events when a
+    tracer ran alongside the sampler.
+    """
+
+    epoch_cycles: float
+    columns: Dict[str, List[float]] = field(default_factory=dict)
+    trace_events: List[dict] = field(default_factory=list)
+    trace_dropped: int = 0
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.columns.get("cycle", ()))
+
+    def series(self, name: str) -> List[float]:
+        """One column's per-epoch values (empty when never sampled)."""
+        return list(self.columns.get(name, ()))
+
+    def epoch_durations(self) -> List[float]:
+        """Bus cycles covered by each epoch (the last may be partial)."""
+        cycles = self.columns.get("cycle", [])
+        durations: List[float] = []
+        previous = 0.0
+        for cycle in cycles:
+            durations.append(cycle - previous)
+            previous = cycle
+        return durations
+
+    def rate(self, numerator: str, denominator: str) -> List[float]:
+        """Per-epoch ratio of two columns (0.0 where the denominator is 0)."""
+        top = self.columns.get(numerator, [])
+        bottom = self.columns.get(denominator, [])
+        return [
+            (a / b if b else 0.0) for a, b in zip(top, bottom)
+        ]
+
+    def per_cycle(self, name: str) -> List[float]:
+        """A column divided by its epoch duration (e.g. bytes/cycle)."""
+        values = self.columns.get(name, [])
+        return [
+            (v / d if d > 0 else 0.0)
+            for v, d in zip(values, self.epoch_durations())
+        ]
+
+    def summary(self) -> Dict[str, object]:
+        """Whole-run aggregates, compact enough for telemetry JSONL."""
+        out: Dict[str, object] = {
+            "epochs": self.num_epochs,
+            "epoch_cycles": self.epoch_cycles,
+        }
+        columns = self.columns
+        predictions = sum(columns.get("copr_predictions", ()))
+        if predictions:
+            out["copr_accuracy"] = sum(columns.get("copr_correct", ())) / predictions
+        total_cycles = columns["cycle"][-1] if columns.get("cycle") else 0.0
+        transferred = sum(columns.get("bytes_transferred", ()))
+        if total_cycles > 0:
+            out["bandwidth_bytes_per_cycle"] = transferred / total_cycles
+        accesses = sum(columns.get("llc_hits", ())) + sum(
+            columns.get("llc_misses", ())
+        )
+        if accesses:
+            out["llc_miss_rate"] = sum(columns.get("llc_misses", ())) / accesses
+        if self.trace_events or self.trace_dropped:
+            out["trace_events"] = len(self.trace_events)
+            out["trace_dropped"] = self.trace_dropped
+        return out
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "obs_schema_version": OBS_SCHEMA_VERSION,
+            "epoch_cycles": self.epoch_cycles,
+            "columns": {
+                name: list(values)
+                for name, values in sorted(self.columns.items())
+            },
+            "trace_events": list(self.trace_events),
+            "trace_dropped": self.trace_dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObsRecord":
+        version = payload.get("obs_schema_version")
+        if version != OBS_SCHEMA_VERSION:
+            raise ValueError(
+                f"ObsRecord schema mismatch: payload version {version!r}, "
+                f"expected {OBS_SCHEMA_VERSION}"
+            )
+        return cls(
+            epoch_cycles=payload["epoch_cycles"],
+            columns={
+                name: list(values)
+                for name, values in payload["columns"].items()
+            },
+            trace_events=list(payload["trace_events"]),
+            trace_dropped=payload["trace_dropped"],
+        )
+
+
+class TimeSeriesSampler:
+    """Samples a probe at epoch boundaries into columnar series."""
+
+    def __init__(self, epoch_cycles: float, probe: Probe) -> None:
+        if epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        self._epoch = float(epoch_cycles)
+        self._probe = probe
+        self._next = self._epoch
+        self._last_cumulative: Dict[str, float] = {}
+        self._columns: Dict[str, List[float]] = {"cycle": []}
+        self._last_sampled = 0.0
+
+    @property
+    def epoch_cycles(self) -> float:
+        return self._epoch
+
+    def tick(self, now: float) -> None:
+        """Sample every epoch boundary at or before *now*.
+
+        The first comparison is the entire cost on the simulator's hot
+        path between boundaries.
+        """
+        while now >= self._next:
+            self._sample(self._next)
+            self._next += self._epoch
+
+    def finalize(self, now: float) -> None:
+        """Close the trailing partial epoch at the end of the run."""
+        if now > self._last_sampled:
+            self._sample(now)
+
+    def _sample(self, at: float) -> None:
+        cumulative, instant = self._probe()
+        columns = self._columns
+        columns["cycle"].append(at)
+        previous = self._last_cumulative
+        for name, value in cumulative.items():
+            columns.setdefault(name, []).append(value - previous.get(name, 0.0))
+        for name, value in instant.items():
+            columns.setdefault(name, []).append(value)
+        self._last_cumulative = dict(cumulative)
+        self._last_sampled = at
+
+    def record(
+        self,
+        trace_events: Optional[List[dict]] = None,
+        trace_dropped: int = 0,
+    ) -> ObsRecord:
+        """Freeze the sampled series into an :class:`ObsRecord`."""
+        return ObsRecord(
+            epoch_cycles=self._epoch,
+            columns={name: list(values) for name, values in self._columns.items()},
+            trace_events=list(trace_events) if trace_events else [],
+            trace_dropped=trace_dropped,
+        )
+
+
+__all__ = ["OBS_SCHEMA_VERSION", "ObsRecord", "TimeSeriesSampler"]

@@ -1,0 +1,155 @@
+"""Structured event tracing of sampled request lifecycles.
+
+The tracer follows individual LLC misses through the pipeline — COPR
+prediction, sub-rank opens (ACT), BLEM header decode, misprediction
+correction, completion — and exports the record as Chrome trace-event
+JSON (the ``traceEvents`` array format), loadable in Perfetto or
+``chrome://tracing``.
+
+Timestamps are memory-bus cycles used directly as the trace ``ts``
+microsecond field: the viewer's absolute units are meaningless for a
+simulator, only relative spacing matters.
+
+Two caps keep traces bounded on long runs:
+
+* ``sample_every`` — only every Nth LLC miss starts a traced lifecycle
+  (1 = trace everything);
+* ``capacity`` — a hard event-count cap; events past it are counted in
+  :attr:`dropped` instead of stored, so memory use never grows with
+  simulated time.
+
+Each traced request gets its own ``tid`` (one track per lifecycle) under
+a single ``pid``; events within one request therefore never interleave
+with another's on the same track.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: ``pid`` used for every simulator track.
+TRACE_PID = 0
+
+
+class EventTracer:
+    """Records sampled request lifecycles as Chrome trace events."""
+
+    def __init__(self, sample_every: int = 1, capacity: int = 65536) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample_every = sample_every
+        self.capacity = capacity
+        self.events: List[dict] = []
+        self.dropped = 0
+        self._seen = 0
+        self._next_id = 0
+
+    @property
+    def seen(self) -> int:
+        """LLC misses offered to the sampler (traced or not)."""
+        return self._seen
+
+    @property
+    def traced(self) -> int:
+        """Lifecycles actually given a track."""
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # Lifecycle entry point
+    # ------------------------------------------------------------------
+
+    def sample_request(self, address: int, cycle: float) -> Optional[int]:
+        """Decide whether to trace the LLC miss at *address*.
+
+        Returns a trace id (the lifecycle's track) when sampled, else
+        ``None``.  The miss itself is recorded as the track's first
+        event.
+        """
+        seen = self._seen
+        self._seen = seen + 1
+        if seen % self.sample_every != 0:
+            return None
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return None
+        trace_id = self._next_id
+        self._next_id = trace_id + 1
+        self.instant(trace_id, "llc_miss", cycle, address=address)
+        return trace_id
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+
+    def instant(self, trace_id: int, name: str, cycle: float, **args) -> None:
+        """A zero-duration marker on the request's track."""
+        self._append({
+            "name": name,
+            "ph": "i",
+            "ts": cycle,
+            "s": "t",  # thread-scoped instant
+            "pid": TRACE_PID,
+            "tid": trace_id,
+            "args": args,
+        })
+
+    def span(self, trace_id: int, name: str, begin: float, end: float,
+             **args) -> None:
+        """A complete ("X") event covering ``[begin, end]`` bus cycles."""
+        self._append({
+            "name": name,
+            "ph": "X",
+            "ts": begin,
+            "dur": max(0.0, end - begin),
+            "pid": TRACE_PID,
+            "tid": trace_id,
+            "args": args,
+        })
+
+    def _append(self, event: dict) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome/Perfetto JSON object.
+
+        Events are sorted by ``ts`` (stable, so same-cycle events keep
+        emission order), which guarantees monotonically non-decreasing
+        timestamps per track.
+        """
+        ordered = sorted(self.events, key=lambda event: event["ts"])
+        metadata = [{
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "memory-system"},
+        }]
+        return {
+            "traceEvents": metadata + ordered,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "sampled_misses": self._seen,
+                "traced_requests": self._next_id,
+                "dropped_events": self.dropped,
+                "sample_every": self.sample_every,
+            },
+        }
+
+    def write_json(self, path) -> None:
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+
+__all__ = ["EventTracer", "TRACE_PID"]

@@ -34,6 +34,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.core.blem import BlemConfig
 from repro.core.copr import CoprConfig
+from repro.obs import ObsConfig
 from repro.sim.runner import ExperimentScale, run_benchmark
 from repro.sim.simulator import RESULT_SCHEMA_VERSION, SimulationResult
 
@@ -48,6 +49,7 @@ _REHYDRATABLE = {
     "CoprConfig": CoprConfig,
     "BlemConfig": BlemConfig,
     "ExperimentScale": ExperimentScale,
+    "ObsConfig": ObsConfig,
 }
 
 

@@ -28,6 +28,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import fastpath
+from repro.obs.crashdump import rng_snapshot, write_crash_dump
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.jobs import JobSpec, execute_job
 from repro.orchestrator.manifest import RunManifest
@@ -36,7 +38,11 @@ from repro.sim.simulator import SimulationResult
 
 
 def _worker_entry(conn, runner, job_payload) -> None:
-    """Worker-side wrapper: run one job, ship the outcome over *conn*."""
+    """Worker-side wrapper: run one job, ship the outcome over *conn*.
+
+    Failures ship the worker's RNG state and fast-path flag alongside
+    the traceback so the parent can write a replayable crash dump.
+    """
     try:
         result = runner(JobSpec.from_dict(job_payload))
         conn.send({"status": "ok", "result": result.to_dict()})
@@ -45,6 +51,8 @@ def _worker_entry(conn, runner, job_payload) -> None:
             "status": "error",
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
+            "rng": rng_snapshot(),
+            "fastpath": fastpath.enabled(),
         })
     finally:
         conn.close()
@@ -62,6 +70,9 @@ class JobOutcome:
     error: Optional[str] = None
     result: Optional[SimulationResult] = None
     source: str = "run"  #: "run" | "cache" | "manifest"
+    #: Path of the final attempt's crash dump (failed jobs in durable
+    #: runs only) — the input to ``repro orchestrate replay``.
+    crash_dump: Optional[str] = None
 
 
 @dataclass
@@ -202,7 +213,14 @@ class Orchestrator:
                 pending.append(_Pending(index=index, attempt=1, ready_at=0.0))
 
         pending = self._lpt_order(pending, specs, manifest, estimates)
-        self._drive(specs, keys, outcomes, pending, manifest, telemetry)
+        try:
+            self._drive(specs, keys, outcomes, pending, manifest, telemetry)
+        except BaseException:
+            # Ctrl-C (or any other teardown) must not leave the
+            # telemetry stream truncated mid-run: flush a terminal
+            # summary marked aborted, then let the interrupt propagate.
+            telemetry.summary(aborted=True)
+            raise
 
         report = OrchestrationReport(outcomes=[o for o in outcomes])
         report.summary = telemetry.summary()
@@ -287,12 +305,23 @@ class Orchestrator:
             }
             if outcome.error:
                 entry["error"] = outcome.error
+            if outcome.crash_dump:
+                entry["crash_dump"] = outcome.crash_dump
+            if (outcome.result is not None
+                    and outcome.result.obs is not None):
+                entry["obs"] = outcome.result.obs.summary()
             manifest.record(entry)
+        obs_summary = (
+            outcome.result.obs.summary()
+            if outcome.result is not None and outcome.result.obs is not None
+            else None
+        )
         telemetry.job_finished(
             key=outcome.key, label=outcome.spec.describe(),
             status=outcome.status, attempts=outcome.attempts,
             wall_s=outcome.wall_s if busy_wall is None else busy_wall,
             was_running=was_running, error=outcome.error,
+            obs=obs_summary,
         )
 
     # ------------------------------------------------------------------
@@ -316,10 +345,14 @@ class Orchestrator:
         running: List[_Running] = []
         attempt_wall: Dict[int, float] = {}  # index -> wall over attempts
 
-        def settle(slot: _Running, failure: Optional[str]) -> float:
+        def settle(slot: _Running, failure: Optional[str],
+                   payload: Optional[dict] = None) -> float:
             """Retire one attempt; retry or finalise its job.
 
-            Returns the attempt's wall-clock duration.
+            Returns the attempt's wall-clock duration.  Failed attempts
+            in durable runs each leave a replayable crash dump under
+            ``<run-dir>/crashes/`` carrying whatever diagnostic payload
+            (traceback, RNG state) the worker managed to ship.
             """
             index = slot.index
             wall = time.monotonic() - slot.started
@@ -327,6 +360,18 @@ class Orchestrator:
             spec, key = specs[index], keys[index]
             if failure is None:
                 return wall  # success handled by caller
+            dump_path: Optional[str] = None
+            if manifest is not None:
+                try:
+                    dump_path = str(write_crash_dump(
+                        manifest.run_dir, key, slot.attempt,
+                        job=spec.to_dict(), error=failure,
+                        traceback_text=(payload or {}).get("traceback"),
+                        rng=(payload or {}).get("rng"),
+                        fastpath_enabled=(payload or {}).get("fastpath"),
+                    ))
+                except OSError:
+                    dump_path = None  # diagnostics must never fail the run
             if slot.attempt <= self.retries:
                 delay = self.backoff_s * (2 ** (slot.attempt - 1))
                 pending.append(_Pending(
@@ -339,13 +384,32 @@ class Orchestrator:
                 outcome = JobOutcome(
                     spec=spec, key=key, status="failed",
                     attempts=slot.attempt, wall_s=attempt_wall[index],
-                    error=failure,
+                    error=failure, crash_dump=dump_path,
                 )
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
                                was_running=True, busy_wall=wall)
             return wall
 
+        try:
+            self._drive_loop(specs, pending, running, telemetry, settle,
+                             outcomes, keys, manifest, attempt_wall)
+        except BaseException:
+            # Interrupted mid-run: reap every in-flight worker so a
+            # Ctrl-C never strands orphaned simulator processes.
+            for slot in running:
+                if slot.process.is_alive():
+                    slot.process.terminate()
+            for slot in running:
+                slot.process.join(5.0)
+                if slot.process.is_alive():
+                    slot.process.kill()
+                    slot.process.join()
+                slot.conn.close()
+            raise
+
+    def _drive_loop(self, specs, pending, running, telemetry, settle,
+                    outcomes, keys, manifest, attempt_wall):
         while pending or running:
             now = time.monotonic()
 
@@ -410,7 +474,7 @@ class Orchestrator:
                 progressed = True
                 if payload is None or payload.get("status") != "ok":
                     error = (payload or {}).get("error", "worker crashed")
-                    settle(slot, error)
+                    settle(slot, error, payload)
                     continue
                 last_wall = settle(slot, None)
                 index = slot.index

@@ -112,8 +112,13 @@ class RunTelemetry:
         wall_s: float,
         was_running: bool,
         error: Optional[str] = None,
+        obs: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Record one terminal job event (done / failed / cached)."""
+        """Record one terminal job event (done / failed / cached).
+
+        ``obs`` is the job's :meth:`repro.obs.ObsRecord.summary` when the
+        run was observed; it rides along in the JSONL record untouched.
+        """
         if was_running:
             self.counters.running -= 1
         if status == "done":
@@ -136,16 +141,25 @@ class RunTelemetry:
         }
         if error:
             record["error"] = error
+        if obs is not None:
+            record["obs"] = obs
         self._emit(record)
         self._render_progress()
 
-    def summary(self) -> Dict[str, object]:
-        """Emit and return the final run summary record."""
+    def summary(self, aborted: bool = False) -> Dict[str, object]:
+        """Emit and return the final run summary record.
+
+        ``aborted=True`` marks a summary flushed on the way out of an
+        interrupted run (KeyboardInterrupt, SIGTERM-raised exception):
+        the counters then describe how far the run got, not a completed
+        sweep, and readers of ``telemetry.jsonl`` can tell the two apart.
+        """
         counters = self.counters
         elapsed = self.elapsed()
         walls = counters.wall_seconds_per_point
         record: Dict[str, object] = {
             "event": "summary",
+            "aborted": aborted,
             "total": counters.total,
             "done": counters.done,
             "failed": counters.failed,

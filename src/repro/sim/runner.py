@@ -28,6 +28,7 @@ from repro.core.metadata_cache import MetadataCache
 from repro.cpu.cache import LastLevelCache
 from repro.dram.config import DramOrganization, SystemConfig
 from repro.dram.memory_system import MainMemory
+from repro.obs import Observability, as_observability
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workloads.tracegen import build_workload
 
@@ -138,6 +139,7 @@ def build_system(
     metadata_policy: str = "lru",
     blem_config: BlemConfig = BlemConfig(),
     verify_data: bool = True,
+    obs: Optional[Observability] = None,
 ):
     """Create ``(config, controller_factory)`` for a named system.
 
@@ -150,11 +152,13 @@ def build_system(
     config = make_config(scale, subranks)
 
     def factory(data_model, predictor_memory_bytes=None) -> MemoryController:
-        memory = MainMemory(config)
+        memory = MainMemory(config, obs=obs)
         if system == "baseline":
-            return BaselineController(memory, data_model, verify_data)
+            return BaselineController(memory, data_model, verify_data, obs=obs)
         if system == "ideal":
-            return IdealController(memory, data_model, verify_data=verify_data)
+            return IdealController(
+                memory, data_model, verify_data=verify_data, obs=obs
+            )
         if system == "metadata_cache":
             cache = MetadataCache(
                 capacity_bytes=scale.metadata_cache_bytes,
@@ -162,7 +166,11 @@ def build_system(
                 metadata_base=DEFAULT_METADATA_BASE,
             )
             return MetadataCacheController(
-                memory, data_model, metadata_cache=cache, verify_data=verify_data
+                memory,
+                data_model,
+                metadata_cache=cache,
+                verify_data=verify_data,
+                obs=obs,
             )
         return AttacheController(
             memory,
@@ -173,6 +181,7 @@ def build_system(
             ),
             verify_data=verify_data,
             predictor_memory_bytes=predictor_memory_bytes,
+            obs=obs,
         )
 
     return config, factory
@@ -221,10 +230,18 @@ def run_benchmark(
     metadata_policy: str = "lru",
     blem_config: BlemConfig = BlemConfig(),
     verify_data: bool = True,
+    obs=None,
 ) -> SimulationResult:
-    """Simulate one benchmark on one system."""
+    """Simulate one benchmark on one system.
+
+    ``obs`` accepts ``None`` (no observability — the default, and the
+    path golden results pin down), an :class:`~repro.obs.ObsConfig`, or
+    a ready :class:`~repro.obs.Observability` hub.
+    """
+    hub = as_observability(obs)
     config, factory = build_system(
-        system, scale, copr_config, metadata_policy, blem_config, verify_data
+        system, scale, copr_config, metadata_policy, blem_config, verify_data,
+        obs=hub,
     )
     warmup = scale.effective_warmup
     workload = build_workload(
@@ -238,7 +255,7 @@ def run_benchmark(
     llc = LastLevelCache(config.llc_bytes, config.llc_ways)
     if warmup:
         _warm_up(workload, llc, controller, warmup)
-    simulator = Simulator(config, workload, controller, llc)
+    simulator = Simulator(config, workload, controller, llc, obs=hub)
     return simulator.run()
 
 

@@ -24,6 +24,7 @@ from repro.cpu.core import Core
 from repro.cpu.trace import MemOp
 from repro.dram.config import SystemConfig
 from repro.energy import EnergyModel, EnergyReport
+from repro.obs import Observability, ObsRecord, TimeSeriesSampler
 from repro.workloads.tracegen import WorkloadInstance
 
 _INF = float("inf")
@@ -33,6 +34,13 @@ _INF = float("inf")
 #: rejected by :meth:`SimulationResult.from_dict` (and therefore treated
 #: as cache misses by the orchestrator's result cache).
 RESULT_SCHEMA_VERSION = 1
+
+#: Schema version emitted when the payload carries an ``obs`` record.
+#: Observability-off payloads keep ``RESULT_SCHEMA_VERSION`` so they stay
+#: byte-identical across this feature (goldens, caches, the perf bench);
+#: obs-on payloads declare the extended schema and are only readable by
+#: versions that know the ``obs`` key.
+RESULT_SCHEMA_VERSION_OBS = 2
 
 
 @dataclass
@@ -55,6 +63,9 @@ class SimulationResult:
     copr_accuracy: Optional[float] = None
     metadata_hit_rate: Optional[float] = None
     collision_rate: Optional[float] = None
+    #: Per-epoch time series + sampled trace events, present only when
+    #: the run was observed (``Simulator(obs=...)``).
+    obs: Optional[ObsRecord] = None
 
     #: Fast-path telemetry (cache hit rates, scheduler counters) attached
     #: by ``Simulator._collect``.  Deliberately an *unannotated* class
@@ -92,7 +103,7 @@ class SimulationResult:
 
     def to_dict(self) -> dict:
         """Serialise to a JSON-compatible dict (see RESULT_SCHEMA_VERSION)."""
-        return {
+        payload = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "system": self.system,
             "workload": self.workload,
@@ -111,6 +122,10 @@ class SimulationResult:
             "metadata_hit_rate": self.metadata_hit_rate,
             "collision_rate": self.collision_rate,
         }
+        if self.obs is not None:
+            payload["schema_version"] = RESULT_SCHEMA_VERSION_OBS
+            payload["obs"] = self.obs.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SimulationResult":
@@ -120,14 +135,18 @@ class SimulationResult:
         cache entries surface as misses, never as silently-wrong data.
         """
         version = payload.get("schema_version")
-        if version != RESULT_SCHEMA_VERSION:
+        if version not in (RESULT_SCHEMA_VERSION, RESULT_SCHEMA_VERSION_OBS):
             raise ValueError(
                 f"SimulationResult schema mismatch: payload version "
-                f"{version!r}, expected {RESULT_SCHEMA_VERSION}"
+                f"{version!r}, expected {RESULT_SCHEMA_VERSION} or "
+                f"{RESULT_SCHEMA_VERSION_OBS}"
             )
         data = dict(payload)
         data.pop("schema_version")
         data["energy"] = EnergyReport.from_dict(data["energy"])
+        obs = data.pop("obs", None)
+        if obs is not None:
+            data["obs"] = ObsRecord.from_dict(obs)
         return cls(**data)
 
 
@@ -140,6 +159,7 @@ class Simulator:
         workload: WorkloadInstance,
         controller: MemoryController,
         llc: Optional[LastLevelCache] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._config = config
         self._workload = workload
@@ -147,6 +167,13 @@ class Simulator:
         self._memory = controller.memory
         self._llc = llc if llc is not None else LastLevelCache(
             config.llc_bytes, config.llc_ways
+        )
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        self._sampler: Optional[TimeSeriesSampler] = (
+            TimeSeriesSampler(obs.config.epoch_cycles, self._obs_probe)
+            if obs is not None
+            else None
         )
         self._cores: List[Core] = [
             Core(
@@ -218,16 +245,26 @@ class Simulator:
         def on_done(done_bus: float) -> None:
             core.complete_miss(token, self._config.bus_to_core(done_bus))
 
-        self._controller.read_line(record.address, bus_time, on_done)
+        tracer = self._tracer
+        trace_id = (
+            tracer.sample_request(record.address, bus_time)
+            if tracer is not None
+            else None
+        )
+        self._controller.read_line(record.address, bus_time, on_done,
+                                   trace_id=trace_id)
 
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Run the workload to completion and collect statistics."""
+        sampler = self._sampler
         while True:
             core_time, core = self._next_core()
             done_time = self._completions[0][0] if self._completions else _INF
             horizon = min(core_time, done_time)
+            if sampler is not None and horizon != _INF:
+                sampler.tick(horizon)
 
             if horizon == _INF:
                 # No core events and no known completions.  If DRAM still
@@ -278,6 +315,55 @@ class Simulator:
             callback(at)
 
     # ------------------------------------------------------------------
+
+    def _obs_probe(self):
+        """Snapshot for the time-series sampler: (cumulative, instant).
+
+        Cumulative counters come straight off the live stats objects and
+        become per-epoch deltas in the record; instant gauges (queue
+        depths) are stored raw at the sample point.
+        """
+        memory = self._memory
+        controller = self._controller
+        llc = self._llc.stats.snapshot()
+        ctrl_stats = controller.stats
+        cumulative = {
+            "bytes_transferred": float(memory.stats.bytes_transferred),
+            "forwarded_reads": float(memory.stats.forwarded_reads),
+            "llc_hits": float(llc["hits"]),
+            "llc_misses": float(llc["misses"]),
+            "demand_reads": float(ctrl_stats.demand_reads),
+            "demand_writes": float(ctrl_stats.demand_writes),
+            "corrective_reads": float(ctrl_stats.corrective_reads),
+        }
+        copr = getattr(controller, "copr", None)
+        if copr is not None:
+            copr_snap = copr.stats.snapshot()
+            cumulative["copr_predictions"] = float(copr_snap["predictions"])
+            cumulative["copr_correct"] = float(copr_snap["correct"])
+        blem = getattr(controller, "blem", None)
+        if blem is not None:
+            blem_snap = blem.stats.snapshot()
+            cumulative["blem_writes"] = float(
+                blem_snap["writes_compressed"] + blem_snap["writes_uncompressed"]
+            )
+            cumulative["blem_collisions"] = float(
+                blem_snap["write_collisions"] + blem_snap["read_collisions"]
+            )
+        metadata_cache = getattr(controller, "metadata_cache", None)
+        if metadata_cache is not None:
+            cumulative["metadata_accesses"] = float(
+                metadata_cache.stats.accesses
+            )
+            cumulative["metadata_hits"] = float(metadata_cache.stats.hits)
+        for index, beats in enumerate(memory.data_beats_by_subrank()):
+            cumulative[f"subrank{index}_beats"] = float(beats)
+        instant = {}
+        for index, channel in enumerate(memory.channels):
+            instant[f"channel{index}_queue"] = float(
+                channel.pending_reads + channel.pending_writes
+            )
+        return cumulative, instant
 
     def _collect_perf(self) -> dict:
         """Aggregate the fast-path cache counters into one payload.
@@ -359,5 +445,17 @@ class Simulator:
             metadata_hit_rate=metadata_hit_rate,
             collision_rate=collision_rate,
         )
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.finalize(elapsed_bus)
+            tracer = self._tracer
+            result.obs = sampler.record(
+                trace_events=(
+                    tracer.chrome_trace()["traceEvents"]
+                    if tracer is not None
+                    else None
+                ),
+                trace_dropped=tracer.dropped if tracer is not None else 0,
+            )
         result.perf = self._collect_perf()
         return result

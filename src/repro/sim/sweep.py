@@ -19,7 +19,7 @@ from __future__ import annotations
 import csv
 import io
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.runner import ExperimentScale, FAST_SCALE, run_benchmark
@@ -146,6 +146,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     progress: bool = False,
+    obs=None,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
 
@@ -168,7 +169,19 @@ def run_sweep(
         timeout_s / retries: per-point robustness knobs (orchestrated
             paths only).
         progress: render a live progress line on stderr.
+        obs: optional :class:`repro.obs.ObsConfig` applied to every grid
+            point — each point's ``SimulationResult.obs`` then carries
+            the per-epoch time series.  Observed points hash to distinct
+            cache keys, so an obs sweep never poisons a plain cache.
     """
+    if obs is not None:
+        from repro.obs import ObsConfig
+
+        if not isinstance(obs, ObsConfig):
+            raise TypeError(
+                f"run_sweep obs must be None or ObsConfig, got "
+                f"{type(obs).__name__}"
+            )
     if not benchmarks or not systems or not seeds:
         raise ValueError("benchmarks, systems and seeds must be non-empty")
     grid_keys = list(parameter_grid) if parameter_grid else []
@@ -186,7 +199,7 @@ def run_sweep(
             benchmarks, systems, seeds, assignments
         ):
             result = run_benchmark(
-                benchmark, system, scale=scale, seed=seed,
+                benchmark, system, scale=scale, seed=seed, obs=obs,
                 **translate(**assignment),
             )
             sweep.points.append(SweepPoint(
@@ -199,9 +212,16 @@ def run_sweep(
     from repro.orchestrator import JobSpec, Orchestrator, ResultCache
 
     grid = list(grid_points(benchmarks, systems, seeds, assignments))
+
+    def job_parameters(assignment: Mapping[str, object]) -> dict:
+        parameters = translate(**assignment)
+        if obs is not None:
+            parameters["obs"] = obs
+        return parameters
+
     specs = [
         JobSpec(benchmark=benchmark, system=system, seed=seed, scale=scale,
-                parameters=translate(**assignment))
+                parameters=job_parameters(assignment))
         for benchmark, system, seed, assignment in grid
     ]
     run_spec = {
@@ -216,6 +236,7 @@ def run_sweep(
         ),
         "jobs": jobs,
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
+        "obs": asdict(obs) if obs is not None else None,
     }
     orchestrator = Orchestrator(
         jobs=jobs,

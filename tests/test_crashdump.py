@@ -1,0 +1,197 @@
+"""Tests for crash-dump capture, replay and abort-safe telemetry.
+
+The pool writes one dump per failed attempt under
+``<run-dir>/crashes/``; the dump carries enough (job spec, traceback,
+RNG state) to re-run the grid point in the current process, which is
+where a debugger can actually attach.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.crashdump import (
+    crash_dump_path,
+    find_crash_dumps,
+    load_crash_dump,
+    replay_from_dump,
+    restore_rng,
+    rng_snapshot,
+    write_crash_dump,
+)
+from repro.orchestrator import JobSpec, Orchestrator
+from repro.orchestrator.telemetry import RunTelemetry
+from repro.sim.runner import ExperimentScale
+from repro.sim.simulator import SimulationResult
+
+SCALE = ExperimentScale(name="crash-test", factor=64, cores=2,
+                        records_per_core=200, warmup_per_core=0)
+
+
+def _spec(benchmark="STREAM", system="baseline", seed=1):
+    return JobSpec(benchmark=benchmark, system=system, seed=seed,
+                   scale=SCALE)
+
+
+# Injected runner: module-level so it crosses the worker boundary.
+def boom_run(spec: JobSpec) -> SimulationResult:
+    raise RuntimeError(f"boom on {spec.benchmark}")
+
+
+class TestRngSnapshot:
+    def test_round_trip_reproduces_the_stream(self):
+        random.seed(1234)
+        random.random()
+        snapshot = rng_snapshot()
+        expected = [random.random() for _ in range(5)]
+        random.seed(999)  # scramble
+        restore_rng(json.loads(json.dumps(snapshot)))  # JSON hop included
+        assert [random.random() for _ in range(5)] == expected
+
+
+class TestDumpFiles:
+    def test_write_and_load(self, tmp_path):
+        spec = _spec()
+        path = write_crash_dump(
+            tmp_path, key="abc123", attempt=2, job=spec.to_dict(),
+            error="RuntimeError: boom", traceback_text="Traceback ...",
+            rng=rng_snapshot(), fastpath_enabled=True,
+        )
+        assert path == crash_dump_path(tmp_path, "abc123", 2)
+        dump = load_crash_dump(path)
+        assert dump["key"] == "abc123"
+        assert dump["attempt"] == 2
+        assert dump["error"] == "RuntimeError: boom"
+        assert JobSpec.from_dict(dump["job"]) == spec
+
+    def test_find_filters_by_prefix_and_orders_attempts(self, tmp_path):
+        job = _spec().to_dict()
+        write_crash_dump(tmp_path, "aa11", 2, job, "e")
+        write_crash_dump(tmp_path, "aa11", 1, job, "e")
+        write_crash_dump(tmp_path, "bb22", 1, job, "e")
+        assert [p.name for p in find_crash_dumps(tmp_path, "aa")] == [
+            "aa11.attempt1.json", "aa11.attempt2.json",
+        ]
+        assert len(find_crash_dumps(tmp_path)) == 3
+        assert find_crash_dumps(tmp_path / "missing") == []
+
+
+class TestPoolIntegration:
+    def test_failed_attempts_leave_replayable_dumps(self, tmp_path):
+        run_dir = tmp_path / "run"
+        report = Orchestrator(
+            jobs=1, runner=boom_run, retries=1, backoff_s=0.01,
+        ).run([_spec()], run_dir=run_dir)
+
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.crash_dump is not None
+
+        dumps = find_crash_dumps(run_dir)
+        assert len(dumps) == 2  # one per attempt
+        dump = load_crash_dump(outcome.crash_dump)
+        assert dump["attempt"] == 2
+        assert "boom on STREAM" in dump["error"]
+        assert "RuntimeError" in dump["traceback"]
+        assert dump["rng"]["internal_state"]
+        assert dump["fastpath"] in (True, False)
+
+        # The failed manifest entry points at the final dump.
+        entries = [
+            json.loads(line)
+            for line in (run_dir / "manifest.jsonl")
+            .read_text(encoding="utf-8").splitlines()
+        ]
+        failed = [e for e in entries if e.get("status") == "failed"]
+        assert failed and failed[-1]["crash_dump"] == outcome.crash_dump
+
+    def test_replay_runs_the_real_job_in_process(self, tmp_path):
+        """boom_run was injected, so the replay (which uses the real
+        execute_job) succeeds — proving the dump round-trips the spec."""
+        run_dir = tmp_path / "run"
+        report = Orchestrator(jobs=1, runner=boom_run, retries=0).run(
+            [_spec()], run_dir=run_dir
+        )
+        dump = load_crash_dump(report.outcomes[0].crash_dump)
+        result = replay_from_dump(dump)
+        assert isinstance(result, SimulationResult)
+        assert result.workload == "STREAM"
+
+    def test_replay_propagates_a_real_failure(self, tmp_path):
+        bad = JobSpec(benchmark="NO_SUCH_BENCHMARK", system="baseline",
+                      seed=1, scale=SCALE)
+        path = write_crash_dump(tmp_path, "k", 1, bad.to_dict(), "KeyError")
+        with pytest.raises(KeyError, match="NO_SUCH_BENCHMARK"):
+            replay_from_dump(load_crash_dump(path))
+
+    def test_dumpless_when_no_run_dir(self, tmp_path):
+        report = Orchestrator(jobs=1, runner=boom_run, retries=0).run(
+            [_spec()]
+        )
+        assert report.outcomes[0].status == "failed"
+        assert report.outcomes[0].crash_dump is None
+
+
+class TestAbortedTelemetry:
+    def test_interrupt_flushes_aborted_summary(self, tmp_path, monkeypatch):
+        run_dir = tmp_path / "run"
+        orchestrator = Orchestrator(jobs=1, runner=boom_run)
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(orchestrator, "_drive", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            orchestrator.run([_spec()], run_dir=run_dir)
+
+        records = [
+            json.loads(line)
+            for line in (run_dir / "telemetry.jsonl")
+            .read_text(encoding="utf-8").splitlines()
+        ]
+        assert records[-1]["event"] == "summary"
+        assert records[-1]["aborted"] is True
+
+    def test_normal_summary_is_not_aborted(self, tmp_path):
+        telemetry = RunTelemetry(path=tmp_path / "t.jsonl")
+        telemetry.begin(1)
+        summary = telemetry.summary()
+        assert summary["aborted"] is False
+
+
+class TestReplayCli:
+    def _crashed_run(self, tmp_path):
+        run_dir = tmp_path / "run"
+        report = Orchestrator(jobs=1, runner=boom_run, retries=0).run(
+            [_spec()], run_dir=run_dir
+        )
+        return run_dir, report.outcomes[0].key
+
+    def test_listing_without_key(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir, key = self._crashed_run(tmp_path)
+        code = main(["orchestrate", "replay", "--run-dir", str(run_dir)])
+        assert code == 1
+        assert key in capsys.readouterr().out
+
+    def test_replay_by_key_prefix(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir, key = self._crashed_run(tmp_path)
+        code = main([
+            "orchestrate", "replay", key[:12], "--run-dir", str(run_dir),
+        ])
+        assert code == 0  # injected failure does not reproduce in-process
+        assert "replay succeeded" in capsys.readouterr().out
+
+    def test_unknown_key_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir, _ = self._crashed_run(tmp_path)
+        code = main([
+            "orchestrate", "replay", "ffffffff", "--run-dir", str(run_dir),
+        ])
+        assert code == 1
+        assert "no crash dump" in capsys.readouterr().out

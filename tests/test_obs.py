@@ -1,0 +1,344 @@
+"""Tests for repro.obs: metrics, time series, tracer, end-to-end wiring.
+
+The load-bearing guarantee is the golden one: a run with observability
+attached must produce the *same simulation* as a run without — identical
+timing, traffic and energy — because the golden results and the pinned
+fast-path benchmark all run obs-off.
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    EventTracer,
+    MetricsRegistry,
+    ObsConfig,
+    ObsRecord,
+    Observability,
+    TimeSeriesSampler,
+    as_observability,
+)
+from repro.obs.timeseries import OBS_SCHEMA_VERSION
+from repro.sim.runner import TINY_SCALE, run_benchmark
+from repro.sim.simulator import (
+    RESULT_SCHEMA_VERSION,
+    RESULT_SCHEMA_VERSION_OBS,
+    SimulationResult,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reads")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+        gauge = registry.gauge("depth")
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+        hist = registry.histogram("latency")
+        hist.observe(10.0)
+        hist.observe(100.0)
+        assert hist.count == 2
+        assert hist.mean == pytest.approx(55.0)
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_null_registry_is_free_and_inert(self):
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc()
+        counter.inc(100)
+        assert counter.value == 0
+        assert NULL_REGISTRY.enabled is False
+        # Every instrument is the same shared no-op object.
+        assert NULL_REGISTRY.histogram("h") is NULL_REGISTRY.gauge("g")
+
+
+class TestTimeSeriesSampler:
+    def _probe_factory(self, state):
+        def probe():
+            return dict(state["cumulative"]), dict(state["instant"])
+        return probe
+
+    def test_deltas_and_instants(self):
+        state = {"cumulative": {"bytes": 0.0}, "instant": {"queue": 0.0}}
+        sampler = TimeSeriesSampler(100.0, self._probe_factory(state))
+
+        state["cumulative"]["bytes"] = 64.0
+        state["instant"]["queue"] = 2.0
+        sampler.tick(100.0)
+        state["cumulative"]["bytes"] = 96.0
+        state["instant"]["queue"] = 1.0
+        sampler.tick(250.0)  # crosses the 200 boundary only
+
+        record = sampler.record()
+        assert record.series("cycle") == [100.0, 200.0]
+        assert record.series("bytes") == [64.0, 32.0]  # deltas
+        assert record.series("queue") == [2.0, 1.0]  # raw gauges
+
+    def test_finalize_closes_partial_epoch(self):
+        state = {"cumulative": {"n": 0.0}, "instant": {}}
+        sampler = TimeSeriesSampler(100.0, self._probe_factory(state))
+        state["cumulative"]["n"] = 7.0
+        sampler.tick(100.0)
+        state["cumulative"]["n"] = 9.0
+        sampler.finalize(130.0)
+        record = sampler.record()
+        assert record.series("cycle") == [100.0, 130.0]
+        assert record.series("n") == [7.0, 2.0]
+        assert record.epoch_durations() == [100.0, 30.0]
+
+    def test_tick_catches_up_over_multiple_epochs(self):
+        state = {"cumulative": {"n": 0.0}, "instant": {}}
+        sampler = TimeSeriesSampler(10.0, self._probe_factory(state))
+        sampler.tick(35.0)
+        assert sampler.record().series("cycle") == [10.0, 20.0, 30.0]
+
+
+class TestObsRecordSerialization:
+    def _record(self):
+        return ObsRecord(
+            epoch_cycles=128.0,
+            columns={"cycle": [128.0, 256.0], "bytes": [64.0, 32.0]},
+            trace_events=[{"name": "llc_miss", "ph": "i", "ts": 1.0,
+                           "s": "t", "pid": 0, "tid": 0, "args": {}}],
+            trace_dropped=3,
+        )
+
+    def test_round_trip_through_json(self):
+        record = self._record()
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert ObsRecord.from_dict(payload) == record
+
+    def test_version_mismatch_rejected(self):
+        payload = self._record().to_dict()
+        payload["obs_schema_version"] = OBS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema mismatch"):
+            ObsRecord.from_dict(payload)
+
+    def test_rate_and_per_cycle(self):
+        record = ObsRecord(
+            epoch_cycles=100.0,
+            columns={"cycle": [100.0, 200.0],
+                     "hits": [3.0, 0.0], "total": [4.0, 0.0]},
+        )
+        assert record.rate("hits", "total") == [0.75, 0.0]
+        assert record.per_cycle("hits") == [0.03, 0.0]
+
+
+class TestEventTracer:
+    def test_sampling_every_nth(self):
+        tracer = EventTracer(sample_every=3)
+        ids = [tracer.sample_request(addr, float(addr))
+               for addr in range(9)]
+        assert [i for i in ids if i is not None] == [0, 1, 2]
+        assert [n for n, i in enumerate(ids) if i is not None] == [0, 3, 6]
+
+    def test_capacity_caps_storage(self):
+        tracer = EventTracer(capacity=2)
+        tracer.sample_request(0, 0.0)
+        tracer.sample_request(1, 1.0)
+        assert tracer.sample_request(2, 2.0) is None
+        assert len(tracer.events) == 2
+        assert tracer.dropped >= 1
+
+    def test_chrome_trace_shape_and_monotonicity(self):
+        tracer = EventTracer()
+        t0 = tracer.sample_request(0, 5.0)
+        t1 = tracer.sample_request(1, 2.0)
+        tracer.span(t0, "demand_read", 6.0, 9.0)
+        tracer.instant(t1, "complete", 4.0)
+        trace = tracer.chrome_trace()
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        body = events[1:]
+        assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+        json.dumps(trace)  # must be JSON-serialisable as-is
+
+    def test_span_duration_never_negative(self):
+        tracer = EventTracer()
+        tracer.span(0, "x", 10.0, 8.0)
+        assert tracer.events[-1]["dur"] == 0.0
+
+
+class TestObservabilityHub:
+    def test_as_observability_normalises(self):
+        assert as_observability(None) is None
+        hub = Observability()
+        assert as_observability(hub) is hub
+        built = as_observability(ObsConfig(trace=False))
+        assert built.tracer is None
+        with pytest.raises(TypeError):
+            as_observability("nope")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ObsConfig(epoch_cycles=0.0)
+        with pytest.raises(ValueError):
+            ObsConfig(trace_sample_every=0)
+
+
+class TestEndToEnd:
+    """TINY-scale simulations with observability attached."""
+
+    def test_golden_equality_obs_on_vs_off(self):
+        """Observation must not change the simulation itself."""
+        for system in ("baseline", "metadata_cache", "attache", "ideal"):
+            plain = run_benchmark("RAND", system, scale=TINY_SCALE, seed=11)
+            observed = run_benchmark(
+                "RAND", system, scale=TINY_SCALE, seed=11,
+                obs=ObsConfig(epoch_cycles=512.0),
+            )
+            base = plain.to_dict()
+            loaded = observed.to_dict()
+            assert base["schema_version"] == RESULT_SCHEMA_VERSION
+            assert loaded["schema_version"] == RESULT_SCHEMA_VERSION_OBS
+            loaded.pop("obs")
+            loaded["schema_version"] = base["schema_version"]
+            assert loaded == base, f"obs changed the {system} simulation"
+
+    def test_time_series_columns_present(self):
+        result = run_benchmark(
+            "RAND", "attache", scale=TINY_SCALE, seed=11,
+            obs=ObsConfig(epoch_cycles=512.0, trace=False),
+        )
+        obs = result.obs
+        assert obs is not None and obs.num_epochs >= 2
+        for column in ("cycle", "bytes_transferred", "llc_misses",
+                       "copr_predictions", "copr_correct", "blem_writes",
+                       "subrank0_beats", "channel0_queue"):
+            assert len(obs.series(column)) == obs.num_epochs, column
+        summary = obs.summary()
+        assert 0.0 <= summary["copr_accuracy"] <= 1.0
+        assert summary["bandwidth_bytes_per_cycle"] > 0.0
+
+    def test_result_with_obs_round_trips(self):
+        result = run_benchmark(
+            "RAND", "attache", scale=TINY_SCALE, seed=11,
+            obs=ObsConfig(epoch_cycles=512.0),
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(payload) == result
+
+    def test_trace_covers_full_attache_lifecycle(self):
+        hub = Observability(ObsConfig(epoch_cycles=512.0))
+        run_benchmark("RAND", "attache", scale=TINY_SCALE, seed=11, obs=hub)
+        trace = hub.tracer.chrome_trace()
+        tracks = defaultdict(set)
+        by_track = defaultdict(list)
+        for event in trace["traceEvents"]:
+            if event["ph"] in ("i", "X"):
+                tracks[event["tid"]].add(event["name"])
+                by_track[event["tid"]].append(event["ts"])
+        assert any({"llc_miss", "copr_predict", "blem_header",
+                    "complete"} <= names for names in tracks.values())
+        for stamps in by_track.values():
+            assert stamps == sorted(stamps)
+
+    def test_trace_sampling_reduces_tracks(self):
+        dense = Observability(ObsConfig(epoch_cycles=512.0))
+        run_benchmark("RAND", "attache", scale=TINY_SCALE, seed=11,
+                      obs=dense)
+        sparse = Observability(
+            ObsConfig(epoch_cycles=512.0, trace_sample_every=8)
+        )
+        run_benchmark("RAND", "attache", scale=TINY_SCALE, seed=11,
+                      obs=sparse)
+        assert sparse.tracer.traced < dense.tracer.traced
+        assert sparse.tracer.seen == dense.tracer.seen
+
+
+class TestCli:
+    def test_trace_command_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.trace.json"
+        code = main([
+            "trace", "--benchmark", "RAND", "--system", "attache",
+            "--cores", "2", "--records", "400", "--warmup", "0",
+            "--scale-factor", "64", "--output", str(out),
+        ])
+        assert code == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        assert trace["traceEvents"]
+        stamps = defaultdict(list)
+        for event in trace["traceEvents"]:
+            if event["ph"] in ("i", "X"):
+                stamps[event["tid"]].append(event["ts"])
+        assert stamps and all(s == sorted(s) for s in stamps.values())
+        assert "trace file" in capsys.readouterr().out
+
+    def test_metrics_command_renders_series(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "metrics", "--benchmark", "RAND", "--system", "attache",
+            "--cores", "2", "--records", "400", "--warmup", "0",
+            "--scale-factor", "64", "--obs-epoch", "1024",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "COPR acc" in output
+        assert "BW (B/cyc)" in output
+
+    def test_profile_reports_disabled_fastpath(self, capsys, monkeypatch):
+        from repro import fastpath
+        from repro.cli import main
+
+        monkeypatch.setattr(fastpath, "enabled", lambda: False)
+        code = main([
+            "profile", "--fastpath", "off", "--records", "300",
+            "--cores", "2", "--warmup", "0", "--scale-factor", "64",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "disabled" in output
+        assert "scheduler computes" not in output  # empty tables skipped
+
+
+class TestSweepObs:
+    def test_serial_sweep_attaches_obs(self):
+        from repro.sim.sweep import run_sweep
+
+        sweep = run_sweep(
+            benchmarks=["RAND"], systems=["baseline"], seeds=[3],
+            scale=TINY_SCALE, obs=ObsConfig(epoch_cycles=1024.0,
+                                            trace=False),
+        )
+        assert sweep.points[0].result.obs is not None
+
+    def test_obs_changes_cache_key(self):
+        from repro.orchestrator import JobSpec
+
+        plain = JobSpec(benchmark="RAND", system="baseline", seed=3,
+                        scale=TINY_SCALE)
+        observed = JobSpec(
+            benchmark="RAND", system="baseline", seed=3, scale=TINY_SCALE,
+            parameters={"obs": ObsConfig(trace=False)},
+        )
+        assert plain.key() != observed.key()
+
+    def test_obs_config_round_trips_through_job_spec(self):
+        from repro.orchestrator import JobSpec
+
+        spec = JobSpec(
+            benchmark="RAND", system="baseline", seed=3, scale=TINY_SCALE,
+            parameters={"obs": ObsConfig(epoch_cycles=256.0, trace=False)},
+        )
+        rebuilt = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.parameters["obs"] == ObsConfig(epoch_cycles=256.0,
+                                                      trace=False)

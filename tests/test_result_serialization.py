@@ -14,7 +14,11 @@ from hypothesis import strategies as st
 
 from repro.energy import EnergyReport
 from repro.sim.runner import ExperimentScale, TINY_SCALE
-from repro.sim.simulator import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.sim.simulator import (
+    RESULT_SCHEMA_VERSION,
+    RESULT_SCHEMA_VERSION_OBS,
+    SimulationResult,
+)
 
 finite = st.floats(allow_nan=False, allow_infinity=False)
 counts = st.integers(min_value=0, max_value=2**53)
@@ -75,8 +79,10 @@ class TestSchemaGuards:
         assert example_result.to_dict()["schema_version"] == RESULT_SCHEMA_VERSION
 
     def test_other_schema_version_rejected(self, example_result):
+        # One past the highest version either branch accepts (plain
+        # results are v1, observed results v2).
         payload = example_result.to_dict()
-        payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        payload["schema_version"] = RESULT_SCHEMA_VERSION_OBS + 1
         with pytest.raises(ValueError, match="schema mismatch"):
             SimulationResult.from_dict(payload)
 
