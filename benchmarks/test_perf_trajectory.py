@@ -1,19 +1,22 @@
-"""Single-run performance trajectory: the fast path must stay fast.
+"""Performance trajectory: the fast path and the warm pool must stay fast.
 
-Measures the pinned reference workload (``repro.fastpath.bench``) with
-the fast path on and off, publishes the fresh numbers to
-``benchmarks/out/BENCH_single_run.json``, and gates against the
-committed baseline ``benchmarks/BENCH_single_run.json``:
+Measures two pinned benchmarks (``repro.fastpath.bench``), publishes the
+fresh numbers to ``benchmarks/out/``, and gates each against its
+committed baseline:
 
-* the two modes must produce bit-identical results (one digest);
-* the fastpath-on/off speedup ratio must not regress more than 25%
-  below the committed baseline ratio.
+* single run — the pinned workload with the fast path on and off
+  (``benchmarks/BENCH_single_run.json``);
+* sweep — the pinned sensitivity grid end-to-end through the
+  orchestrator with the warm pool and with spawn-per-job workers
+  (``benchmarks/BENCH_sweep.json``).
 
-The gate compares *ratios*, not wall clocks: absolute times depend on
-the machine, but dividing the slow path's time by the fast path's time
-on the same machine cancels that out.  After a deliberate perf change,
-re-measure on a quiet machine (``REPRO_BENCH_PERF_REPEATS=7``) and
-commit the refreshed baseline.
+For both: the two modes must produce bit-identical results, and the
+speedup ratio must not regress more than 25% below the committed
+baseline ratio.  The gates compare *ratios*, not wall clocks: absolute
+times depend on the machine, but dividing one mode's time by the
+other's on the same machine cancels that out.  After a deliberate perf
+change, re-measure on a quiet machine (``REPRO_BENCH_PERF_REPEATS=7``)
+and commit the refreshed baseline.
 """
 
 from __future__ import annotations
@@ -22,11 +25,12 @@ import json
 import os
 import pathlib
 
-from repro.fastpath.bench import run_pinned
+from repro.fastpath.bench import run_pinned, run_pinned_sweep
 
 from conftest import publish
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_single_run.json"
+SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
 
 
 def test_perf_trajectory(report_dir):
@@ -66,4 +70,47 @@ def test_perf_trajectory(report_dir):
         f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
         "If this follows a deliberate change, re-measure and refresh "
         f"{BASELINE_PATH.name}."
+    )
+
+
+def test_sweep_perf_trajectory(report_dir):
+    repeats = int(os.environ.get("REPRO_BENCH_PERF_REPEATS", "2"))
+    report = run_pinned_sweep(repeats=repeats)
+    payload = report.to_dict()
+    (report_dir / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    baseline = json.loads(SWEEP_BASELINE_PATH.read_text(encoding="utf-8"))
+    rows = "\n".join(
+        f"  {label:<28}{value}"
+        for label, value in [
+            ("repeats (best-of)", report.repeats),
+            ("grid points", report.warm.jobs),
+            ("warm wall clock (s)", f"{report.warm.wall_s:.3f}"),
+            ("spawn wall clock (s)", f"{report.spawn.wall_s:.3f}"),
+            ("warm jobs/sec", f"{report.warm.jobs_per_s:.1f}"),
+            ("spawn jobs/sec", f"{report.spawn.jobs_per_s:.1f}"),
+            ("speedup (spawn/warm)", f"{report.speedup:.2f}x"),
+            ("baseline speedup", f"{baseline['speedup']:.2f}x"),
+            ("bit-identical", report.identical),
+        ]
+    )
+    publish(report_dir, "BENCH_sweep",
+            "sweep throughput (pinned grid, warm vs spawn pool)\n" + rows)
+
+    assert report.identical, (
+        "warm pool is not bit-identical to spawn-per-job on the pinned "
+        "sweep grid"
+    )
+    assert report.speedup > 1.0, (
+        f"warm pool is slower than spawn-per-job: {report.speedup:.2f}x"
+    )
+    floor = 0.75 * baseline["speedup"]
+    assert report.speedup >= floor, (
+        f"sweep speedup regressed: measured {report.speedup:.2f}x, "
+        f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
+        "If this follows a deliberate change, re-measure and refresh "
+        f"{SWEEP_BASELINE_PATH.name}."
     )

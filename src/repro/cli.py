@@ -357,6 +357,8 @@ def _run_grid(args: argparse.Namespace, run_dir=None):
         retries=args.retries,
         progress=args.progress,
         obs=_grid_obs(args),
+        pool=args.pool,
+        recycle_after=args.recycle_after,
     )
 
 
@@ -496,6 +498,8 @@ def _run_grid_with_scale(args, scale, run_dir):
         retries=args.retries,
         progress=args.progress,
         obs=_grid_obs(args),
+        pool=args.pool,
+        recycle_after=args.recycle_after,
     )
 
 
@@ -650,6 +654,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_arg(text: str):
+    """``--jobs`` parser: a positive integer, or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except (ValueError, argparse.ArgumentTypeError):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
 def _add_grid(parser: argparse.ArgumentParser) -> None:
     """Axes + orchestration flags shared by ``sweep`` and ``orchestrate``."""
     parser.add_argument("--benchmarks", nargs="+", default=["STREAM"])
@@ -662,8 +678,17 @@ def _add_grid(parser: argparse.ArgumentParser) -> None:
         "--metrics", nargs="+",
         default=["runtime_core_cycles", "ipc", "energy_nj"],
     )
-    parser.add_argument("--jobs", type=_positive_int, default=1,
-                        help="parallel worker processes")
+    parser.add_argument("--jobs", type=_jobs_arg, default="auto",
+                        help="parallel worker processes, or 'auto' (the "
+                             "default) to size from CPUs, memory and "
+                             "prior run telemetry")
+    parser.add_argument("--pool", choices=["warm", "spawn"], default="warm",
+                        help="worker strategy: persistent warm pool with "
+                             "a shared workload bank (default) or one "
+                             "fresh process per attempt")
+    parser.add_argument("--recycle-after", type=_positive_int, default=None,
+                        help="jobs a warm worker serves before being "
+                             "replaced by a fresh process")
     parser.add_argument("--cache-dir", default=None,
                         help="content-addressed result cache directory")
     parser.add_argument("--run-dir", default=None,

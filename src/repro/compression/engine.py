@@ -27,6 +27,27 @@ from repro.util.bitops import CACHELINE_BYTES
 #: minus the 2-byte (15-bit CID + 1-bit XID) Metadata-Header.
 SUBRANK_PAYLOAD_BYTES = 30
 
+#: When not ``None``, newly constructed engines adopt process-wide memo
+#: dicts shared between every engine with the same fingerprint (same
+#: algorithms, target size and capacity).  Entries are pure functions of
+#: line content, so sharing cannot change any result — it only turns
+#: repeat compressions of the same line across jobs into cache hits.
+#: Warm sweep workers switch this on; spawn-per-job runs never do.
+_shared_registry: Optional[Dict[tuple, tuple]] = None
+
+
+def enable_shared_caches() -> None:
+    """Share compression memo caches between same-config engines."""
+    global _shared_registry
+    if _shared_registry is None:
+        _shared_registry = {}
+
+
+def disable_shared_caches() -> None:
+    """Return to per-engine memo caches (and drop shared contents)."""
+    global _shared_registry
+    _shared_registry = None
+
 
 @dataclass
 class CompressionStats:
@@ -106,6 +127,19 @@ class CompressionEngine:
             if self._size_fns is not None
             else {}
         )
+        if _shared_registry is not None and cache_entries:
+            fingerprint = (
+                tuple(type(algo).__name__ for algo in self._algorithms),
+                tuple(names),
+                target_size,
+                cache_entries,
+                self._size_fns is not None,
+            )
+            shared = _shared_registry.get(fingerprint)
+            if shared is None:
+                _shared_registry[fingerprint] = (self._cache, self._size_cache)
+            else:
+                self._cache, self._size_cache = shared
 
     @property
     def target_size(self) -> int:
@@ -154,7 +188,11 @@ class CompressionEngine:
             self.perf_classify.misses += 1
             target = self._target_size
             for size_fn in self._size_fns:
-                if size_fn(data, target) is not None:
+                # Classifiers *may* return over-target sizes instead of
+                # None (the target is an early-stop hint, not a filter),
+                # so the fit test must re-check the size.
+                result = size_fn(data, target)
+                if result is not None and result[0] <= target:
                     return True
             if self._cache_entries:
                 if len(self._size_cache) >= self._cache_entries:

@@ -149,14 +149,181 @@ def run_pinned(repeats: int = 3) -> BenchReport:
     )
 
 
+# ----------------------------------------------------------------------
+# The pinned sweep: end-to-end orchestrator throughput, warm vs spawn
+# ----------------------------------------------------------------------
+
+#: The pinned sweep grid.  Shaped like a real paper study — a handful of
+#: benchmarks, a seed axis, the four systems plus an Attaché PaPR-size
+#: sensitivity axis — so many grid points share each workload, which is
+#: exactly the situation the warm pool's shared bank and memo caches
+#: target.  Do not change casually: benchmarks/BENCH_sweep.json was
+#: measured against exactly this grid.
+PINNED_SWEEP_BENCHMARKS = ("mcf", "omnetpp")
+PINNED_SWEEP_SEEDS = (7, 8)
+PINNED_SWEEP_SYSTEMS = ("baseline", "metadata_cache", "ideal")
+PINNED_SWEEP_PAPR_ENTRIES = (64, 128, 256, 512, 1024, 4096)
+
+
+def pinned_sweep_scale() -> ExperimentScale:
+    """The pinned sweep's per-point scale.
+
+    Small points on purpose: sweep throughput is dominated by per-job
+    fixed costs (process launch, workload regeneration, cold caches)
+    exactly when points are cheap, which is the regime research sweeps
+    with many grid points live in.
+    """
+    return ExperimentScale(
+        name="pin-sweep", factor=64, cores=2, records_per_core=60,
+        warmup_per_core=20,
+    )
+
+
+def pinned_sweep_specs():
+    """The pinned sweep grid as orchestrator job specs."""
+    from repro.core.copr import CoprConfig
+    from repro.orchestrator.jobs import JobSpec
+
+    scale = pinned_sweep_scale()
+    specs = []
+    for benchmark in PINNED_SWEEP_BENCHMARKS:
+        for seed in PINNED_SWEEP_SEEDS:
+            specs.extend(
+                JobSpec(benchmark=benchmark, system=system, scale=scale,
+                        seed=seed)
+                for system in PINNED_SWEEP_SYSTEMS
+            )
+            specs.extend(
+                JobSpec(
+                    benchmark=benchmark, system="attache", scale=scale,
+                    seed=seed,
+                    parameters={
+                        "copr_config": CoprConfig(papr_entries=entries)
+                    },
+                )
+                for entries in PINNED_SWEEP_PAPR_ENTRIES
+            )
+    return specs
+
+
+@dataclass
+class SweepBenchRun:
+    """One timed end-to-end run of the pinned sweep in one pool mode."""
+
+    wall_s: float
+    jobs: int
+    digests: tuple  #: per-point result digests, grid order
+
+    @property
+    def jobs_per_s(self) -> float:
+        return self.jobs / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "jobs": self.jobs,
+            "jobs_per_s": round(self.jobs_per_s, 3),
+            "grid_digest": hashlib.sha256(
+                "".join(self.digests).encode("ascii")
+            ).hexdigest(),
+        }
+
+
+def run_sweep_once(pool: str, jobs: int = 1) -> SweepBenchRun:
+    """Run the pinned sweep once through the orchestrator."""
+    from repro.orchestrator import Orchestrator
+
+    specs = pinned_sweep_specs()
+    start = time.perf_counter()
+    report = Orchestrator(jobs=jobs, pool=pool).run(specs)
+    wall = time.perf_counter() - start
+    if not report.ok:
+        failures = [o.error for o in report.failures]
+        raise RuntimeError(f"pinned sweep failed under {pool}: {failures}")
+    return SweepBenchRun(
+        wall_s=wall,
+        jobs=len(specs),
+        digests=tuple(result_digest(r) for r in report.results),
+    )
+
+
+@dataclass
+class SweepBenchReport:
+    """Best-of-N measurement of the pinned sweep, both pool modes."""
+
+    warm: SweepBenchRun  #: best (minimum wall clock) warm-pool run
+    spawn: SweepBenchRun  #: best spawn-per-job run
+    repeats: int
+    identical: bool  #: every run of both modes produced one digest tuple
+
+    @property
+    def speedup(self) -> float:
+        """spawn/warm wall-clock ratio of the best runs (machine-free)."""
+        return (
+            self.spawn.wall_s / self.warm.wall_s if self.warm.wall_s else 0.0
+        )
+
+    def to_dict(self) -> dict:
+        scale = pinned_sweep_scale()
+        return {
+            "benchmarks": list(PINNED_SWEEP_BENCHMARKS),
+            "systems": list(PINNED_SWEEP_SYSTEMS),
+            "seeds": list(PINNED_SWEEP_SEEDS),
+            "papr_entries": list(PINNED_SWEEP_PAPR_ENTRIES),
+            "scale": {
+                "factor": scale.factor,
+                "cores": scale.cores,
+                "records_per_core": scale.records_per_core,
+                "warmup_per_core": scale.warmup_per_core,
+            },
+            "repeats": self.repeats,
+            "identical": self.identical,
+            "speedup": round(self.speedup, 3),
+            "warm": self.warm.to_dict(),
+            "spawn": self.spawn.to_dict(),
+        }
+
+
+def run_pinned_sweep(repeats: int = 2) -> SweepBenchReport:
+    """Best-of-*repeats* pinned sweep benchmark, warm vs spawn.
+
+    Interleaved like :func:`run_pinned`, and both modes run the same
+    grid through the same orchestrator — the only variable is the pool
+    strategy, so the ratio isolates exactly what the warm pool buys.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    warm_runs, spawn_runs = [], []
+    for _ in range(repeats):
+        spawn_runs.append(run_sweep_once(pool="spawn"))
+        warm_runs.append(run_sweep_once(pool="warm"))
+    digest_tuples = {run.digests for run in warm_runs + spawn_runs}
+    return SweepBenchReport(
+        warm=min(warm_runs, key=lambda run: run.wall_s),
+        spawn=min(spawn_runs, key=lambda run: run.wall_s),
+        repeats=repeats,
+        identical=len(digest_tuples) == 1,
+    )
+
+
 __all__ = [
     "PINNED_BENCHMARK",
     "PINNED_SEED",
     "PINNED_SYSTEM",
+    "PINNED_SWEEP_BENCHMARKS",
+    "PINNED_SWEEP_PAPR_ENTRIES",
+    "PINNED_SWEEP_SEEDS",
+    "PINNED_SWEEP_SYSTEMS",
     "BenchReport",
     "BenchRun",
+    "SweepBenchReport",
+    "SweepBenchRun",
     "pinned_scale",
+    "pinned_sweep_scale",
+    "pinned_sweep_specs",
     "result_digest",
     "run_once",
     "run_pinned",
+    "run_pinned_sweep",
+    "run_sweep_once",
 ]

@@ -22,11 +22,23 @@ from repro.orchestrator.jobs import (
     stable_key,
 )
 from repro.orchestrator.manifest import RunManifest
-from repro.orchestrator.pool import JobOutcome, OrchestrationReport, Orchestrator
+from repro.orchestrator.pool import (
+    JobOutcome,
+    OrchestrationReport,
+    Orchestrator,
+    auto_jobs,
+)
 from repro.orchestrator.telemetry import RunCounters, RunTelemetry
+from repro.orchestrator.workers import (
+    DEFAULT_RECYCLE_AFTER,
+    POOL_MODES,
+    WorkerStartupError,
+)
 
 __all__ = [
+    "DEFAULT_RECYCLE_AFTER",
     "JOB_SCHEMA_VERSION",
+    "POOL_MODES",
     "CacheStats",
     "JobOutcome",
     "JobSpec",
@@ -36,6 +48,8 @@ __all__ = [
     "RunCounters",
     "RunManifest",
     "RunTelemetry",
+    "WorkerStartupError",
+    "auto_jobs",
     "canonical",
     "code_fingerprint",
     "execute_job",

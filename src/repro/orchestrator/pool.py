@@ -1,61 +1,66 @@
-"""The orchestrator: a fault-tolerant worker pool over job specs.
+"""The orchestrator: a fault-tolerant scheduling loop over job specs.
 
-Each attempt of each job runs in its *own* worker process, so a crash
-(segfault, OOM-kill, unhandled exception) takes down one attempt, never
-the sweep: the parent observes the dead worker, retries with exponential
-backoff up to ``retries`` times, and finally marks the point ``failed``
-in the run manifest while every other point proceeds.  Per-job wall
-timeouts are enforced by terminating the worker, which a thread pool or
-``ProcessPoolExecutor`` cannot do per task.
+Attempts execute through one of two backends
+(:mod:`repro.orchestrator.workers`): ``spawn`` starts a fresh process
+per attempt (maximal isolation, fixed fork + teardown tax per job) and
+``warm`` keeps a persistent pool of worker processes that serve many
+jobs each over a request/response pipe, sharing imports, pure memo
+caches and zero-copy workload-bank traces between jobs.  Either way a
+crash (segfault, OOM-kill, unhandled exception) takes down one attempt,
+never the sweep: the parent observes the dead worker, retries with
+exponential backoff up to ``retries`` times, and finally marks the
+point ``failed`` in the run manifest while every other point proceeds.
+Per-job wall timeouts are enforced by terminating the worker (in warm
+mode: that one worker — in-flight siblings are untouched and a
+replacement spawns lazily).
 
 Results cross the process boundary as ``SimulationResult.to_dict()``
 payloads over a pipe, the same lossless encoding the result cache and
-run manifests store, so a simulated point, a cached point and a resumed
-point are bit-identical.
+run manifests store, so a simulated point, a cached point, a resumed
+point and a pooled point are bit-identical.
 
 Launch order is LPT (longest first) whenever per-job wall-clock
 estimates exist — from the run manifest's prior telemetry or an explicit
 map — so a straggler starts early instead of serialising the tail of an
 otherwise-parallel sweep.  Report order is always input order.
+
+``jobs="auto"`` sizes the worker count from the machine
+(:func:`auto_jobs`): CPU count less one for the parent, capped by
+available memory against a per-job estimate and by the makespan bound
+implied by prior wall-clock telemetry.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import os
 import time
-import traceback
+from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
-from repro import fastpath
-from repro.obs.crashdump import rng_snapshot, write_crash_dump
+from repro.obs.crashdump import write_crash_dump
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.jobs import JobSpec, execute_job
 from repro.orchestrator.manifest import RunManifest
 from repro.orchestrator.telemetry import RunTelemetry
+from repro.orchestrator.workers import (
+    DEFAULT_RECYCLE_AFTER,
+    POOL_MODES,
+    SpawnBackend,
+    WarmPoolBackend,
+)
 from repro.sim.simulator import SimulationResult
 
-
-def _worker_entry(conn, runner, job_payload) -> None:
-    """Worker-side wrapper: run one job, ship the outcome over *conn*.
-
-    Failures ship the worker's RNG state and fast-path flag alongside
-    the traceback so the parent can write a replayable crash dump.
-    """
-    try:
-        result = runner(JobSpec.from_dict(job_payload))
-        conn.send({"status": "ok", "result": result.to_dict()})
-    except BaseException as exc:  # isolate *everything*, incl. KeyboardInterrupt
-        conn.send({
-            "status": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(),
-            "rng": rng_snapshot(),
-            "fastpath": fastpath.enabled(),
-        })
-    finally:
-        conn.close()
+#: Flat per-worker interpreter + bounded-cache overhead (content, class,
+#: keystream and scheduler caches are all capacity-bounded), used by the
+#: ``jobs="auto"`` memory cap.
+_WORKER_BASE_BYTES = 128 * 1024 * 1024
+#: Marginal bytes per simulated trace record (trace arrays, LLC state,
+#: per-line bookkeeping) for the same estimate.
+_PER_RECORD_BYTES = 64
 
 
 @dataclass
@@ -110,17 +115,78 @@ class _Pending:
 class _Running:
     index: int
     attempt: int
-    process: multiprocessing.process.BaseProcess
+    process: object
     conn: object
     started: float
     deadline: float  #: monotonic give-up time (inf when no timeout)
+    worker: object = None  #: warm-pool worker handle (None in spawn mode)
+
+
+def _available_memory_bytes() -> Optional[int]:
+    """Best-effort available RAM (Linux ``MemAvailable``), else None."""
+    try:
+        with open("/proc/meminfo", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def estimate_job_memory(specs: List[JobSpec]) -> int:
+    """Rough peak resident bytes of the largest job in *specs*.
+
+    A heuristic, not a measurement: a flat interpreter + bounded-cache
+    base plus a marginal cost per simulated record.  It only needs to be
+    right within a small factor — it caps ``jobs="auto"`` so a sweep of
+    big points cannot land the machine in swap.
+    """
+    worst = 0
+    for spec in specs:
+        scale = spec.scale
+        records = (scale.records_per_core + scale.effective_warmup) * scale.cores
+        worst = max(worst, records)
+    return _WORKER_BASE_BYTES + worst * _PER_RECORD_BYTES
+
+
+def auto_jobs(
+    pending: Optional[int] = None,
+    estimates: Optional[Mapping[str, float]] = None,
+    memory_per_job_bytes: Optional[int] = None,
+) -> int:
+    """Auto-sized worker count: CPUs, memory and telemetry combined.
+
+    Starts from ``os.cpu_count()`` (less one core for the orchestrator
+    parent on bigger machines), then clamps by:
+
+    * available memory divided by the per-job estimate;
+    * the LPT makespan bound ``ceil(sum(walls) / max(walls))`` from
+      prior wall-clock telemetry — workers beyond it can only idle;
+    * the number of pending jobs.
+    """
+    cpus = os.cpu_count() or 1
+    jobs = cpus if cpus <= 2 else cpus - 1
+    if memory_per_job_bytes:
+        available = _available_memory_bytes()
+        if available:
+            jobs = min(jobs, max(1, available // memory_per_job_bytes))
+    if estimates:
+        walls = [wall for wall in estimates.values() if wall > 0]
+        if walls:
+            jobs = min(jobs, max(1, math.ceil(sum(walls) / max(walls))))
+    if pending is not None:
+        jobs = min(jobs, max(1, pending))
+    return max(1, int(jobs))
 
 
 class Orchestrator:
-    """Executes job specs as a pool of isolated worker processes.
+    """Executes job specs through a pool of isolated worker processes.
 
     Args:
-        jobs: worker processes to keep busy (1 = serial, still isolated).
+        jobs: worker processes to keep busy (1 = serial, still
+            isolated), or ``"auto"`` to size from the machine and the
+            run's telemetry (:func:`auto_jobs`).
         cache: optional :class:`ResultCache`; hits skip the worker
             entirely and misses are populated after a successful run.
         timeout_s: per-*attempt* wall-clock limit (None = unlimited).
@@ -131,11 +197,18 @@ class Orchestrator:
             :func:`repro.orchestrator.jobs.execute_job`.  Must be
             importable at module level (it crosses the process boundary).
         include_code: fold :func:`code_fingerprint` into cache keys.
+        pool: ``"warm"`` (persistent workers + shared workload bank,
+            the default) or ``"spawn"`` (fresh process per attempt).
+        recycle_after: jobs one warm worker serves before being
+            replaced by a fresh process (leak backstop).
+        bank_dir: workload-bank directory for warm workers; defaults to
+            ``<run-dir>/bank`` for durable runs, else a temp directory
+            cleaned up after the run.
     """
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache: Optional[ResultCache] = None,
         timeout_s: Optional[float] = None,
         retries: int = 1,
@@ -143,11 +216,16 @@ class Orchestrator:
         runner: Callable[[JobSpec], SimulationResult] = execute_job,
         include_code: bool = True,
         mp_context: Optional[str] = None,
+        pool: str = "warm",
+        recycle_after: int = DEFAULT_RECYCLE_AFTER,
+        bank_dir=None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
+            raise ValueError('jobs must be >= 1 or "auto"')
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
         self.jobs = jobs
         self.cache = cache
         self.timeout_s = timeout_s
@@ -155,6 +233,9 @@ class Orchestrator:
         self.backoff_s = backoff_s
         self.runner = runner
         self.include_code = include_code
+        self.pool = pool
+        self.recycle_after = recycle_after
+        self.bank_dir = bank_dir
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -193,9 +274,27 @@ class Orchestrator:
         if manifest is not None and telemetry_path is None:
             telemetry_path = manifest.run_dir / "telemetry.jsonl"
 
+        merged_estimates: Dict[str, float] = (
+            manifest.wall_estimates() if manifest is not None else {}
+        )
+        if estimates:
+            merged_estimates.update(estimates)
+        jobs = self.jobs
+        if jobs == "auto":
+            jobs = auto_jobs(
+                pending=len(specs),
+                estimates={
+                    label: merged_estimates[label]
+                    for label in (spec.describe() for spec in specs)
+                    if label in merged_estimates
+                },
+                memory_per_job_bytes=estimate_job_memory(specs),
+            )
+        self.jobs = jobs  #: resolved count (telemetry reports it)
+
         telemetry = RunTelemetry(
             path=telemetry_path, progress=progress, stream=stream,
-            workers=self.jobs,
+            workers=jobs,
         )
         keys = [spec.key(include_code=self.include_code) for spec in specs]
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -212,15 +311,23 @@ class Orchestrator:
             else:
                 pending.append(_Pending(index=index, attempt=1, ready_at=0.0))
 
-        pending = self._lpt_order(pending, specs, manifest, estimates)
+        pending = self._lpt_order(pending, specs, None, merged_estimates)
+        backend, cleanup = self._make_backend(manifest)
         try:
-            self._drive(specs, keys, outcomes, pending, manifest, telemetry)
-        except BaseException:
-            # Ctrl-C (or any other teardown) must not leave the
-            # telemetry stream truncated mid-run: flush a terminal
-            # summary marked aborted, then let the interrupt propagate.
-            telemetry.summary(aborted=True)
-            raise
+            try:
+                self._drive(specs, keys, outcomes, pending, manifest,
+                            telemetry, backend)
+            except BaseException:
+                # Any teardown — Ctrl-C, or a fatal worker-startup error
+                # from the warm pool — must not leave the telemetry
+                # stream truncated mid-run: flush a terminal summary
+                # marked aborted, then let the failure propagate.
+                telemetry.summary(aborted=True)
+                raise
+        finally:
+            backend.shutdown()
+            if cleanup is not None:
+                cleanup()
 
         report = OrchestrationReport(outcomes=[o for o in outcomes])
         report.summary = telemetry.summary()
@@ -234,25 +341,47 @@ class Orchestrator:
 
     # ------------------------------------------------------------------
 
-    def _lpt_order(self, pending, specs, manifest, estimates):
+    def _make_backend(self, manifest):
+        """Build the execution backend; returns ``(backend, cleanup)``."""
+        if self.pool == "spawn":
+            return SpawnBackend(self._ctx, self.runner), None
+        bank_root = self.bank_dir
+        cleanup = None
+        if bank_root is None:
+            if manifest is not None:
+                # Durable runs keep their bank: entry keys fold in the
+                # code fingerprint, so resumes reuse still-valid blobs.
+                bank_root = manifest.run_dir / "bank"
+            else:
+                import shutil
+                import tempfile
+
+                bank_root = tempfile.mkdtemp(prefix="repro-bank-")
+                cleanup = lambda: shutil.rmtree(bank_root, ignore_errors=True)
+        backend = WarmPoolBackend(
+            self._ctx, self.runner, bank_root=bank_root,
+            recycle_after=self.recycle_after,
+        )
+        return backend, cleanup
+
+    def _lpt_order(self, pending, specs, manifest,
+                   estimates: Optional[Mapping[str, float]]):
         """Longest-estimated-first launch order over the pending queue.
 
         With parallel workers, launching the long poles first bounds the
         makespan (classic LPT scheduling); launching them last can leave
         every worker but one idle behind a straggler.  Estimates come
-        from the manifest's prior-run wall-clock telemetry, overridden
+        from the run manifest's prior-run wall-clock telemetry, overridden
         by any caller-provided map.  The sort is stable: unestimated
         jobs keep input order at the front, estimated ones follow
         longest-first.
         """
-        if len(pending) < 2:
-            return pending
         merged: Dict[str, float] = (
             manifest.wall_estimates() if manifest is not None else {}
         )
         if estimates:
             merged.update(estimates)
-        if not merged:
+        if len(pending) < 2 or not merged:
             return pending
         unknown = float("inf")
         return deque(sorted(
@@ -326,21 +455,16 @@ class Orchestrator:
 
     # ------------------------------------------------------------------
 
-    def _launch(self, spec: JobSpec, item: _Pending, now: float) -> _Running:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_worker_entry,
-            args=(child_conn, self.runner, spec.to_dict()),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()  # parent keeps only the read end
+    def _launch(self, backend, spec: JobSpec, item: _Pending,
+                now: float) -> _Running:
+        process, conn, worker = backend.launch(spec.to_dict())
         deadline = now + self.timeout_s if self.timeout_s else float("inf")
         return _Running(index=item.index, attempt=item.attempt,
-                        process=process, conn=parent_conn,
-                        started=now, deadline=deadline)
+                        process=process, conn=conn,
+                        started=now, deadline=deadline, worker=worker)
 
-    def _drive(self, specs, keys, outcomes, pending, manifest, telemetry):
+    def _drive(self, specs, keys, outcomes, pending, manifest, telemetry,
+               backend):
         """The scheduling loop: launch, poll, retry, finalise."""
         running: List[_Running] = []
         attempt_wall: Dict[int, float] = {}  # index -> wall over attempts
@@ -393,23 +517,15 @@ class Orchestrator:
 
         try:
             self._drive_loop(specs, pending, running, telemetry, settle,
-                             outcomes, keys, manifest, attempt_wall)
+                             outcomes, keys, attempt_wall, backend, manifest)
         except BaseException:
-            # Interrupted mid-run: reap every in-flight worker so a
-            # Ctrl-C never strands orphaned simulator processes.
-            for slot in running:
-                if slot.process.is_alive():
-                    slot.process.terminate()
-            for slot in running:
-                slot.process.join(5.0)
-                if slot.process.is_alive():
-                    slot.process.kill()
-                    slot.process.join()
-                slot.conn.close()
+            # Interrupted mid-run (or the pool failed fatally): reap
+            # every in-flight worker so nothing is left orphaned.
+            backend.abort(running)
             raise
 
     def _drive_loop(self, specs, pending, running, telemetry, settle,
-                    outcomes, keys, manifest, attempt_wall):
+                    outcomes, keys, attempt_wall, backend, manifest):
         while pending or running:
             now = time.monotonic()
 
@@ -421,7 +537,9 @@ class Orchestrator:
                     if item.ready_at > now:
                         held.append(item)
                         continue
-                    running.append(self._launch(specs[item.index], item, now))
+                    running.append(
+                        self._launch(backend, specs[item.index], item, now)
+                    )
                     telemetry.job_started()
                 pending.extend(held)
 
@@ -434,15 +552,15 @@ class Orchestrator:
             progressed = False
             for slot in list(running):
                 payload = None
+                delivered = False
                 if slot.conn.poll():
                     try:
                         payload = slot.conn.recv()
+                        delivered = payload is not None
                     except (EOFError, OSError):
                         payload = None
-                    slot.process.join()
                 elif slot.process.exitcode is not None:
                     # Worker died; drain any message that raced the exit.
-                    slot.process.join()
                     if slot.conn.poll():
                         try:
                             payload = slot.conn.recv()
@@ -450,19 +568,14 @@ class Orchestrator:
                             payload = None
                     if payload is None:
                         running.remove(slot)
-                        slot.conn.close()
-                        settle(slot, "worker crashed (exit code "
-                               f"{slot.process.exitcode})")
+                        exitcode = slot.process.exitcode
+                        backend.retire_dead(slot)
+                        settle(slot, f"worker crashed (exit code {exitcode})")
                         progressed = True
                         continue
                 elif now > slot.deadline:
-                    slot.process.terminate()
-                    slot.process.join(5.0)
-                    if slot.process.is_alive():
-                        slot.process.kill()
-                        slot.process.join()
                     running.remove(slot)
-                    slot.conn.close()
+                    backend.kill(slot)
                     settle(slot, f"timeout after {self.timeout_s}s")
                     progressed = True
                     continue
@@ -470,12 +583,19 @@ class Orchestrator:
                     continue  # still working
 
                 running.remove(slot)
-                slot.conn.close()
                 progressed = True
                 if payload is None or payload.get("status") != "ok":
+                    # A delivered error payload came from a worker that
+                    # caught the job's exception and (in warm mode) keeps
+                    # serving; a broken channel means the worker is gone.
+                    if delivered:
+                        backend.retire_ok(slot)
+                    else:
+                        backend.retire_dead(slot)
                     error = (payload or {}).get("error", "worker crashed")
                     settle(slot, error, payload)
                     continue
+                backend.retire_ok(slot)
                 last_wall = settle(slot, None)
                 index = slot.index
                 result = SimulationResult.from_dict(payload["result"])
@@ -489,7 +609,24 @@ class Orchestrator:
                                was_running=True, busy_wall=last_wall)
 
             if not progressed:
-                time.sleep(0.005)
+                # Block until some worker ships a payload (or dies — a
+                # dead child's pipe end becomes readable too) instead of
+                # sleeping a fixed poll interval: small jobs settle the
+                # moment they finish.  The timeout keeps deadline and
+                # backoff bookkeeping responsive.
+                wait_s = 0.05
+                nearest = min(slot.deadline for slot in running)
+                if nearest != float("inf"):
+                    wait_s = min(wait_s, max(0.0, nearest - now))
+                mp_connection.wait(
+                    [slot.conn for slot in running], timeout=wait_s
+                )
 
 
-__all__ = ["JobOutcome", "OrchestrationReport", "Orchestrator"]
+__all__ = [
+    "JobOutcome",
+    "OrchestrationReport",
+    "Orchestrator",
+    "auto_jobs",
+    "estimate_job_memory",
+]

@@ -18,7 +18,7 @@ integer operation instead of a per-byte generator.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro import fastpath
 from repro.util.bitops import CACHELINE_BYTES
@@ -28,6 +28,26 @@ from repro.util.rng import splitmix64
 #: workloads are a few thousand distinct lines; 65536 entries cover them
 #: while capping memory at ~6 MiB.
 _KEYSTREAM_CACHE_ENTRIES = 65536
+
+#: When not ``None``, scramblers adopt a process-wide keystream memo
+#: shared per boot seed.  Keystreams are pure functions of
+#: ``(seed, address)``, so sharing cannot change a single scrambled
+#: byte — it only spares warm sweep workers regenerating the same
+#: streams for every grid point of a workload.
+_shared_registry: Optional[Dict[int, Dict[int, Tuple[bytes, int]]]] = None
+
+
+def enable_shared_caches() -> None:
+    """Share keystream memos between same-seed scramblers."""
+    global _shared_registry
+    if _shared_registry is None:
+        _shared_registry = {}
+
+
+def disable_shared_caches() -> None:
+    """Return to per-scrambler keystream memos."""
+    global _shared_registry
+    _shared_registry = None
 
 
 class DataScrambler:
@@ -46,6 +66,10 @@ class DataScrambler:
         #: pure function of the address, so the eviction policy is
         #: invisible to results and LRU bookkeeping would be pure tax.
         self._keystreams: Dict[int, Tuple[bytes, int]] = {}
+        if _shared_registry is not None:
+            self._keystreams = _shared_registry.setdefault(
+                self._seed, self._keystreams
+            )
         self.perf_keystream = fastpath.CacheCounters()
 
     @property

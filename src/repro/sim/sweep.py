@@ -6,12 +6,15 @@ metric, tabulate.  This module packages that loop with deterministic
 ordering and flat-file export so sweeps are scriptable and diffable.
 
 Execution is delegated to :mod:`repro.orchestrator` whenever the sweep
-asks for parallelism (``jobs > 1``), an on-disk result cache
-(``cache_dir``) or a resumable run directory (``run_dir``); grid points
-become :class:`repro.orchestrator.JobSpec` objects and run in isolated
-worker processes.  The plain ``jobs=1`` path without cache/run dir is
-the original in-process serial loop, and both paths yield byte-identical
-CSV output for the same grid and seeds.
+asks for parallelism (``jobs > 1``, or the default ``jobs="auto"``
+resolving above 1), an on-disk result cache (``cache_dir``) or a
+resumable run directory (``run_dir``); grid points become
+:class:`repro.orchestrator.JobSpec` objects and run in isolated worker
+processes — by default a persistent *warm* pool sharing workload-bank
+traces and pure memo caches between grid points (``pool="spawn"``
+restores one fresh process per attempt).  The plain ``jobs=1`` path
+without cache/run dir is the original in-process serial loop, and all
+paths yield byte-identical CSV output for the same grid and seeds.
 """
 
 from __future__ import annotations
@@ -140,13 +143,15 @@ def run_sweep(
     scale: ExperimentScale = FAST_SCALE,
     parameter_grid: Optional[Mapping[str, Sequence[object]]] = None,
     apply_parameters: Optional[Callable[..., dict]] = None,
-    jobs: int = 1,
+    jobs="auto",
     cache_dir=None,
     run_dir=None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
     progress: bool = False,
     obs=None,
+    pool: str = "warm",
+    recycle_after: Optional[int] = None,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
 
@@ -159,8 +164,16 @@ def run_sweep(
         apply_parameters: maps one grid assignment to keyword arguments
             for :func:`repro.sim.runner.run_benchmark`; defaults to
             passing the assignment through unchanged.
-        jobs: worker processes; ``1`` without ``cache_dir``/``run_dir``
-            keeps the original in-process serial loop.
+        jobs: worker processes, or ``"auto"`` (the default) to size from
+            the machine (:func:`repro.orchestrator.auto_jobs`); an
+            explicit integer always wins.  ``1`` without
+            ``cache_dir``/``run_dir`` keeps the original in-process
+            serial loop, as does ``"auto"`` when it resolves to 1.
+        pool: worker strategy for orchestrated sweeps — ``"warm"``
+            (persistent workers + shared workload bank, the default) or
+            ``"spawn"`` (one fresh process per attempt).
+        recycle_after: jobs one warm worker serves before being replaced
+            (``None`` keeps the orchestrator default).
         cache_dir: content-addressed result cache directory — re-running
             a sweep only simulates new grid points.
         run_dir: durable run directory (manifest + telemetry + results);
@@ -192,6 +205,18 @@ def run_sweep(
         else [{}]
     )
     translate = apply_parameters if apply_parameters is not None else (lambda **kw: kw)
+
+    if jobs == "auto" and cache_dir is None and run_dir is None:
+        # Size the pool before deciding between the serial fast path and
+        # orchestration: a single-worker ephemeral sweep gains nothing
+        # from process isolation, so "auto" resolving to 1 stays
+        # in-process (byte-identical either way).
+        from repro.orchestrator import auto_jobs
+
+        total = (
+            len(benchmarks) * len(systems) * len(seeds) * len(assignments)
+        )
+        jobs = auto_jobs(pending=total)
 
     if jobs == 1 and cache_dir is None and run_dir is None:
         sweep = Sweep(parameter_keys=grid_keys)
@@ -237,12 +262,17 @@ def run_sweep(
         "jobs": jobs,
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "obs": asdict(obs) if obs is not None else None,
+        "pool": pool,
     }
+    pool_kwargs = {"pool": pool}
+    if recycle_after is not None:
+        pool_kwargs["recycle_after"] = recycle_after
     orchestrator = Orchestrator(
         jobs=jobs,
         cache=ResultCache(cache_dir) if cache_dir is not None else None,
         timeout_s=timeout_s,
         retries=retries,
+        **pool_kwargs,
     )
     report = orchestrator.run(
         specs, run_dir=run_dir, run_spec=run_spec, progress=progress

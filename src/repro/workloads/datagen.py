@@ -104,6 +104,26 @@ class DataModel:
     def engine(self) -> CompressionEngine:
         return self._engine
 
+    def adopt_shared_caches(
+        self,
+        content: Dict[Tuple[int, int], bytes],
+        flips: Dict[int, Tuple[int, int]],
+        classes: Dict[Tuple[int, int], bool] = None,
+    ) -> None:
+        """Swap the pure memo caches for shared (cross-model) dicts.
+
+        Every entry these caches hold is a pure function of
+        ``(seed, profile, line, version)``, so two models constructed
+        with the same seed and profile may share them freely: a warm
+        worker running several jobs of one workload then generates each
+        line's content once instead of once per job.  The mutable
+        per-run state (``_versions``) is never shared.
+        """
+        self._content_cache = content
+        self._flip_cache = flips
+        if classes is not None and self._class_cache is not None:
+            self._class_cache = classes
+
     # ------------------------------------------------------------------
     # Versioning
     # ------------------------------------------------------------------

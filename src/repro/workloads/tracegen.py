@@ -80,6 +80,11 @@ class CompositeDataModel:
         #: the region count and line addresses repeat constantly.
         self._model_cache: dict = {}
 
+    @property
+    def regions(self) -> Sequence[Tuple[int, int, DataModel]]:
+        """The ``(base, size, model)`` regions, sorted by base."""
+        return tuple(self._regions)
+
     def _model_for_line(self, line_address: int) -> DataModel:
         model = self._model_cache.get(line_address)
         if model is not None:
@@ -166,6 +171,36 @@ def build_workload(
 ) -> WorkloadInstance:
     """Instantiate a named benchmark (rate mode) or mix workload.
 
+    When a :class:`repro.workloads.bank.WorkloadBank` is installed in
+    this process (warm sweep workers), the instance is replayed
+    zero-copy from the bank's columnar blob — the same records the
+    generator below would produce, materialized once per distinct
+    ``(name, cores, records, seed, footprint_scale)`` and shared across
+    every job of the sweep.  Without a bank this generates in-process.
+    """
+    from repro.workloads import bank
+
+    provider = bank.active_bank()
+    if provider is not None:
+        return provider.workload(
+            name=name, cores=cores, records_per_core=records_per_core,
+            seed=seed, footprint_scale=footprint_scale,
+        )
+    return generate_workload(
+        name, cores=cores, records_per_core=records_per_core, seed=seed,
+        footprint_scale=footprint_scale,
+    )
+
+
+def generate_workload(
+    name: str,
+    cores: int = 8,
+    records_per_core: int = 20000,
+    seed: int = 2018,
+    footprint_scale: float = 1.0,
+) -> WorkloadInstance:
+    """Instantiate a workload by direct generation (never via a bank).
+
     Rate mode (Section V): all cores run the same benchmark in disjoint
     address regions.  Mixes assign ``MIX_BENCHMARKS[name]`` round-robin.
     ``footprint_scale`` shrinks or grows every region — used to keep
@@ -178,15 +213,41 @@ def build_workload(
     if footprint_scale <= 0:
         raise ValueError("footprint_scale must be positive")
 
+    profiles = resolve_profiles(name, cores)
+    regions = layout_regions(profiles, footprint_scale)
+
+    traces: List[Iterator[TraceRecord]] = []
+    rng = DeterministicRng(seed)
+    for core_id, (profile, (base, size)) in enumerate(zip(profiles, regions)):
+        core_seed = rng.fork(core_id).next_u64()
+        generator = TraceGenerator(profile, base, size, core_seed)
+        traces.append(generator.records(records_per_core))
+
+    return WorkloadInstance(
+        name=name,
+        profiles=list(profiles),
+        traces=traces,
+        data_model=build_data_model(profiles, regions, seed),
+        region_bases=[base for base, __ in regions],
+        region_sizes=[size for __, size in regions],
+    )
+
+
+def resolve_profiles(name: str, cores: int) -> List[BenchmarkProfile]:
+    """Per-core profile assignment: rate mode or round-robin mixes."""
     if name in MIX_BENCHMARKS:
         per_core = [get_profile(n) for n in MIX_BENCHMARKS[name]]
         if cores != len(per_core):
             # Round-robin the mix definition over the requested cores.
             per_core = [per_core[i % len(per_core)] for i in range(cores)]
-        profiles = per_core
-    else:
-        profiles = [get_profile(name)] * cores
+        return per_core
+    return [get_profile(name)] * cores
 
+
+def layout_regions(
+    profiles: Sequence[BenchmarkProfile], footprint_scale: float
+) -> List[Tuple[int, int]]:
+    """Disjoint per-core ``(base, size)`` regions for the given profiles."""
     page_aligned = 1 << 22  # 4 MB region alignment keeps pages disjoint
     regions: List[Tuple[int, int]] = []
     cursor = 0
@@ -197,24 +258,23 @@ def build_workload(
         base = _align_up(cursor, page_aligned)
         regions.append((base, size))
         cursor = base + size
+    return regions
 
+
+def build_data_model(
+    profiles: Sequence[BenchmarkProfile],
+    regions: Sequence[Tuple[int, int]],
+    seed: int,
+) -> CompositeDataModel:
+    """The composite content model over per-core regions.
+
+    Model seeds derive from ``seed ^ crc32(profile name)``
+    (process-stable, unlike ``hash(str)``), so a model rebuilt from a
+    bank header is indistinguishable from the generator's.
+    """
     models: List[Tuple[int, int, DataModel]] = []
-    traces: List[Iterator[TraceRecord]] = []
-    rng = DeterministicRng(seed)
-    for core_id, (profile, (base, size)) in enumerate(zip(profiles, regions)):
-        core_seed = rng.fork(core_id).next_u64()
-        # zlib.crc32 is stable across processes (unlike hash(str)).
+    for profile, (base, size) in zip(profiles, regions):
         name_digest = _stable_name_hash(profile.name)
         model = DataModel(profile.data, seed=seed ^ name_digest)
         models.append((base, size, model))
-        generator = TraceGenerator(profile, base, size, core_seed)
-        traces.append(generator.records(records_per_core))
-
-    return WorkloadInstance(
-        name=name,
-        profiles=list(profiles),
-        traces=traces,
-        data_model=CompositeDataModel(models),
-        region_bases=[base for base, __ in regions],
-        region_sizes=[size for __, size in regions],
-    )
+    return CompositeDataModel(models)
