@@ -275,9 +275,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_list(args: argparse.Namespace) -> int:
+    """Print the metric catalog (no simulation)."""
+    from repro.obs import METRIC_CATALOG
+
+    rows = [
+        [spec.name, spec.kind, spec.unit, spec.description]
+        for spec in METRIC_CATALOG
+    ]
+    print(format_table(
+        ["metric", "kind", "unit", "description"], rows,
+        title="Observable metrics (cumulative columns are stored as "
+              "per-epoch deltas)",
+    ))
+    return 0
+
+
+def _metrics_plot(args: argparse.Namespace, obs) -> int:
+    """Render the observed run's time series to an image file."""
+    from repro.obs.plot import PlotUnavailable, render_timeseries
+
+    out = args.out or f"{args.benchmark}.{args.system}.metrics.png"
+    try:
+        path = render_timeseries(
+            obs, out,
+            title=f"{args.benchmark} on {args.system} "
+                  f"(epoch = {args.obs_epoch:.0f} bus cycles)",
+        )
+    except PlotUnavailable as exc:
+        print(f"plotting unavailable: {exc}")
+        return 1
+    print(f"wrote {obs.num_epochs} epochs across "
+          f"{len(obs.columns) - 1} series to {path}")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Dump the per-epoch time series of one observed run."""
     from repro.obs import Observability
+
+    if args.action == "list":
+        return _metrics_list(args)
 
     hub = Observability(_obs_config_from_args(args, trace=False))
     result = run_benchmark(
@@ -285,6 +323,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         seed=args.seed, obs=hub,
     )
     obs = result.obs
+
+    if args.plot:
+        return _metrics_plot(args, obs)
 
     if args.csv:
         import csv as csv_module
@@ -483,6 +524,114 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
     return 1 if sweep.failures else 0
 
 
+def _cluster_agent(args: argparse.Namespace) -> int:
+    from repro.cluster.agent import AgentServer, parse_listen
+    from repro.orchestrator.workers import DEFAULT_RECYCLE_AFTER
+
+    host, port = parse_listen(args.listen)
+    server = AgentServer(
+        host=host, port=port, jobs=args.jobs, pool=args.pool,
+        recycle_after=(args.recycle_after if args.recycle_after is not None
+                       else DEFAULT_RECYCLE_AFTER),
+        cache_dir=args.cache_dir, name=args.name, once=args.once,
+    )
+    server.bind()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cluster_sweep(args: argparse.Namespace) -> int:
+    from repro.cluster import connect_cluster
+    from repro.orchestrator import ResultCache
+    from repro.sim.sweep import run_sweep
+
+    backend = connect_cluster(
+        args.hosts,
+        agent_jobs=args.agent_jobs,
+        agent_pool=args.pool,
+        cache=(ResultCache(args.cache_dir)
+               if args.cache_dir is not None else None),
+    )
+    sweep = run_sweep(
+        benchmarks=list(args.benchmarks),
+        systems=list(args.systems),
+        seeds=list(args.seeds) if args.seeds else [args.seed],
+        scale=_scale_from_args(args),
+        jobs=max(1, backend.total_slots()),
+        cache_dir=args.cache_dir,
+        run_dir=args.run_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=args.progress,
+        obs=_grid_obs(args),
+        pool=backend,
+    )
+    csv_text = sweep.to_csv(metrics=list(args.metrics))
+    if args.output == "-":
+        print(csv_text, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote {len(sweep.points)} rows to {args.output}")
+    rows = [
+        [link.name, link.address, str(link.served)]
+        for link in backend.agents()
+    ]
+    print(format_table(
+        ["agent", "address", "jobs served"], rows,
+        title=f"cluster: {len(rows)} agent(s), "
+              f"{backend.redispatched} re-dispatched, "
+              f"{backend.speculated} speculated",
+    ))
+    _report_failures(sweep)
+    return 1 if sweep.failures else 0
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterError, agent_status, parse_hosts
+
+    failures = 0
+    rows = []
+    for spec in parse_hosts(args.hosts):
+        if spec.kind != "dial":
+            print(f"status needs HOST:PORT entries, got {spec.describe()}")
+            failures += 1
+            continue
+        try:
+            reply = agent_status(spec.host, spec.port)
+        except (OSError, ClusterError) as exc:
+            rows.append([spec.describe(), "unreachable", "-", "-", "-"])
+            print(f"{spec.describe()}: {exc}")
+            failures += 1
+            continue
+        rows.append([
+            reply.get("name", spec.describe()),
+            "listening",
+            str(reply.get("slots", "-")),
+            str(reply.get("served", "-")),
+            str(reply.get("cache_hits", "-")),
+        ])
+    print(format_table(
+        ["agent", "state", "slots", "served", "cache hits"], rows,
+        title=f"cluster status: {len(rows)} agent(s)",
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    handlers = {
+        "agent": _cluster_agent,
+        "sweep": _cluster_sweep,
+        "status": _cluster_status,
+    }
+    return handlers[args.cluster_command](args)
+
+
 def _run_grid_with_scale(args, scale, run_dir):
     from repro.sim.sweep import run_sweep
 
@@ -597,12 +746,27 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="dump the per-epoch observability time series"
     )
     _add_common(metrics_parser)
+    metrics_parser.add_argument(
+        "action", nargs="?", choices=("list",), default=None,
+        help="'list' prints the metric catalog (names, kinds, units) "
+             "without simulating",
+    )
     metrics_parser.add_argument("--system", choices=SYSTEMS,
                                 default="attache")
     metrics_parser.add_argument(
         "--csv", default=None,
         help="write all columns as CSV to this path ('-' for stdout) "
              "instead of the rendered table",
+    )
+    metrics_parser.add_argument(
+        "--plot", action="store_true",
+        help="render the time series as an image (needs matplotlib; "
+             "falls back to the Agg backend on headless machines)",
+    )
+    metrics_parser.add_argument(
+        "--out", default=None,
+        help="image path for --plot "
+             "(default <benchmark>.<system>.metrics.png)",
     )
     _add_obs(metrics_parser)
 
@@ -636,6 +800,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="RUN_DIR", default=None,
         help="resume an interrupted/failed run from its run directory "
              "(grid and scale come from its run.json)",
+    )
+
+    cluster_parser = commands.add_parser(
+        "cluster",
+        help="distributed sweeps over remote worker agents",
+    )
+    cluster_commands = cluster_parser.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    agent_parser = cluster_commands.add_parser(
+        "agent", help="serve jobs for a remote coordinator"
+    )
+    agent_parser.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="bind address (port 0 lets the OS choose; the agent "
+             "announces the resolved port on stdout)",
+    )
+    agent_parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="local worker slots this agent offers",
+    )
+    agent_parser.add_argument(
+        "--pool", choices=["warm", "spawn"], default="warm",
+        help="local execution backend behind the agent",
+    )
+    agent_parser.add_argument(
+        "--recycle-after", type=_positive_int, default=None,
+        help="jobs a warm worker serves before being replaced",
+    )
+    agent_parser.add_argument(
+        "--cache-dir", default=None,
+        help="agent-local result cache (enables cache federation)",
+    )
+    agent_parser.add_argument("--name", default=None,
+                              help="agent name in manifests/telemetry "
+                                   "(default hostname:port)")
+    agent_parser.add_argument(
+        "--once", action="store_true",
+        help="exit after serving one coordinator session",
+    )
+
+    cluster_sweep_parser = cluster_commands.add_parser(
+        "sweep", help="run a sweep grid across remote agents"
+    )
+    _add_common(cluster_sweep_parser)
+    _add_grid(cluster_sweep_parser)
+    cluster_sweep_parser.add_argument(
+        "--hosts", nargs="+", required=True, metavar="HOST",
+        help="agents: HOST:PORT (already running), 'local' (launch a "
+             "loopback agent) or ssh://user@host (launch over SSH)",
+    )
+    cluster_sweep_parser.add_argument(
+        "--agent-jobs", type=_positive_int, default=1,
+        help="worker slots per agent this sweep launches (dialed "
+             "agents keep their own --jobs)",
+    )
+    cluster_sweep_parser.add_argument(
+        "--output", default="-", help="CSV path, or '-' for stdout"
+    )
+
+    cluster_status_parser = cluster_commands.add_parser(
+        "status", help="query running agents"
+    )
+    cluster_status_parser.add_argument(
+        "--hosts", nargs="+", required=True, metavar="HOST:PORT",
+        help="agents to query (HOST:PORT only)",
     )
     return parser
 
@@ -717,6 +948,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "sweep": _cmd_sweep,
         "orchestrate": _cmd_orchestrate,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,379 @@
+"""The cluster agent: a remote worker process serving dispatched jobs.
+
+One agent = one machine's worth of simulation capacity.  It listens on
+TCP, pairs with one coordinator at a time (handshake: protocol version
++ code fingerprint), and serves ``job`` messages by running them through
+the same local execution backends the single-machine orchestrator uses
+(:mod:`repro.orchestrator.workers` — a warm pool by default, so agents
+keep memo caches and workload-bank traces hot across grid points).
+
+Fault model, from the agent's side:
+
+* a *job* failure (exception in the simulator) ships an ``error``
+  message with the traceback and RNG snapshot — the coordinator's
+  retry/crash-dump machinery treats it exactly like a local failure;
+* a *worker* death (segfault, OOM-kill) ships an ``error`` naming the
+  exit code; the local pool replaces the worker lazily;
+* a *coordinator* death (socket EOF, or silence past the session
+  timeout) aborts in-flight work and returns the agent to listening —
+  a resumed coordinator pairs with it again and the run's manifest
+  resume machinery skips whatever already completed.
+
+Start one with ``repro cluster agent --listen HOST:PORT``; the agent
+announces ``repro-agent listening on HOST:PORT`` on stdout so SSH and
+loopback launchers can scrape the bound port (``--listen host:0``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import socket as socket_module
+import tempfile
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import util as mp_util
+from typing import Dict, Optional
+
+from repro.cluster import protocol
+from repro.cluster.federation import HIT_FULL, HIT_SEEDED, AgentCache
+from repro.cluster.transport import (
+    ConnectionClosed,
+    FrameChannel,
+    TransportError,
+    listen,
+)
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.jobs import code_fingerprint, execute_job
+from repro.orchestrator.workers import (
+    DEFAULT_RECYCLE_AFTER,
+    SpawnBackend,
+    WarmPoolBackend,
+    WorkerStartupError,
+)
+from repro.sim.simulator import SimulationResult
+
+#: Seconds of total coordinator silence (no jobs, no pings) after which
+#: the agent declares the coordinator dead and recycles the session.
+DEFAULT_SESSION_TIMEOUT_S = 60.0
+
+
+@dataclass
+class _LocalJob:
+    """One dispatched job running in a local worker process."""
+
+    job_id: str
+    key: str
+    process: object
+    conn: object
+    worker: object
+    started: float
+    label: str = ""
+
+
+@dataclass
+class AgentStats:
+    """Lifetime counters reported by ``repro cluster status``."""
+
+    served: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    sessions: int = 0
+
+
+class AgentServer:
+    """Listens for a coordinator and serves its jobs until told to stop."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        pool: str = "warm",
+        recycle_after: int = DEFAULT_RECYCLE_AFTER,
+        cache_dir=None,
+        name: Optional[str] = None,
+        once: bool = False,
+        session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S,
+        announce=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.pool = pool
+        self.recycle_after = recycle_after
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.name = name
+        self.once = once
+        self.session_timeout_s = session_timeout_s
+        self.stats = AgentStats()
+        self._announce = announce if announce is not None else print
+        self._listener = None
+        self._session_channel = None
+        self._stopping = False
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        # Forked worker children inherit the listener and the session
+        # socket.  If they kept those FDs, a SIGKILLed agent would never
+        # EOF its coordinator (the workers still hold the connection
+        # open) and dead-agent detection would degrade to the heartbeat
+        # timeout.  Drop the duplicates the moment a worker forks.
+        mp_util.register_after_fork(self, AgentServer._drop_fds_in_child)
+
+    @staticmethod
+    def _drop_fds_in_child(server: "AgentServer") -> None:
+        """Runs in freshly forked worker processes, never the agent."""
+        if server._listener is not None:
+            try:
+                server._listener.close()
+            except OSError:
+                pass
+        if server._session_channel is not None:
+            server._session_channel.drop_fd()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self):
+        """Bind the listening socket and announce the resolved address."""
+        self._listener, (host, port) = listen(self.host, self.port)
+        self.port = port
+        if self.name is None:
+            self.name = f"{socket_module.gethostname()}:{port}"
+        # Launchers (ssh.py) scrape this exact line for the bound port.
+        self._announce(f"repro-agent listening on {host}:{port}", flush=True)
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Accept coordinator sessions until shut down."""
+        if self._listener is None:
+            self.bind()
+        try:
+            while not self._stopping:
+                try:
+                    sock, _addr = self._listener.accept()
+                except OSError:
+                    break  # listener closed under us
+                channel = FrameChannel(sock)
+                self._session_channel = channel
+                try:
+                    self._handle_session(channel)
+                except (ConnectionClosed, TransportError):
+                    pass  # peer vanished mid-handshake; keep listening
+                finally:
+                    self._session_channel = None
+                    channel.close()
+                if self.once and self.stats.sessions:
+                    break
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    # -- sessions -------------------------------------------------------
+
+    def _handle_session(self, channel: FrameChannel) -> None:
+        opening = channel.recv(timeout=10.0)
+        if opening.get("role") == "status":
+            channel.send(protocol.status_reply(
+                name=self.name, slots=self.jobs, inflight=0,
+                served=self.stats.served, cache_hits=self.stats.cache_hits,
+                pid=os.getpid(),
+            ))
+            return
+        reason = protocol.mismatch_reason(opening, code_fingerprint())
+        if reason is not None:
+            channel.send(protocol.reject(reason))
+            return
+        channel.send(protocol.welcome(
+            code=code_fingerprint(), name=self.name, slots=self.jobs,
+            pid=os.getpid(), has_cache=self.cache is not None,
+        ))
+        self.stats.sessions += 1
+        self._serve_jobs(channel)
+
+    def _make_backend(self):
+        """A per-session local execution backend (warm pool by default)."""
+        if self.pool == "spawn":
+            return SpawnBackend(self._ctx, execute_job), None
+        bank_root = tempfile.mkdtemp(prefix="repro-agent-bank-")
+        cleanup = lambda: shutil.rmtree(bank_root, ignore_errors=True)
+        backend = WarmPoolBackend(
+            self._ctx, execute_job, bank_root=bank_root,
+            recycle_after=self.recycle_after,
+        )
+        return backend, cleanup
+
+    def _serve_jobs(self, channel: FrameChannel) -> None:
+        backend, cleanup = self._make_backend()
+        agent_cache = AgentCache(self.cache)
+        inflight: Dict[str, _LocalJob] = {}
+        last_heard = time.monotonic()
+        try:
+            while True:
+                waitables = [channel] + [job.conn for job in inflight.values()]
+                ready = mp_connection.wait(waitables, timeout=0.25)
+                now = time.monotonic()
+                if channel in ready:
+                    last_heard = now
+                    try:
+                        message = channel.recv(timeout=5.0)
+                    except ConnectionClosed:
+                        break  # coordinator is gone; recycle the session
+                    if not self._dispatch(message, channel, backend,
+                                          agent_cache, inflight):
+                        break
+                for job in list(inflight.values()):
+                    if job.conn in ready:
+                        self._complete(job, channel, backend, agent_cache,
+                                       inflight)
+                if (not inflight
+                        and now - last_heard > self.session_timeout_s):
+                    break  # silent coordinator: assume it died
+        except ConnectionClosed:
+            pass
+        finally:
+            # Whatever ended the session, no local worker may survive it
+            # orphaned — the coordinator re-dispatches in-flight work.
+            try:
+                backend.abort(list(inflight.values()))
+            except Exception:
+                pass
+            backend.shutdown()
+            if cleanup is not None:
+                cleanup()
+
+    # -- message handling ----------------------------------------------
+
+    def _dispatch(self, message: dict, channel, backend, agent_cache,
+                  inflight) -> bool:
+        """Handle one coordinator message; False ends the session."""
+        kind = message.get("kind")
+        if kind == "ping":
+            channel.send(protocol.pong(message.get("seq", 0)))
+            return True
+        if kind == "seed":
+            agent_cache.seed(message.get("keys", ()))
+            return True
+        if kind == "cancel":
+            job = inflight.pop(message.get("id"), None)
+            if job is not None:
+                backend.kill(job)
+            return True
+        if kind == "job":
+            self._start_job(message, channel, backend, agent_cache, inflight)
+            return True
+        if kind == "bye":
+            return False
+        if kind == "shutdown":
+            self._stopping = True
+            return False
+        # Unknown kinds are ignored, not fatal: a newer coordinator may
+        # send advisory messages an older agent can safely skip (the
+        # handshake already guarantees the *core* vocabulary matches).
+        return True
+
+    def _start_job(self, message, channel, backend, agent_cache,
+                   inflight) -> None:
+        job_id = message["id"]
+        key = message["key"]
+        payload = message["job"]
+        status, cached_result = agent_cache.lookup(key)
+        if status == HIT_SEEDED:
+            self.stats.served += 1
+            self.stats.cache_hits += 1
+            channel.send(protocol.result_ref(job_id, key, self.name))
+            return
+        if status == HIT_FULL:
+            self.stats.served += 1
+            self.stats.cache_hits += 1
+            channel.send(protocol.result(
+                job_id, key, cached_result.to_dict(), agent=self.name,
+                wall_s=0.0, cached=True,
+            ))
+            return
+        try:
+            process, conn, worker = backend.launch(payload)
+        except WorkerStartupError as exc:
+            self.stats.errors += 1
+            channel.send(protocol.error(
+                job_id, key, self.name, f"agent could not start worker: {exc}"
+            ))
+            return
+        inflight[job_id] = _LocalJob(
+            job_id=job_id, key=key, process=process, conn=conn,
+            worker=worker, started=time.monotonic(),
+            label=str(payload.get("benchmark", "")),
+        )
+
+    def _complete(self, job: _LocalJob, channel, backend, agent_cache,
+                  inflight) -> None:
+        """One local worker's pipe is readable: ship its outcome."""
+        payload = None
+        try:
+            if job.conn.poll():
+                payload = job.conn.recv()
+        except (EOFError, OSError):
+            payload = None
+        if payload is None and job.process.exitcode is None:
+            return  # spurious wakeup; the worker is still going
+        inflight.pop(job.job_id, None)
+        wall = time.monotonic() - job.started
+        if payload is None:
+            exitcode = job.process.exitcode
+            backend.retire_dead(job)
+            self.stats.errors += 1
+            channel.send(protocol.error(
+                job.job_id, job.key, self.name,
+                f"worker crashed (exit code {exitcode})",
+            ))
+            return
+        if payload.get("status") == "ok":
+            backend.retire_ok(job)
+            self.stats.served += 1
+            agent_cache.store(
+                job.key,
+                SimulationResult.from_dict(payload["result"]),
+                label=job.label,
+            )
+            channel.send(protocol.result(
+                job.job_id, job.key, payload["result"], agent=self.name,
+                wall_s=wall, cached=False,
+            ))
+        else:
+            backend.retire_ok(job)  # the worker survived the exception
+            self.stats.errors += 1
+            channel.send(protocol.error(
+                job.job_id, job.key, self.name,
+                payload.get("error", "worker error"),
+                traceback_text=payload.get("traceback"),
+                rng=payload.get("rng"),
+                fastpath=payload.get("fastpath"),
+            ))
+
+
+def parse_listen(text: str):
+    """``HOST:PORT`` (port may be 0 to let the OS choose)."""
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--listen expects HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
+__all__ = [
+    "DEFAULT_SESSION_TIMEOUT_S",
+    "AgentServer",
+    "AgentStats",
+    "parse_listen",
+]

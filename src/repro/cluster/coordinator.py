@@ -1,0 +1,522 @@
+"""The cluster coordinator: a pool backend made of remote agents.
+
+:class:`ClusterBackend` implements the same execution-backend interface
+as ``SpawnBackend``/``WarmPoolBackend`` (launch / retire / kill / abort
+/ shutdown / wait), so it slots directly behind ``Orchestrator.run`` —
+manifests, telemetry, result caching, crash dumps, ``--resume``,
+per-job timeouts and retries all behave identically whether a job ran
+in a local process or on a machine across the network.
+
+What the backend adds on top of the local ones:
+
+* **dead-agent re-dispatch** — a reader thread per agent notices EOF
+  (and a heartbeat thread notices silence); every unsettled job whose
+  only copy ran on the dead agent is transparently re-sent to a
+  surviving agent.  The orchestrator never sees the failure, so the
+  job's retry budget is spent on *job* failures, not transport ones.
+  Only when no agent survives does the job settle as an error.
+* **speculative re-dispatch** — once at most ``speculate`` jobs remain
+  unsettled (the tail of the sweep), each one older than
+  ``speculate_after_s`` is duplicated onto an idle agent; the first
+  copy to finish wins and the loser is cancelled.  Results are
+  deterministic, so either copy is byte-identical.
+* **cache federation** — seeded keys and ``result_ref`` handling (see
+  :mod:`repro.cluster.federation`); freshly landed results are
+  broadcast as new seeds so agents stop shipping payloads the
+  coordinator already holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster import protocol
+from repro.cluster.federation import known_keys
+from repro.cluster.transport import ConnectionClosed, FrameChannel, TransportError
+from repro.cluster.transport import connect as transport_connect
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.jobs import JobSpec, code_fingerprint
+from repro.orchestrator.workers import WorkerStartupError
+
+#: Default seconds between heartbeat pings.
+DEFAULT_HEARTBEAT_S = 2.0
+#: Default silence (no pong, result or any other traffic) after which an
+#: agent is declared dead.  Generous relative to the ping interval: a
+#: hard-killed process closes its socket and is caught by EOF long
+#: before this fires — the timeout only catches hung hosts/partitions.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
+#: Default tail size for speculative re-dispatch.
+DEFAULT_SPECULATE = 2
+#: Default age before an unsettled tail job is worth duplicating.
+DEFAULT_SPECULATE_AFTER_S = 2.0
+
+
+class AgentLink:
+    """Coordinator-side handle on one paired agent."""
+
+    def __init__(self, channel: FrameChannel, name: str, slots: int,
+                 address: str, process=None) -> None:
+        self.channel = channel
+        self.name = name
+        self.slots = slots
+        self.address = address
+        #: Popen of an auto-launched agent (None when we just dialed in).
+        self.process = process
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.inflight: set = set()
+        self.served = 0
+        self.reader: Optional[threading.Thread] = None
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self.inflight)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<AgentLink {self.name} {state} {len(self.inflight)} inflight>"
+
+
+class _ClusterJob:
+    """One dispatched grid point; doubles as the pool's process+conn."""
+
+    def __init__(self, job_id: str, key: str, payload: dict) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.payload = payload
+        self.links: set = set()  #: agents currently running a copy
+        self.mailbox: Optional[dict] = None
+        self.settled = False
+        self.started = time.monotonic()
+
+    # -- the pool's "conn" interface -----------------------------------
+
+    def poll(self) -> bool:
+        return self.mailbox is not None
+
+    def recv(self) -> dict:
+        if self.mailbox is None:
+            raise EOFError("no payload settled for this job yet")
+        return self.mailbox
+
+    def close(self) -> None:
+        pass
+
+    # -- the pool's "process" interface --------------------------------
+
+    @property
+    def exitcode(self):
+        # Transport-level failures settle an error payload instead of
+        # faking a process death, so the scheduling loop only ever sees
+        # "still running" here.
+        return None
+
+
+class ClusterBackend:
+    """Dispatches orchestrator jobs to remote agents over TCP."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        links: Sequence[AgentLink],
+        cache: Optional[ResultCache] = None,
+        include_code: bool = True,
+        speculate: int = DEFAULT_SPECULATE,
+        speculate_after_s: float = DEFAULT_SPECULATE_AFTER_S,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+    ) -> None:
+        if not links:
+            raise WorkerStartupError("a cluster needs at least one agent")
+        self._links = list(links)
+        self._cache = cache
+        self._include_code = include_code
+        self._speculate = speculate
+        self._speculate_after_s = speculate_after_s
+        self._heartbeat_s = heartbeat_s
+        self._heartbeat_timeout_s = heartbeat_timeout_s
+        self._cond = threading.Condition(threading.RLock())
+        self._jobs: Dict[str, _ClusterJob] = {}
+        self._counter = itertools.count(1)
+        self._ping_seq = itertools.count(1)
+        self._closing = False
+        self.redispatched = 0  #: jobs re-sent after an agent died
+        self.speculated = 0    #: duplicate dispatches of tail jobs
+        for link in self._links:
+            link.reader = threading.Thread(
+                target=self._reader, args=(link,),
+                name=f"cluster-reader-{link.name}", daemon=True,
+            )
+            link.reader.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="cluster-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+
+    # -- capacity -------------------------------------------------------
+
+    def total_slots(self) -> int:
+        """Live worker slots across surviving agents (>= 1 for sizing)."""
+        with self._cond:
+            return sum(link.slots for link in self._links if link.alive)
+
+    def agents(self) -> List[AgentLink]:
+        return list(self._links)
+
+    # -- cache federation ----------------------------------------------
+
+    def seed_known(self, keys: Iterable[str]) -> int:
+        """Tell every agent which of *keys* the coordinator cache holds."""
+        known = known_keys(self._cache, keys)
+        if known:
+            self._broadcast_seed(known)
+        return len(known)
+
+    def prepare(self, keys: Iterable[str]) -> None:
+        """Orchestrator pre-run hook: static seed over the whole grid."""
+        self.seed_known(keys)
+
+    def _broadcast_seed(self, keys: List[str],
+                        except_link: Optional[AgentLink] = None) -> None:
+        message = protocol.seed(keys)
+        with self._cond:
+            targets = [l for l in self._links
+                       if l.alive and l is not except_link]
+        for link in targets:
+            try:
+                link.channel.send(message)
+            except ConnectionClosed:
+                self._mark_dead(link)
+
+    # -- backend interface (what the pool's scheduling loop calls) ------
+
+    def launch(self, job_payload: dict) -> Tuple[object, object, object]:
+        key = JobSpec.from_dict(job_payload).key(
+            include_code=self._include_code
+        )
+        with self._cond:
+            job = _ClusterJob(f"j{next(self._counter)}", key, job_payload)
+            self._jobs[job.job_id] = job
+            self._dispatch(job)
+        return job, job, None
+
+    def retire_ok(self, slot) -> None:
+        with self._cond:
+            self._jobs.pop(slot.conn.job_id, None)
+
+    def retire_dead(self, slot) -> None:
+        # Unreachable in practice (exitcode is always None) but kept for
+        # interface completeness.
+        self.retire_ok(slot)
+
+    def kill(self, slot) -> None:
+        """Per-job timeout: cancel every copy on every agent."""
+        job = slot.conn
+        with self._cond:
+            job.settled = True  # late results are dropped, not delivered
+            self._jobs.pop(job.job_id, None)
+            links = list(job.links)
+            job.links.clear()
+        for link in links:
+            link.inflight.discard(job.job_id)
+            if link.alive:
+                try:
+                    link.channel.send(protocol.cancel(job.job_id))
+                except ConnectionClosed:
+                    self._mark_dead(link)
+
+    def abort(self, running) -> None:
+        """Interrupted mid-run: drop every job and tear the links down."""
+        with self._cond:
+            for job in self._jobs.values():
+                job.settled = True
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """End of run: close sessions; stop agents we auto-launched."""
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            links = list(self._links)
+            self._cond.notify_all()
+        for link in links:
+            if link.alive:
+                try:
+                    # Owned agents exit entirely; dialed agents just end
+                    # the session and keep listening for the next run.
+                    link.channel.send(
+                        protocol.shutdown() if link.process is not None
+                        else protocol.bye()
+                    )
+                except ConnectionClosed:
+                    pass
+            link.channel.close()
+        for link in links:
+            if link.reader is not None:
+                link.reader.join(timeout=5.0)
+            if link.process is not None:
+                try:
+                    link.process.wait(timeout=10.0)
+                except Exception:
+                    link.process.kill()
+                    link.process.wait()
+        self._heartbeat_thread.join(timeout=self._heartbeat_s + 5.0)
+
+    def wait(self, conns, timeout: Optional[float]) -> list:
+        """Block until some dispatched job settles (or *timeout*)."""
+        with self._cond:
+            ready = [conn for conn in conns if conn.poll()]
+            if ready or self._closing:
+                return ready
+            self._cond.wait(timeout)
+            return [conn for conn in conns if conn.poll()]
+
+    # -- dispatch and routing ------------------------------------------
+
+    def _pick_link(self, exclude=()) -> AgentLink:
+        with self._cond:
+            candidates = [l for l in self._links
+                          if l.alive and l not in exclude]
+            if not candidates:
+                raise WorkerStartupError("no surviving cluster agents")
+            idle = [l for l in candidates if l.free_slots > 0]
+            # Prefer idle capacity; oversubscribe the least-loaded agent
+            # when a death shrank the cluster below the pool size.
+            pool = idle or candidates
+            return max(pool, key=lambda l: (l.free_slots, -len(l.inflight)))
+
+    def _dispatch(self, job: _ClusterJob,
+                  exclude: Sequence[AgentLink] = ()) -> AgentLink:
+        """Send one copy of *job* to the best surviving agent."""
+        excluded = set(exclude)
+        while True:
+            link = self._pick_link(exclude=excluded)
+            try:
+                link.channel.send(
+                    protocol.job(job.job_id, job.key, job.payload)
+                )
+            except ConnectionClosed:
+                self._mark_dead(link)
+                excluded.add(link)
+                continue
+            link.inflight.add(job.job_id)
+            job.links.add(link)
+            return link
+
+    def _payload_from(self, link: AgentLink, message: dict) -> dict:
+        kind = message["kind"]
+        if kind == "result":
+            return {
+                "status": "ok",
+                "result": message["result"],
+                "agent": message.get("agent", link.name),
+                "cached": bool(message.get("cached")),
+            }
+        if kind == "result_ref":
+            cached = (
+                self._cache.get(message["key"])
+                if self._cache is not None else None
+            )
+            if cached is None:
+                return {
+                    "status": "error",
+                    "error": "agent answered with a seeded cache "
+                             "reference but the coordinator cache has "
+                             f"no entry for {message['key'][:12]}…",
+                    "agent": message.get("agent", link.name),
+                }
+            return {
+                "status": "ok",
+                "result": cached.to_dict(),
+                "agent": message.get("agent", link.name),
+                "cached": True,
+            }
+        payload = {
+            "status": "error",
+            "error": message.get("error", "agent error"),
+            "agent": message.get("agent", link.name),
+        }
+        for field in ("traceback", "rng", "fastpath"):
+            if field in message:
+                payload[field] = message[field]
+        return payload
+
+    def _on_outcome(self, link: AgentLink, message: dict) -> None:
+        job_id = message.get("id")
+        with self._cond:
+            link.last_seen = time.monotonic()
+            link.inflight.discard(job_id)
+            link.served += 1
+            job = self._jobs.get(job_id)
+            if job is None or job.settled:
+                return  # a cancelled copy finished anyway; drop it
+            job.settled = True
+            job.mailbox = self._payload_from(link, message)
+            losers = [l for l in job.links if l is not link]
+            job.links.clear()
+            self._cond.notify_all()
+        for loser in losers:
+            loser.inflight.discard(job_id)
+            if loser.alive:
+                try:
+                    loser.channel.send(protocol.cancel(job_id))
+                except ConnectionClosed:
+                    self._mark_dead(loser)
+        if (self._cache is not None
+                and job.mailbox.get("status") == "ok"
+                and not job.mailbox.get("cached")):
+            # The orchestrator stores this result in the coordinator
+            # cache as it settles; seed the other agents so a future
+            # local hit on this key ships a reference, not a payload.
+            self._broadcast_seed([job.key], except_link=link)
+
+    # -- failure handling ----------------------------------------------
+
+    def _mark_dead(self, link: AgentLink) -> None:
+        with self._cond:
+            if not link.alive:
+                return
+            link.alive = False
+            link.inflight.clear()
+            link.channel.close()
+            if self._closing:
+                return
+            orphans = [
+                job for job in self._jobs.values()
+                if not job.settled and link in job.links
+            ]
+            for job in orphans:
+                job.links.discard(link)
+                if job.links:
+                    continue  # a speculative copy still runs elsewhere
+                try:
+                    self._dispatch(job)
+                    self.redispatched += 1
+                except WorkerStartupError:
+                    job.settled = True
+                    job.mailbox = {
+                        "status": "error",
+                        "error": f"agent {link.name} died and no agent "
+                                 "survives to re-run the job",
+                        "agent": link.name,
+                    }
+            self._cond.notify_all()
+
+    def _reader(self, link: AgentLink) -> None:
+        """Per-agent receive loop (runs until the link dies)."""
+        while True:
+            try:
+                message = link.channel.recv()
+            except (ConnectionClosed, TransportError, OSError):
+                break
+            kind = message.get("kind")
+            if kind == "pong":
+                link.last_seen = time.monotonic()
+            elif kind in ("result", "result_ref", "error"):
+                self._on_outcome(link, message)
+            # anything else from an agent is advisory; ignore
+        self._mark_dead(link)
+
+    def _heartbeat_loop(self) -> None:
+        while True:
+            time.sleep(self._heartbeat_s)
+            with self._cond:
+                if self._closing:
+                    return
+                links = [l for l in self._links if l.alive]
+            now = time.monotonic()
+            for link in links:
+                if now - link.last_seen > self._heartbeat_timeout_s:
+                    self._mark_dead(link)
+                    continue
+                try:
+                    link.channel.send(protocol.ping(next(self._ping_seq)))
+                except ConnectionClosed:
+                    self._mark_dead(link)
+            self._maybe_speculate()
+
+    def _maybe_speculate(self) -> None:
+        """Duplicate the last few stragglers onto idle agents."""
+        if self._speculate <= 0:
+            return
+        now = time.monotonic()
+        with self._cond:
+            unsettled = [j for j in self._jobs.values() if not j.settled]
+            if not unsettled or len(unsettled) > self._speculate:
+                return
+            for job in sorted(unsettled, key=lambda j: j.started):
+                if now - job.started < self._speculate_after_s:
+                    continue
+                candidates = [
+                    l for l in self._links
+                    if l.alive and l.free_slots > 0 and l not in job.links
+                ]
+                if not candidates:
+                    continue
+                try:
+                    self._dispatch(job, exclude=job.links)
+                    self.speculated += 1
+                except WorkerStartupError:
+                    return
+
+
+# ----------------------------------------------------------------------
+# Pairing
+# ----------------------------------------------------------------------
+
+def pair_agent(host: str, port: int, process=None,
+               timeout: float = 15.0) -> AgentLink:
+    """Dial one agent, run the handshake, return the live link."""
+    channel = transport_connect(host, port, timeout=timeout)
+    code = code_fingerprint()
+    try:
+        channel.send(protocol.hello(code))
+        greeting = channel.recv(timeout=timeout)
+        protocol.check_peer(greeting, "welcome", code)
+    except (ConnectionClosed, TransportError, OSError) as exc:
+        channel.close()
+        raise protocol.ClusterError(
+            f"agent {host}:{port} unreachable during handshake: {exc}"
+        ) from exc
+    except protocol.HandshakeError:
+        channel.close()
+        raise
+    return AgentLink(
+        channel=channel, name=greeting.get("name", f"{host}:{port}"),
+        slots=int(greeting.get("slots", 1)), address=f"{host}:{port}",
+        process=process,
+    )
+
+
+def agent_status(host: str, port: int, timeout: float = 10.0) -> dict:
+    """One agent's ``status_reply`` (for ``repro cluster status``)."""
+    channel = transport_connect(host, port, timeout=timeout)
+    try:
+        channel.send(protocol.status_request())
+        reply = channel.recv(timeout=timeout)
+    finally:
+        channel.close()
+    if reply.get("kind") != "status_reply":
+        raise protocol.ClusterError(
+            f"unexpected status answer from {host}:{port}: "
+            f"{reply.get('kind')!r}"
+        )
+    return reply
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
+    "DEFAULT_SPECULATE",
+    "DEFAULT_SPECULATE_AFTER_S",
+    "AgentLink",
+    "ClusterBackend",
+    "agent_status",
+    "pair_agent",
+]

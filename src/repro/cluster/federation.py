@@ -1,0 +1,92 @@
+"""Cache federation: every agent's ResultCache joins one population.
+
+Three rules make the cluster's caches behave like a single logical
+cache without any shared filesystem:
+
+1. **Agents consult their local cache first.**  A dispatched job whose
+   key the agent already holds is answered without simulating — sweeps
+   that re-run on the same cluster converge to pure cache traffic.
+2. **Misses flow back to the coordinator.**  Every simulated result is
+   stored in the agent's local cache *and* shipped to the coordinator,
+   whose orchestrator stores it in the coordinator cache — so the next
+   run served from the coordinator skips those points entirely.
+3. **The coordinator seeds agents with known-hit keys.**  At session
+   start (and as results land during the run) the coordinator tells
+   agents which keys its own cache already holds.  An agent-side hit on
+   a seeded key is answered with a :func:`~repro.cluster.protocol.result_ref`
+   — just the key, no payload — and the coordinator rehydrates the
+   result from its own cache.  Only cold points simulate, and warm
+   points never ship megabytes twice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.orchestrator.cache import ResultCache
+from repro.sim.simulator import SimulationResult
+
+#: Lookup outcomes of :meth:`AgentCache.lookup`.
+MISS = "miss"
+HIT_FULL = "hit"       #: local hit, coordinator needs the payload
+HIT_SEEDED = "hit_ref"  #: local hit on a seeded key, send only the key
+
+
+class AgentCache:
+    """The agent's view of federation: local cache + seeded key set."""
+
+    def __init__(self, cache: Optional[ResultCache]) -> None:
+        self.cache = cache
+        self.seeded: Set[str] = set()
+        self.hits = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache is not None
+
+    def seed(self, keys: Iterable[str]) -> None:
+        self.seeded.update(keys)
+
+    def lookup(self, key: str) -> Tuple[str, Optional[SimulationResult]]:
+        """Classify one dispatched key against the local cache."""
+        if self.cache is None:
+            return MISS, None
+        result = self.cache.get(key)
+        if result is None:
+            return MISS, None
+        self.hits += 1
+        if key in self.seeded:
+            return HIT_SEEDED, result
+        return HIT_FULL, result
+
+    def store(self, key: str, result: SimulationResult,
+              label: str = "") -> None:
+        """Record a freshly simulated result (best-effort, never fatal)."""
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, result, meta={"job": label, "via": "agent"})
+        except OSError:
+            pass  # a full disk must not fail the job that just succeeded
+
+
+def known_keys(cache: Optional[ResultCache],
+               keys: Iterable[str]) -> List[str]:
+    """The subset of *keys* the coordinator cache already holds.
+
+    This is the static seed sent at session start.  It is computed over
+    the run's grid rather than by walking the whole cache directory —
+    seeds stay proportional to the sweep, not to cache history.
+    """
+    if cache is None:
+        return []
+    return [key for key in keys if key in cache]
+
+
+__all__ = [
+    "HIT_FULL",
+    "HIT_SEEDED",
+    "MISS",
+    "AgentCache",
+    "known_keys",
+]

@@ -1,0 +1,209 @@
+"""The coordinator <-> agent message vocabulary and handshake rules.
+
+All messages are flat JSON objects with a ``kind`` field, shipped as
+length-prefixed frames (:mod:`repro.cluster.transport`).  The protocol
+is deliberately small:
+
+Coordinator -> agent
+    ``hello``     open a session (protocol version + code fingerprint)
+    ``seed``      keys the coordinator's result cache already holds
+    ``job``       dispatch one grid point (id + JobSpec payload)
+    ``cancel``    stop one in-flight job (timeout or lost speculation)
+    ``ping``      heartbeat probe
+    ``bye``       end the session (agent keeps listening)
+    ``shutdown``  end the session AND exit the agent process
+
+Agent -> coordinator
+    ``welcome``      handshake accepted (slots, name, fingerprints)
+    ``reject``       handshake refused (version/fingerprint mismatch)
+    ``result``       one job's full ``SimulationResult`` payload
+    ``result_ref``   the job hit the agent cache on a *seeded* key — the
+                     coordinator already holds the payload, so only the
+                     key crosses the wire (cache federation)
+    ``error``        one job failed (error + traceback + RNG snapshot)
+    ``pong``         heartbeat reply
+    ``status_reply`` agent introspection for ``repro cluster status``
+
+Handshake contract: a session only opens when both ends run the same
+``PROTOCOL_VERSION`` *and* the same :func:`code_fingerprint`.  The
+version gate keeps incompatible message vocabularies from talking past
+each other; the fingerprint gate is the same guarantee the result cache
+makes — an agent running different simulator source would return
+results the coordinator's grid digest could never reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Bump on any message-vocabulary change; mismatched ends refuse to pair.
+PROTOCOL_VERSION = 1
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster-layer failures."""
+
+
+class HandshakeError(ClusterError):
+    """The two ends cannot pair (version or code fingerprint mismatch)."""
+
+
+# ----------------------------------------------------------------------
+# Message constructors (kept as functions so every field is spelled once)
+# ----------------------------------------------------------------------
+
+def hello(code: str, role: str = "coordinator") -> dict:
+    return {"kind": "hello", "protocol": PROTOCOL_VERSION, "code": code,
+            "role": role}
+
+
+def welcome(code: str, name: str, slots: int, pid: int,
+            has_cache: bool) -> dict:
+    return {"kind": "welcome", "protocol": PROTOCOL_VERSION, "code": code,
+            "name": name, "slots": slots, "pid": pid,
+            "has_cache": has_cache}
+
+
+def reject(reason: str) -> dict:
+    return {"kind": "reject", "reason": reason}
+
+
+def seed(keys: Iterable[str]) -> dict:
+    return {"kind": "seed", "keys": sorted(keys)}
+
+
+def job(job_id: str, key: str, payload: dict) -> dict:
+    return {"kind": "job", "id": job_id, "key": key, "job": payload}
+
+
+def cancel(job_id: str) -> dict:
+    return {"kind": "cancel", "id": job_id}
+
+
+def result(job_id: str, key: str, payload: dict, agent: str,
+           wall_s: float, cached: bool) -> dict:
+    return {"kind": "result", "id": job_id, "key": key, "result": payload,
+            "agent": agent, "wall_s": round(wall_s, 6), "cached": cached}
+
+
+def result_ref(job_id: str, key: str, agent: str) -> dict:
+    return {"kind": "result_ref", "id": job_id, "key": key, "agent": agent}
+
+
+def error(job_id: str, key: str, agent: str, message: str,
+          traceback_text: Optional[str] = None,
+          rng: Optional[dict] = None,
+          fastpath: Optional[bool] = None) -> dict:
+    out: Dict[str, object] = {
+        "kind": "error", "id": job_id, "key": key, "agent": agent,
+        "error": message,
+    }
+    if traceback_text is not None:
+        out["traceback"] = traceback_text
+    if rng is not None:
+        out["rng"] = rng
+    if fastpath is not None:
+        out["fastpath"] = fastpath
+    return out
+
+
+def ping(sequence: int) -> dict:
+    return {"kind": "ping", "seq": sequence}
+
+
+def pong(sequence: int) -> dict:
+    return {"kind": "pong", "seq": sequence}
+
+
+def bye() -> dict:
+    return {"kind": "bye"}
+
+
+def shutdown() -> dict:
+    return {"kind": "shutdown"}
+
+
+def status_request() -> dict:
+    return {"kind": "hello", "protocol": PROTOCOL_VERSION, "code": None,
+            "role": "status"}
+
+
+def status_reply(name: str, slots: int, inflight: int, served: int,
+                 cache_hits: int, pid: int) -> dict:
+    return {"kind": "status_reply", "name": name, "slots": slots,
+            "inflight": inflight, "served": served,
+            "cache_hits": cache_hits, "pid": pid,
+            "protocol": PROTOCOL_VERSION}
+
+
+# ----------------------------------------------------------------------
+# Handshake validation (used by both ends)
+# ----------------------------------------------------------------------
+
+def check_peer(message: dict, expected_kind: str,
+               local_code: Optional[str]) -> None:
+    """Validate the other end's opening message or raise HandshakeError.
+
+    ``local_code=None`` skips the fingerprint comparison (status probes
+    don't execute jobs, so code identity is irrelevant to them).
+    """
+    kind = message.get("kind")
+    if kind == "reject":
+        raise HandshakeError(
+            f"peer rejected the session: {message.get('reason')}"
+        )
+    if kind != expected_kind:
+        raise HandshakeError(
+            f"expected {expected_kind!r} during handshake, got {kind!r}"
+        )
+    peer_protocol = message.get("protocol")
+    if peer_protocol != PROTOCOL_VERSION:
+        raise HandshakeError(
+            f"protocol version mismatch: local {PROTOCOL_VERSION}, "
+            f"peer {peer_protocol}"
+        )
+    if local_code is not None:
+        peer_code = message.get("code")
+        if peer_code != local_code:
+            raise HandshakeError(
+                "code fingerprint mismatch: the peer runs different "
+                f"simulator source (local {str(local_code)[:12]}…, peer "
+                f"{str(peer_code)[:12]}…); results would not be "
+                "reproducible — update both ends to the same tree"
+            )
+
+
+def mismatch_reason(message: dict, local_code: str) -> Optional[str]:
+    """Why a ``hello`` cannot be accepted, or ``None`` if it can."""
+    if message.get("kind") != "hello":
+        return f"expected 'hello', got {message.get('kind')!r}"
+    if message.get("protocol") != PROTOCOL_VERSION:
+        return (f"protocol version mismatch: agent {PROTOCOL_VERSION}, "
+                f"coordinator {message.get('protocol')}")
+    if message.get("role") == "coordinator" and message.get("code") != local_code:
+        return "code fingerprint mismatch"
+    return None
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterError",
+    "HandshakeError",
+    "bye",
+    "cancel",
+    "check_peer",
+    "error",
+    "hello",
+    "job",
+    "mismatch_reason",
+    "ping",
+    "pong",
+    "reject",
+    "result",
+    "result_ref",
+    "seed",
+    "shutdown",
+    "status_reply",
+    "status_request",
+    "welcome",
+]

@@ -27,9 +27,12 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    METRIC_CATALOG,
+    MetricSpec,
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    find_metric,
 )
 from repro.obs.timeseries import OBS_SCHEMA_VERSION, ObsRecord, TimeSeriesSampler
 from repro.obs.tracer import EventTracer
@@ -96,6 +99,8 @@ __all__ = [
     "EventTracer",
     "Gauge",
     "Histogram",
+    "METRIC_CATALOG",
+    "MetricSpec",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
@@ -105,4 +110,5 @@ __all__ = [
     "Observability",
     "TimeSeriesSampler",
     "as_observability",
+    "find_metric",
 ]

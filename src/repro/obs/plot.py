@@ -1,0 +1,88 @@
+"""Render an observed run's per-epoch time series with matplotlib.
+
+matplotlib is an *optional* dependency: this module imports it lazily
+inside :func:`render_timeseries`, forces the non-interactive ``Agg``
+backend when no display is available (headless CI boxes), and raises
+:class:`PlotUnavailable` with an actionable message when the package is
+missing — callers (``repro metrics --plot``) turn that into a clean
+exit instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+
+class PlotUnavailable(RuntimeError):
+    """matplotlib is not importable in this environment."""
+
+
+def _load_matplotlib():
+    try:
+        import matplotlib
+    except ImportError as exc:
+        raise PlotUnavailable(
+            "plotting needs matplotlib, which is not installed "
+            "(pip install matplotlib); the CSV export "
+            "(repro metrics --csv) works without it"
+        ) from exc
+    if not os.environ.get("DISPLAY") and not os.environ.get("MPLBACKEND"):
+        # Headless: writing files never needs a GUI event loop.
+        matplotlib.use("Agg")
+    import matplotlib.pyplot as pyplot
+
+    return pyplot
+
+
+def render_timeseries(
+    record,
+    out_path: str,
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Plot *record*'s per-epoch series into *out_path*; returns the path.
+
+    *record* is a :class:`repro.obs.ObsRecord`.  *columns* selects which
+    series to draw (default: every column except the ``cycle`` axis),
+    one stacked subplot per column so differently-scaled series stay
+    readable.
+    """
+    pyplot = _load_matplotlib()
+    cycles = record.series("cycle")
+    if not cycles:
+        raise ValueError("record has no epochs to plot")
+    names = (
+        [name for name in sorted(record.columns) if name != "cycle"]
+        if columns is None else list(columns)
+    )
+    if not names:
+        raise ValueError("no columns selected to plot")
+    for name in names:
+        if name not in record.columns:
+            raise KeyError(
+                f"unknown column {name!r}; available: "
+                f"{sorted(record.columns)}"
+            )
+
+    figure, axes = pyplot.subplots(
+        len(names), 1, sharex=True,
+        figsize=(8.0, max(2.0, 1.6 * len(names))),
+    )
+    if len(names) == 1:
+        axes = [axes]
+    for axis, name in zip(axes, names):
+        axis.plot(cycles, record.series(name), linewidth=1.0)
+        axis.set_ylabel(name, fontsize=7)
+        axis.tick_params(labelsize=7)
+        axis.grid(True, alpha=0.3)
+    axes[-1].set_xlabel("bus cycle")
+    if title:
+        figure.suptitle(title, fontsize=10)
+    figure.tight_layout()
+    figure.savefig(out_path, dpi=120)
+    pyplot.close(figure)
+    return out_path
+
+
+__all__ = ["PlotUnavailable", "render_timeseries"]

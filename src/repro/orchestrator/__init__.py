@@ -33,6 +33,9 @@ from repro.orchestrator.workers import (
     DEFAULT_RECYCLE_AFTER,
     POOL_MODES,
     WorkerStartupError,
+    available_backends,
+    backend_factory,
+    register_backend,
 )
 
 __all__ = [
@@ -50,9 +53,12 @@ __all__ = [
     "RunTelemetry",
     "WorkerStartupError",
     "auto_jobs",
+    "available_backends",
+    "backend_factory",
     "canonical",
     "code_fingerprint",
     "execute_job",
+    "register_backend",
     "rehydrate",
     "stable_key",
 ]

@@ -36,7 +36,6 @@ import math
 import multiprocessing
 import os
 import time
-from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Union
@@ -48,9 +47,8 @@ from repro.orchestrator.manifest import RunManifest
 from repro.orchestrator.telemetry import RunTelemetry
 from repro.orchestrator.workers import (
     DEFAULT_RECYCLE_AFTER,
-    POOL_MODES,
-    SpawnBackend,
-    WarmPoolBackend,
+    available_backends,
+    backend_factory,
 )
 from repro.sim.simulator import SimulationResult
 
@@ -74,10 +72,12 @@ class JobOutcome:
     wall_s: float = 0.0  #: total worker seconds across attempts
     error: Optional[str] = None
     result: Optional[SimulationResult] = None
-    source: str = "run"  #: "run" | "cache" | "manifest"
+    source: str = "run"  #: "run" | "cache" | "manifest" | "agent-cache"
     #: Path of the final attempt's crash dump (failed jobs in durable
     #: runs only) — the input to ``repro orchestrate replay``.
     crash_dump: Optional[str] = None
+    #: Cluster agent that executed the point (None for local backends).
+    agent: Optional[str] = None
 
 
 @dataclass
@@ -197,8 +197,13 @@ class Orchestrator:
             :func:`repro.orchestrator.jobs.execute_job`.  Must be
             importable at module level (it crosses the process boundary).
         include_code: fold :func:`code_fingerprint` into cache keys.
-        pool: ``"warm"`` (persistent workers + shared workload bank,
-            the default) or ``"spawn"`` (fresh process per attempt).
+        pool: a registered backend name — ``"warm"`` (persistent
+            workers + shared workload bank, the default) or ``"spawn"``
+            (fresh process per attempt) — or an already-constructed
+            backend instance (e.g. a
+            :class:`repro.cluster.ClusterBackend`), which the
+            orchestrator drives through the same launch/poll/retire
+            contract and shuts down at the end of the run.
         recycle_after: jobs one warm worker serves before being
             replaced by a fresh process (leak backstop).
         bank_dir: workload-bank directory for warm workers; defaults to
@@ -216,7 +221,7 @@ class Orchestrator:
         runner: Callable[[JobSpec], SimulationResult] = execute_job,
         include_code: bool = True,
         mp_context: Optional[str] = None,
-        pool: str = "warm",
+        pool: Union[str, object] = "warm",
         recycle_after: int = DEFAULT_RECYCLE_AFTER,
         bank_dir=None,
     ) -> None:
@@ -224,8 +229,11 @@ class Orchestrator:
             raise ValueError('jobs must be >= 1 or "auto"')
         if retries < 0:
             raise ValueError("retries must be >= 0")
-        if pool not in POOL_MODES:
-            raise ValueError(f"pool must be one of {POOL_MODES}, got {pool!r}")
+        if isinstance(pool, str) and pool not in available_backends():
+            raise ValueError(
+                f"pool must be one of {available_backends()} or a backend "
+                f"instance, got {pool!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.timeout_s = timeout_s
@@ -279,6 +287,7 @@ class Orchestrator:
         )
         if estimates:
             merged_estimates.update(estimates)
+        jobs_requested = self.jobs
         jobs = self.jobs
         if jobs == "auto":
             jobs = auto_jobs(
@@ -292,9 +301,14 @@ class Orchestrator:
             )
         self.jobs = jobs  #: resolved count (telemetry reports it)
 
+        backend_kind = (
+            self.pool if isinstance(self.pool, str)
+            else getattr(self.pool, "name", type(self.pool).__name__)
+        )
         telemetry = RunTelemetry(
             path=telemetry_path, progress=progress, stream=stream,
-            workers=jobs,
+            workers=jobs, backend=backend_kind,
+            jobs_requested=jobs_requested,
         )
         keys = [spec.key(include_code=self.include_code) for spec in specs]
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -313,6 +327,12 @@ class Orchestrator:
 
         pending = self._lpt_order(pending, specs, None, merged_estimates)
         backend, cleanup = self._make_backend(manifest)
+        prepare = getattr(backend, "prepare", None)
+        if prepare is not None:
+            # Cache federation: backends that can pre-seed remote caches
+            # (the cluster coordinator) learn the full grid's keys before
+            # the first dispatch.
+            prepare(keys)
         try:
             try:
                 self._drive(specs, keys, outcomes, pending, manifest,
@@ -343,26 +363,11 @@ class Orchestrator:
 
     def _make_backend(self, manifest):
         """Build the execution backend; returns ``(backend, cleanup)``."""
-        if self.pool == "spawn":
-            return SpawnBackend(self._ctx, self.runner), None
-        bank_root = self.bank_dir
-        cleanup = None
-        if bank_root is None:
-            if manifest is not None:
-                # Durable runs keep their bank: entry keys fold in the
-                # code fingerprint, so resumes reuse still-valid blobs.
-                bank_root = manifest.run_dir / "bank"
-            else:
-                import shutil
-                import tempfile
-
-                bank_root = tempfile.mkdtemp(prefix="repro-bank-")
-                cleanup = lambda: shutil.rmtree(bank_root, ignore_errors=True)
-        backend = WarmPoolBackend(
-            self._ctx, self.runner, bank_root=bank_root,
-            recycle_after=self.recycle_after,
-        )
-        return backend, cleanup
+        if not isinstance(self.pool, str):
+            # A pre-built backend instance (e.g. ClusterBackend).  The
+            # orchestrator still owns its shutdown, but not its cleanup.
+            return self.pool, None
+        return backend_factory(self.pool)(self, manifest)
 
     def _lpt_order(self, pending, specs, manifest,
                    estimates: Optional[Mapping[str, float]]):
@@ -436,6 +441,8 @@ class Orchestrator:
                 entry["error"] = outcome.error
             if outcome.crash_dump:
                 entry["crash_dump"] = outcome.crash_dump
+            if outcome.agent:
+                entry["agent"] = outcome.agent
             if (outcome.result is not None
                     and outcome.result.obs is not None):
                 entry["obs"] = outcome.result.obs.summary()
@@ -450,7 +457,7 @@ class Orchestrator:
             status=outcome.status, attempts=outcome.attempts,
             wall_s=outcome.wall_s if busy_wall is None else busy_wall,
             was_running=was_running, error=outcome.error,
-            obs=obs_summary,
+            obs=obs_summary, agent=outcome.agent,
         )
 
     # ------------------------------------------------------------------
@@ -509,6 +516,7 @@ class Orchestrator:
                     spec=spec, key=key, status="failed",
                     attempts=slot.attempt, wall_s=attempt_wall[index],
                     error=failure, crash_dump=dump_path,
+                    agent=(payload or {}).get("agent"),
                 )
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
@@ -602,7 +610,9 @@ class Orchestrator:
                 outcome = JobOutcome(
                     spec=specs[index], key=keys[index], status="done",
                     attempts=slot.attempt, wall_s=attempt_wall[index],
-                    result=result,
+                    result=result, agent=payload.get("agent"),
+                    source=("agent-cache" if payload.get("cached")
+                            else "run"),
                 )
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
@@ -613,12 +623,14 @@ class Orchestrator:
                 # dead child's pipe end becomes readable too) instead of
                 # sleeping a fixed poll interval: small jobs settle the
                 # moment they finish.  The timeout keeps deadline and
-                # backoff bookkeeping responsive.
+                # backoff bookkeeping responsive.  Waiting is delegated
+                # to the backend: local pools use the pipes' file
+                # descriptors, the cluster backend a condition variable.
                 wait_s = 0.05
                 nearest = min(slot.deadline for slot in running)
                 if nearest != float("inf"):
                     wait_s = min(wait_s, max(0.0, nearest - now))
-                mp_connection.wait(
+                backend.wait(
                     [slot.conn for slot in running], timeout=wait_s
                 )
 

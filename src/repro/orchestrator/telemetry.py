@@ -62,11 +62,17 @@ class RunTelemetry:
         stream: Optional[TextIO] = None,
         workers: int = 1,
         clock=time.monotonic,
+        backend: Optional[str] = None,
+        jobs_requested=None,
     ) -> None:
         self._path = path
         self._progress = progress
         self._stream = stream if stream is not None else sys.stderr
         self._workers = workers
+        self._backend = backend
+        #: The caller's pre-resolution worker request (e.g. ``"auto"``);
+        #: ``workers`` is the resolved count.
+        self._jobs_requested = jobs_requested
         self._clock = clock
         self._start = clock()
         self.counters = RunCounters()
@@ -113,11 +119,14 @@ class RunTelemetry:
         was_running: bool,
         error: Optional[str] = None,
         obs: Optional[Dict[str, object]] = None,
+        agent: Optional[str] = None,
     ) -> None:
         """Record one terminal job event (done / failed / cached).
 
         ``obs`` is the job's :meth:`repro.obs.ObsRecord.summary` when the
         run was observed; it rides along in the JSONL record untouched.
+        ``agent`` names the cluster agent that executed the point; local
+        backends leave it None and the record unchanged.
         """
         if was_running:
             self.counters.running -= 1
@@ -143,6 +152,8 @@ class RunTelemetry:
             record["error"] = error
         if obs is not None:
             record["obs"] = obs
+        if agent is not None:
+            record["agent"] = agent
         self._emit(record)
         self._render_progress()
 
@@ -175,6 +186,10 @@ class RunTelemetry:
             ),
             "max_point_wall_s": round(max(walls), 6) if walls else 0.0,
         }
+        if self._backend is not None:
+            record["backend"] = self._backend
+        if self._jobs_requested is not None:
+            record["jobs_requested"] = self._jobs_requested
         self._emit(record)
         if self._progress and self._used_cr:
             self._stream.write("\n")

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass, field
-from typing import List, Optional
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional
 
 from repro import fastpath
 from repro.obs.crashdump import rng_snapshot
@@ -181,6 +182,11 @@ class SpawnBackend:
     def shutdown(self) -> None:
         """Nothing persistent to tear down in spawn mode."""
 
+    @staticmethod
+    def wait(conns, timeout: Optional[float]) -> List[object]:
+        """Block until a pipe is readable (or *timeout* elapses)."""
+        return mp_connection.wait(conns, timeout=timeout)
+
 
 class WarmPoolBackend:
     """Persistent warm workers serving jobs over duplex pipes."""
@@ -307,6 +313,11 @@ class WarmPoolBackend:
         for worker in list(self._workers):
             self._retire_gracefully(worker)
 
+    @staticmethod
+    def wait(conns, timeout: Optional[float]) -> List[object]:
+        """Block until a pipe is readable (or *timeout* elapses)."""
+        return mp_connection.wait(conns, timeout=timeout)
+
 
 def _terminate(process) -> None:
     process.terminate()
@@ -320,10 +331,75 @@ def _join_or_kill(process, grace_s: float = 5.0) -> None:
         process.join()
 
 
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+#
+# The orchestrator resolves its ``pool`` argument against this registry,
+# so new execution backends (e.g. the cluster coordinator) plug in
+# without the scheduling loop knowing them by name.  A factory takes
+# ``(orchestrator, manifest)`` and returns ``(backend, cleanup)`` where
+# ``cleanup`` is a zero-argument callable or None.
+
+_BACKEND_FACTORIES: Dict[str, Callable] = {}
+
+
+def register_backend(name: str, factory: Callable) -> None:
+    """Register a named execution-backend factory."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def backend_factory(name: str) -> Callable:
+    try:
+        return _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pool backend {name!r}; "
+            f"registered: {available_backends()}"
+        ) from None
+
+
+def available_backends():
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def _spawn_factory(orchestrator, manifest):
+    return SpawnBackend(orchestrator._ctx, orchestrator.runner), None
+
+
+def _warm_factory(orchestrator, manifest):
+    bank_root = orchestrator.bank_dir
+    cleanup = None
+    if bank_root is None:
+        if manifest is not None:
+            # Durable runs keep their bank: entry keys fold in the
+            # code fingerprint, so resumes reuse still-valid blobs.
+            bank_root = manifest.run_dir / "bank"
+        else:
+            import shutil
+            import tempfile
+
+            bank_root = tempfile.mkdtemp(prefix="repro-bank-")
+            cleanup = lambda: shutil.rmtree(bank_root, ignore_errors=True)
+    backend = WarmPoolBackend(
+        orchestrator._ctx, orchestrator.runner, bank_root=bank_root,
+        recycle_after=orchestrator.recycle_after,
+    )
+    return backend, cleanup
+
+
+register_backend("spawn", _spawn_factory)
+register_backend("warm", _warm_factory)
+
+
 __all__ = [
     "DEFAULT_RECYCLE_AFTER",
     "POOL_MODES",
     "SpawnBackend",
     "WarmPoolBackend",
     "WorkerStartupError",
+    "available_backends",
+    "backend_factory",
+    "register_backend",
 ]

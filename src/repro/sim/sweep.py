@@ -150,7 +150,7 @@ def run_sweep(
     retries: int = 1,
     progress: bool = False,
     obs=None,
-    pool: str = "warm",
+    pool="warm",
     recycle_after: Optional[int] = None,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
@@ -170,8 +170,11 @@ def run_sweep(
             ``cache_dir``/``run_dir`` keeps the original in-process
             serial loop, as does ``"auto"`` when it resolves to 1.
         pool: worker strategy for orchestrated sweeps — ``"warm"``
-            (persistent workers + shared workload bank, the default) or
-            ``"spawn"`` (one fresh process per attempt).
+            (persistent workers + shared workload bank, the default),
+            ``"spawn"`` (one fresh process per attempt), or a pre-built
+            backend instance such as a
+            :class:`repro.cluster.ClusterBackend` (which forces the
+            orchestrated path even for ``jobs=1``).
         recycle_after: jobs one warm worker serves before being replaced
             (``None`` keeps the orchestrator default).
         cache_dir: content-addressed result cache directory — re-running
@@ -206,7 +209,8 @@ def run_sweep(
     )
     translate = apply_parameters if apply_parameters is not None else (lambda **kw: kw)
 
-    if jobs == "auto" and cache_dir is None and run_dir is None:
+    if jobs == "auto" and cache_dir is None and run_dir is None \
+            and isinstance(pool, str):
         # Size the pool before deciding between the serial fast path and
         # orchestration: a single-worker ephemeral sweep gains nothing
         # from process isolation, so "auto" resolving to 1 stays
@@ -218,7 +222,8 @@ def run_sweep(
         )
         jobs = auto_jobs(pending=total)
 
-    if jobs == 1 and cache_dir is None and run_dir is None:
+    if jobs == 1 and cache_dir is None and run_dir is None \
+            and isinstance(pool, str):
         sweep = Sweep(parameter_keys=grid_keys)
         for benchmark, system, seed, assignment in grid_points(
             benchmarks, systems, seeds, assignments
@@ -262,7 +267,8 @@ def run_sweep(
         "jobs": jobs,
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "obs": asdict(obs) if obs is not None else None,
-        "pool": pool,
+        "pool": pool if isinstance(pool, str)
+                else getattr(pool, "name", type(pool).__name__),
     }
     pool_kwargs = {"pool": pool}
     if recycle_after is not None:

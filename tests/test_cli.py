@@ -93,3 +93,94 @@ class TestCommands:
         assert code == 0
         assert target.exists()
         assert "STREAM" in target.read_text()
+
+
+class TestMetricsCatalog:
+    """`repro metrics list` and `repro metrics --plot` (satellites of
+    the cluster PR: catalog listing + lazy-matplotlib plotting)."""
+
+    SMALL = [
+        "metrics", "--benchmark", "STREAM", "--system", "attache",
+        "--cores", "2", "--records", "300", "--warmup", "0",
+        "--scale-factor", "64",
+    ]
+
+    def test_metrics_list_prints_the_catalog(self, capsys):
+        assert main(["metrics", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes_transferred" in out
+        assert "cumulative" in out
+        assert "histogram" in out
+        # Templated names are listed symbolically, not expanded.
+        assert "subrank<n>_beats" in out
+
+    def test_metrics_list_runs_no_simulation(self, capsys):
+        from repro.obs import METRIC_CATALOG
+
+        assert main(["metrics", "list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        # Pure catalog dump: one row per spec plus table furniture.
+        assert sum(
+            1 for line in lines
+            if any(line.strip().startswith(spec.name)
+                   for spec in METRIC_CATALOG)
+        ) == len(METRIC_CATALOG)
+
+    def test_plot_without_matplotlib_fails_cleanly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import sys
+
+        # None in sys.modules makes `import matplotlib` raise
+        # ImportError — exactly what an uninstalled package does.
+        monkeypatch.setitem(sys.modules, "matplotlib", None)
+        monkeypatch.delitem(sys.modules, "matplotlib.pyplot",
+                            raising=False)
+        out = tmp_path / "plot.png"
+        code = main(self.SMALL + ["--plot", "--out", str(out)])
+        assert code == 1
+        assert "matplotlib" in capsys.readouterr().out
+        assert not out.exists()
+
+    def test_plot_writes_the_image(self, tmp_path, monkeypatch, capsys):
+        self._install_fake_matplotlib(monkeypatch)
+        out = tmp_path / "plot.png"
+        code = main(self.SMALL + ["--plot", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "epochs" in capsys.readouterr().out
+
+    @staticmethod
+    def _install_fake_matplotlib(monkeypatch):
+        """A savefig-only matplotlib double (the real one is optional)."""
+        import sys
+        import types
+
+        class _Axis:
+            def __getattr__(self, _name):
+                return lambda *args, **kwargs: None
+
+        class _Figure:
+            def suptitle(self, *args, **kwargs):
+                pass
+
+            def tight_layout(self):
+                pass
+
+            def savefig(self, path, **kwargs):
+                with open(path, "wb") as handle:
+                    handle.write(b"\x89PNG fake")
+
+        pyplot = types.ModuleType("matplotlib.pyplot")
+
+        def subplots(nrows, ncols, **kwargs):
+            axes = [_Axis() for _ in range(nrows)]
+            return _Figure(), (axes if nrows > 1 else axes[0])
+
+        pyplot.subplots = subplots
+        pyplot.close = lambda figure: None
+        matplotlib = types.ModuleType("matplotlib")
+        matplotlib.use = lambda backend: None
+        matplotlib.pyplot = pyplot
+        monkeypatch.setitem(sys.modules, "matplotlib", matplotlib)
+        monkeypatch.setitem(sys.modules, "matplotlib.pyplot", pyplot)

@@ -1,0 +1,491 @@
+"""Tests for the cluster subsystem: transport, handshake, federation,
+scheduling, and end-to-end digest equality against local execution.
+
+The contract under test is the ISSUE's acceptance bar: a sweep run over
+remote agents must produce a grid digest byte-identical to the same
+sweep run through the local warm pool — including when an agent is
+killed mid-run and its jobs are transparently re-dispatched.
+"""
+
+import hashlib
+import queue
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.cluster import connect_cluster, protocol
+from repro.cluster.agent import AgentServer, parse_listen
+from repro.cluster.coordinator import AgentLink, ClusterBackend
+from repro.cluster.federation import (
+    HIT_FULL,
+    HIT_SEEDED,
+    MISS,
+    AgentCache,
+    known_keys,
+)
+from repro.cluster.ssh import parse_host
+from repro.cluster.transport import (
+    ConnectionClosed,
+    FrameChannel,
+    TransportError,
+)
+from repro.energy import EnergyReport
+from repro.orchestrator import JobSpec, Orchestrator
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.jobs import code_fingerprint
+from repro.sim.runner import ExperimentScale
+from repro.sim.simulator import SimulationResult
+
+SCALE = ExperimentScale(name="cluster-test", factor=64, cores=2,
+                        records_per_core=80, warmup_per_core=20)
+
+
+def _spec(benchmark="STREAM", system="baseline", seed=1):
+    return JobSpec(benchmark=benchmark, system=system, seed=seed,
+                   scale=SCALE)
+
+
+def _synthetic_result(marker=1.0):
+    return SimulationResult(
+        system="baseline", workload="STREAM",
+        runtime_core_cycles=marker, runtime_bus_cycles=1.0,
+        instructions=1, llc_misses=0, llc_accesses=1,
+        memory_requests_by_kind={}, forwarded_reads=0, bytes_transferred=0,
+        mean_read_latency_bus_cycles=0.0,
+        energy=EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+        row_buffer_outcomes={},
+    )
+
+
+def _channel_pair():
+    left, right = socket.socketpair()
+    return FrameChannel(left), FrameChannel(right)
+
+
+# ----------------------------------------------------------------------
+# Transport framing
+# ----------------------------------------------------------------------
+
+class TestTransport:
+    def test_round_trip(self):
+        a, b = _channel_pair()
+        message = {"kind": "job", "id": "j1", "nested": {"x": [1, 2, 3]},
+                   "text": "métadonnées"}
+        a.send(message)
+        assert b.recv(timeout=5.0) == message
+        a.close()
+        b.close()
+
+    def test_frames_queue_in_order(self):
+        a, b = _channel_pair()
+        for index in range(5):
+            a.send({"seq": index})
+        assert [b.recv(timeout=5.0)["seq"] for _ in range(5)] == [
+            0, 1, 2, 3, 4
+        ]
+        a.close()
+        b.close()
+
+    def test_eof_raises_connection_closed(self):
+        a, b = _channel_pair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv(timeout=5.0)
+        b.close()
+
+    def test_oversized_incoming_frame_rejected(self):
+        from repro.cluster.transport import MAX_FRAME_BYTES
+
+        left, right = socket.socketpair()
+        channel = FrameChannel(right)
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(TransportError, match="exceeds cap"):
+            channel.recv(timeout=5.0)
+        left.close()
+        channel.close()
+
+    def test_oversized_outgoing_frame_rejected(self, monkeypatch):
+        import repro.cluster.transport as transport
+
+        monkeypatch.setattr(transport, "MAX_FRAME_BYTES", 16)
+        a, b = _channel_pair()
+        with pytest.raises(TransportError, match="exceeds cap"):
+            a.send({"kind": "way too big for sixteen bytes"})
+        a.close()
+        b.close()
+
+    def test_non_object_frame_rejected(self):
+        left, right = socket.socketpair()
+        channel = FrameChannel(right)
+        body = b"[1, 2]"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(TransportError, match="object"):
+            channel.recv(timeout=5.0)
+        left.close()
+        channel.close()
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+class TestHandshake:
+    def _session(self, opening):
+        """Run one agent session over a socketpair; return the reply."""
+        server = AgentServer(once=True)
+        agent_side, coordinator_side = _channel_pair()
+        thread = threading.Thread(
+            target=server._handle_session, args=(agent_side,), daemon=True
+        )
+        thread.start()
+        coordinator_side.send(opening)
+        reply = coordinator_side.recv(timeout=5.0)
+        return reply, coordinator_side, thread
+
+    def test_fingerprint_mismatch_rejected(self):
+        reply, channel, thread = self._session(
+            protocol.hello(code="not-the-local-tree")
+        )
+        assert reply["kind"] == "reject"
+        assert "fingerprint" in reply["reason"]
+        with pytest.raises(protocol.HandshakeError, match="fingerprint"):
+            protocol.check_peer(reply, "welcome", code_fingerprint())
+        channel.close()
+        thread.join(timeout=5.0)
+
+    def test_protocol_version_mismatch_rejected(self):
+        stale = protocol.hello(code=code_fingerprint())
+        stale["protocol"] = protocol.PROTOCOL_VERSION + 1
+        reply, channel, thread = self._session(stale)
+        assert reply["kind"] == "reject"
+        assert "version" in reply["reason"]
+        channel.close()
+        thread.join(timeout=5.0)
+
+    def test_matching_hello_welcomed(self):
+        reply, channel, thread = self._session(
+            protocol.hello(code=code_fingerprint())
+        )
+        assert reply["kind"] == "welcome"
+        assert reply["slots"] == 1
+        # check_peer accepts the same greeting pair_agent would see.
+        protocol.check_peer(reply, "welcome", code_fingerprint())
+        channel.send(protocol.bye())
+        thread.join(timeout=5.0)
+
+    def test_status_probe_needs_no_fingerprint(self):
+        reply, channel, thread = self._session(protocol.status_request())
+        assert reply["kind"] == "status_reply"
+        assert reply["served"] == 0
+        channel.close()
+        thread.join(timeout=5.0)
+
+    def test_check_peer_surfaces_reject_reason(self):
+        with pytest.raises(protocol.HandshakeError, match="because"):
+            protocol.check_peer(protocol.reject("because"), "welcome", "c")
+
+
+# ----------------------------------------------------------------------
+# Cache federation
+# ----------------------------------------------------------------------
+
+class TestFederation:
+    def test_disabled_cache_always_misses(self):
+        agent_cache = AgentCache(None)
+        assert not agent_cache.enabled
+        assert agent_cache.lookup("anything") == (MISS, None)
+        agent_cache.store("anything", _synthetic_result())  # no-op, no raise
+
+    def test_hit_full_vs_hit_seeded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _spec().key()
+        cache.put(key, _synthetic_result())
+        agent_cache = AgentCache(cache)
+
+        status, result = agent_cache.lookup(key)
+        assert status == HIT_FULL
+        assert result is not None
+
+        agent_cache.seed([key])
+        status, result = agent_cache.lookup(key)
+        assert status == HIT_SEEDED  # coordinator holds it; ship the key
+
+        assert agent_cache.lookup("absent-key") == (MISS, None)
+        assert agent_cache.hits == 2
+
+    def test_known_keys_is_the_cached_subset(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        held = _spec(seed=1).key()
+        cold = _spec(seed=2).key()
+        cache.put(held, _synthetic_result())
+        assert known_keys(cache, [held, cold]) == [held]
+        assert known_keys(None, [held, cold]) == []
+
+    def test_agent_session_answers_from_cache(self, tmp_path):
+        """Seeded keys return a result_ref; unseeded hits ship the payload."""
+        seeded_key = _spec(seed=1).key()
+        full_key = _spec(seed=2).key()
+        shared = ResultCache(tmp_path)
+        shared.put(seeded_key, _synthetic_result(1.0))
+        shared.put(full_key, _synthetic_result(2.0))
+
+        server = AgentServer(once=True, cache_dir=tmp_path)
+        agent_side, coordinator_side = _channel_pair()
+        thread = threading.Thread(
+            target=server._handle_session, args=(agent_side,), daemon=True
+        )
+        thread.start()
+        coordinator_side.send(protocol.hello(code=code_fingerprint()))
+        assert coordinator_side.recv(timeout=5.0)["kind"] == "welcome"
+
+        coordinator_side.send(protocol.seed([seeded_key]))
+        coordinator_side.send(protocol.job(
+            "j1", seeded_key, _spec(seed=1).to_dict()
+        ))
+        reply = coordinator_side.recv(timeout=10.0)
+        assert reply["kind"] == "result_ref"
+        assert reply["key"] == seeded_key
+
+        coordinator_side.send(protocol.job(
+            "j2", full_key, _spec(seed=2).to_dict()
+        ))
+        reply = coordinator_side.recv(timeout=10.0)
+        assert reply["kind"] == "result"
+        assert reply["cached"] is True
+        assert reply["result"]["runtime_core_cycles"] == 2.0
+
+        coordinator_side.send(protocol.bye())
+        thread.join(timeout=10.0)
+        assert server.stats.cache_hits == 2
+
+
+# ----------------------------------------------------------------------
+# Coordinator scheduling (deterministic, over fake in-memory links)
+# ----------------------------------------------------------------------
+
+class _FakeChannel:
+    """An in-memory stand-in for FrameChannel: records sends, scripted
+    receives.  ``hang_up`` makes the reader thread see EOF — the exact
+    signal a dead agent's closed socket produces."""
+
+    def __init__(self):
+        self.sent = []
+        self._incoming = queue.Queue()
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def recv(self, timeout=None):
+        item = self._incoming.get()
+        if item is None:
+            raise ConnectionClosed("fake peer hung up")
+        return item
+
+    def feed(self, message):
+        self._incoming.put(message)
+
+    def hang_up(self):
+        self._incoming.put(None)
+
+    def close(self):
+        self._incoming.put(None)  # wake the reader so it can exit
+
+    def sent_of(self, kind):
+        return [m for m in self.sent if m.get("kind") == kind]
+
+
+def _fake_link(name, slots=1):
+    return AgentLink(channel=_FakeChannel(), name=name, slots=slots,
+                     address=f"fake:{name}")
+
+
+def _wait_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestCoordinatorScheduling:
+    def _backend(self, links, **kwargs):
+        kwargs.setdefault("heartbeat_s", 0.05)
+        kwargs.setdefault("heartbeat_timeout_s", 60.0)
+        kwargs.setdefault("speculate", 0)
+        return ClusterBackend(links, **kwargs)
+
+    def test_dead_agent_jobs_redispatch_to_survivors(self):
+        link_a, link_b = _fake_link("a"), _fake_link("b")
+        backend = self._backend([link_a, link_b])
+        try:
+            job1, _, _ = backend.launch(_spec(seed=1).to_dict())
+            job2, _, _ = backend.launch(_spec(seed=2).to_dict())
+            # One job landed on each single-slot agent.
+            assert len(link_a.channel.sent_of("job")) == 1
+            assert len(link_b.channel.sent_of("job")) == 1
+
+            orphan = (job1 if link_a in job1.links else job2)
+            link_a.channel.hang_up()
+            assert _wait_until(lambda: backend.redispatched == 1)
+            assert not link_a.alive
+            # The orphan now runs (oversubscribed) on the survivor.
+            redispatched_ids = [
+                m["id"] for m in link_b.channel.sent_of("job")
+            ]
+            assert orphan.job_id in redispatched_ids
+
+            for job in (job1, job2):
+                link_b.channel.feed(protocol.result(
+                    job.job_id, job.key, _synthetic_result().to_dict(),
+                    agent="b", wall_s=0.01, cached=False,
+                ))
+            assert _wait_until(lambda: job1.poll() and job2.poll())
+            for job in (job1, job2):
+                payload = job.recv()
+                assert payload["status"] == "ok"
+                assert payload["agent"] == "b"
+        finally:
+            backend.shutdown()
+
+    def test_last_agent_death_settles_an_error(self):
+        link_a = _fake_link("a")
+        backend = self._backend([link_a])
+        try:
+            job, _, _ = backend.launch(_spec(seed=1).to_dict())
+            link_a.channel.hang_up()
+            assert _wait_until(job.poll)
+            payload = job.recv()
+            assert payload["status"] == "error"
+            assert "no agent survives" in payload["error"]
+            assert backend.redispatched == 0
+        finally:
+            backend.shutdown()
+
+    def test_tail_jobs_speculate_and_loser_is_cancelled(self):
+        link_a, link_b = _fake_link("a"), _fake_link("b")
+        backend = self._backend(
+            [link_a, link_b], speculate=2, speculate_after_s=0.0
+        )
+        try:
+            job, _, _ = backend.launch(_spec(seed=1).to_dict())
+            # The tail is 1 unsettled job; the idle agent gets a copy.
+            assert _wait_until(lambda: backend.speculated >= 1)
+            first, second = (
+                (link_a, link_b) if link_a in job.links else (link_b, link_a)
+            )
+            assert len(job.links) == 2
+            second.channel.feed(protocol.result(
+                job.job_id, job.key, _synthetic_result().to_dict(),
+                agent=second.name, wall_s=0.01, cached=False,
+            ))
+            assert _wait_until(job.poll)
+            assert job.recv()["agent"] == second.name
+            # The slower copy was cancelled, not left running.
+            assert _wait_until(
+                lambda: any(m["id"] == job.job_id
+                            for m in first.channel.sent_of("cancel"))
+            )
+        finally:
+            backend.shutdown()
+
+    def test_result_ref_rehydrates_from_coordinator_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        link_a = _fake_link("a")
+        backend = self._backend([link_a], cache=cache)
+        try:
+            spec = _spec(seed=1)
+            cache.put(spec.key(), _synthetic_result(7.0))
+            backend.prepare([spec.key()])  # the orchestrator pre-run hook
+            assert [m["keys"] for m in link_a.channel.sent_of("seed")] == [
+                [spec.key()]
+            ]
+            job, _, _ = backend.launch(spec.to_dict())
+            link_a.channel.feed(protocol.result_ref(
+                job.job_id, spec.key(), agent="a"
+            ))
+            assert _wait_until(job.poll)
+            payload = job.recv()
+            assert payload["status"] == "ok"
+            assert payload["cached"] is True
+            assert payload["result"]["runtime_core_cycles"] == 7.0
+        finally:
+            backend.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Host grammar
+# ----------------------------------------------------------------------
+
+class TestHostGrammar:
+    def test_parse_listen(self):
+        assert parse_listen("127.0.0.1:0") == ("127.0.0.1", 0)
+        assert parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_listen("nope")
+
+    def test_parse_host_kinds(self):
+        assert parse_host("local").kind == "local"
+        dialed = parse_host("10.0.0.7:9100")
+        assert (dialed.kind, dialed.host, dialed.port) == (
+            "dial", "10.0.0.7", 9100
+        )
+        ssh = parse_host("ssh://user@box")
+        assert (ssh.kind, ssh.ssh_target) == ("ssh", "user@box")
+        with pytest.raises(ValueError, match="host spec"):
+            parse_host("garbage spec")
+
+
+# ----------------------------------------------------------------------
+# End to end: loopback agents vs the local warm pool
+# ----------------------------------------------------------------------
+
+def _grid_digest(digests):
+    return hashlib.sha256("".join(digests).encode("ascii")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def local_digest():
+    """The pinned 36-point grid's digest under the local warm pool."""
+    from repro.fastpath.bench import run_sweep_once
+
+    return _grid_digest(run_sweep_once(pool="warm", jobs=2).digests)
+
+
+def _run_pinned_grid(backend):
+    from repro.fastpath.bench import pinned_sweep_specs, result_digest
+
+    report = Orchestrator(
+        jobs=max(1, backend.total_slots()), pool=backend, retries=0
+    ).run(pinned_sweep_specs())
+    digests = [result_digest(r) for r in report.results]
+    return report, _grid_digest(digests)
+
+
+class TestLoopbackCluster:
+    def test_two_agents_match_the_local_digest(self, local_digest):
+        backend = connect_cluster(["local", "local"], agent_jobs=2)
+        report, digest = _run_pinned_grid(backend)
+        assert report.ok
+        assert digest == local_digest
+        assert backend.redispatched == 0
+        served = {link.name: link.served for link in backend.agents()}
+        assert sum(served.values()) >= 36  # both agents actually worked
+        assert all(count > 0 for count in served.values())
+
+    def test_killed_agent_does_not_change_the_digest(self, local_digest):
+        backend = connect_cluster(["local", "local"], agent_jobs=2)
+        victim = backend.agents()[0]
+        timer = threading.Timer(0.4, victim.process.kill)
+        timer.start()
+        try:
+            report, digest = _run_pinned_grid(backend)
+        finally:
+            timer.cancel()
+        assert report.ok  # the orchestrator never saw the death
+        assert digest == local_digest
+        assert not victim.alive
+        assert backend.redispatched >= 1

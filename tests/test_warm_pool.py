@@ -128,6 +128,20 @@ class TestPoolMechanics:
         pids = _worker_pids(report)
         assert len(set(pids)) == len(pids)
 
+    def test_recycle_boundary_lands_exactly_on_the_threshold(self):
+        """With recycle_after=2 and five jobs on one slot, the worker is
+        replaced after its second and fourth job — never mid-budget."""
+        specs = [_spec(seed=s) for s in range(1, 6)]
+        report = Orchestrator(jobs=1, pool="warm", runner=pid_run,
+                              recycle_after=2).run(specs)
+        assert report.ok
+        pids = _worker_pids(report)
+        assert pids[0] == pids[1]  # first worker serves its full budget
+        assert pids[1] != pids[2]  # recycled exactly at the threshold
+        assert pids[2] == pids[3]
+        assert pids[3] != pids[4]
+        assert len(set(pids)) == 3
+
     def test_spawn_mode_uses_fresh_processes(self):
         specs = [_spec(seed=s) for s in range(1, 4)]
         report = Orchestrator(jobs=1, pool="spawn", runner=pid_run).run(specs)
@@ -219,3 +233,22 @@ class TestFaultPaths:
         assert report.ok
         assert isinstance(orchestrator.jobs, int)
         assert orchestrator.jobs >= 1
+
+    def test_summary_records_backend_and_requested_jobs(self, tmp_path):
+        """`--jobs auto` telemetry keeps what was asked for (auto), what
+        it resolved to (workers) and which backend kind executed."""
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        orchestrator = Orchestrator(jobs="auto", pool="warm", runner=pid_run)
+        report = orchestrator.run(
+            [_spec(seed=s) for s in (1, 2)], telemetry_path=telemetry_path
+        )
+        assert report.ok
+        records = [
+            json.loads(line)
+            for line in telemetry_path.read_text("utf-8").splitlines()
+        ]
+        summary = records[-1]
+        assert summary["event"] == "summary"
+        assert summary["backend"] == "warm"
+        assert summary["jobs_requested"] == "auto"
+        assert summary["workers"] == orchestrator.jobs
