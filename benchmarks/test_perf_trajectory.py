@@ -8,7 +8,9 @@ committed baseline:
   (``benchmarks/BENCH_single_run.json``);
 * sweep — the pinned sensitivity grid end-to-end through the
   orchestrator with the warm pool and with spawn-per-job workers
-  (``benchmarks/BENCH_sweep.json``).
+  (``benchmarks/BENCH_sweep.json``);
+* functional — the pinned metadata-traffic functional pass with the
+  vector kernels on and off (``benchmarks/BENCH_functional.json``).
 
 For both: the two modes must produce bit-identical results, and the
 speedup ratio must not regress more than 25% below the committed
@@ -25,12 +27,19 @@ import json
 import os
 import pathlib
 
-from repro.fastpath.bench import run_pinned, run_pinned_sweep
+from repro.fastpath.bench import (
+    run_pinned,
+    run_pinned_functional,
+    run_pinned_sweep,
+)
 
 from conftest import publish
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_single_run.json"
 SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
+FUNCTIONAL_BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "BENCH_functional.json"
+)
 
 
 def test_perf_trajectory(report_dir):
@@ -113,4 +122,45 @@ def test_sweep_perf_trajectory(report_dir):
         f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
         "If this follows a deliberate change, re-measure and refresh "
         f"{SWEEP_BASELINE_PATH.name}."
+    )
+
+
+def test_functional_perf_trajectory(report_dir):
+    repeats = int(os.environ.get("REPRO_BENCH_PERF_REPEATS", "3"))
+    report = run_pinned_functional(repeats=repeats)
+    payload = report.to_dict()
+    (report_dir / "BENCH_functional.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    baseline = json.loads(FUNCTIONAL_BASELINE_PATH.read_text(encoding="utf-8"))
+    rows = "\n".join(
+        f"  {label:<28}{value}"
+        for label, value in [
+            ("repeats (best-of)", report.repeats),
+            ("vector wall clock (s)", f"{report.fast.wall_s:.3f}"),
+            ("scalar wall clock (s)", f"{report.slow.wall_s:.3f}"),
+            ("vector events/sec", f"{report.fast.events_per_s:.0f}"),
+            ("scalar events/sec", f"{report.slow.events_per_s:.0f}"),
+            ("speedup (scalar/vector)", f"{report.speedup:.2f}x"),
+            ("baseline speedup", f"{baseline['speedup']:.2f}x"),
+            ("bit-identical", report.identical),
+        ]
+    )
+    publish(report_dir, "BENCH_functional",
+            "functional pass (pinned metadata-traffic study, "
+            "vector vs scalar)\n" + rows)
+
+    assert report.identical, (
+        "vector functional pass is not bit-identical to the scalar event "
+        f"loop: vector digest {report.fast.digest[:16]}, "
+        f"scalar digest {report.slow.digest[:16]}"
+    )
+    floor = 0.75 * baseline["speedup"]
+    assert report.speedup >= floor, (
+        f"functional speedup regressed: measured {report.speedup:.2f}x, "
+        f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
+        "If this follows a deliberate change, re-measure and refresh "
+        f"{FUNCTIONAL_BASELINE_PATH.name}."
     )

@@ -150,6 +150,100 @@ def _cmd_functional(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate only the figure tables whose cached points changed."""
+    import os
+    import pathlib
+
+    from repro.analysis.figures import figure_scale, plan, regenerate
+    from repro.orchestrator import ResultCache
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_BENCH_CACHE_DIR", "benchmarks/cache"
+    )
+    cache = ResultCache(cache_dir)
+    out_dir = pathlib.Path(args.out)
+    scale = figure_scale(args.scale)
+    only = args.only or None
+
+    if args.list:
+        rows = []
+        for status in plan(cache, out_dir, scale, only=only):
+            rows.append([
+                status.spec.name,
+                status.spec.title,
+                "fresh" if status.fresh else "stale",
+                f"{status.cached_points}/{status.total_points}",
+            ])
+        print(format_table(
+            ["figure", "table", "state", "points cached"],
+            rows, title=f"figure tables ({scale.name} scale)",
+        ))
+        return 0
+
+    outcomes = regenerate(
+        cache, out_dir, scale, only=only, force=args.force, progress=print,
+    )
+    rebuilt = sum(1 for __, action in outcomes if action == "rebuilt")
+    print(f"{rebuilt} rebuilt, {len(outcomes) - rebuilt} fresh "
+          f"(tables in {out_dir}, cache {cache_dir})")
+    return 0
+
+
+def _profile_functional(args: argparse.Namespace, profiler) -> int:
+    """Time one functional pass; ``--vector off`` measures the scalar
+    data plane."""
+    import contextlib
+    import pstats
+    import time
+
+    from repro import kernels
+    from repro.fastpath.bench import result_digest
+
+    override = (
+        contextlib.nullcontext() if args.vector is None
+        else kernels.overridden(args.vector != "off")
+    )
+    cache = MetadataCache(capacity_bytes=args.mdcache_kb * 1024,
+                          metadata_base=DEFAULT_METADATA_BASE)
+    with override:
+        vector_on = kernels.enabled()
+        start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        run = run_functional(
+            args.benchmark, cores=args.cores,
+            records_per_core=args.records, seed=args.seed,
+            footprint_scale=1.0 / args.scale_factor,
+            llc_bytes=max(64 * 1024, 8 * 1024 * 1024 // args.scale_factor),
+            metadata_cache=cache,
+        )
+        if profiler is not None:
+            profiler.disable()
+        wall = time.perf_counter() - start
+
+    events = args.cores * args.records
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["vector kernels",
+             "on" if vector_on
+             else "disabled (scalar event loop; set REPRO_VECTOR=1 or "
+                  "--vector on to enable)"],
+            ["wall clock (s)", f"{wall:.3f}"],
+            ["events (records)", str(events)],
+            ["events/sec", f"{events / wall:.0f}"],
+            ["result digest", result_digest(run)[:16]],
+        ],
+        title=f"profile: {args.benchmark} functional pass",
+    ))
+    if profiler is not None:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort)
+        stats.print_stats(args.limit)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Time one run (optionally under cProfile) and print its fast-path
     cache telemetry; ``--fastpath off`` measures the reference path."""
@@ -162,6 +256,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.fastpath.bench import result_digest
 
     profiler = cProfile.Profile() if args.cprofile else None
+    if args.functional:
+        return _profile_functional(args, profiler)
     # No --fastpath flag means "whatever the environment says", so
     # REPRO_FASTPATH=0 is honoured instead of silently force-enabled.
     override = (
@@ -310,12 +406,49 @@ def _metrics_plot(args: argparse.Namespace, obs) -> int:
     return 0
 
 
+def _metrics_functional(args: argparse.Namespace) -> int:
+    """Counter totals of one observed functional (timing-free) pass."""
+    from repro.core.copr import CoprConfig
+    from repro.obs import Observability
+    from repro.obs.metrics import find_metric
+
+    hub = Observability()
+    cache = MetadataCache(capacity_bytes=args.mdcache_kb * 1024,
+                          metadata_base=DEFAULT_METADATA_BASE)
+    copr_config = CoprConfig(
+        papr_entries=max(1024, 65536 // args.scale_factor),
+        lipr_entries=max(256, 16384 // args.scale_factor),
+    )
+    run_functional(
+        args.benchmark, cores=args.cores, records_per_core=args.records,
+        seed=args.seed, footprint_scale=1.0 / args.scale_factor,
+        llc_bytes=max(64 * 1024, 8 * 1024 * 1024 // args.scale_factor),
+        metadata_cache=cache, copr_config=copr_config, obs=hub,
+    )
+    rows = []
+    for name in hub.registry.names():
+        counter = hub.registry.get(name)
+        spec = find_metric(name)
+        rows.append([
+            name, f"{counter.value:.0f}",
+            spec.description if spec is not None else "",
+        ])
+    print(format_table(
+        ["counter", "total", "description"], rows,
+        title=f"{args.benchmark}: functional-pass counters",
+    ))
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Dump the per-epoch time series of one observed run."""
     from repro.obs import Observability
 
     if args.action == "list":
         return _metrics_list(args)
+
+    if args.functional:
+        return _metrics_functional(args)
 
     hub = Observability(_obs_config_from_args(args, trace=False))
     result = run_benchmark(
@@ -699,6 +832,37 @@ def build_parser() -> argparse.ArgumentParser:
     functional_parser.add_argument("--copr", action="store_true",
                                    help="measure the COPR predictor")
 
+    figures_parser = commands.add_parser(
+        "figures",
+        help="regenerate figure tables incrementally from cached points",
+    )
+    figures_parser.add_argument(
+        "--scale", choices=("tiny", "fast", "full"), default="tiny",
+        help="simulation scale per point (matches REPRO_BENCH_SCALE "
+             "presets, so bench runs share the cache)",
+    )
+    figures_parser.add_argument(
+        "--out", default="benchmarks/out",
+        help="directory for rendered tables and the freshness state",
+    )
+    figures_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default $REPRO_BENCH_CACHE_DIR or "
+             "benchmarks/cache)",
+    )
+    figures_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="FIGURE",
+        help="restrict to the named figure(s)",
+    )
+    figures_parser.add_argument(
+        "--force", action="store_true",
+        help="rebuild even when the point-key set is unchanged",
+    )
+    figures_parser.add_argument(
+        "--list", action="store_true",
+        help="show each figure's freshness without simulating",
+    )
+
     profile_parser = commands.add_parser(
         "profile",
         help="time one run and print fast-path cache telemetry",
@@ -714,6 +878,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fastpath", choices=("on", "off"), default=None,
         help="'off' measures the reference (slow) path; omitted, the "
              "REPRO_FASTPATH environment setting applies",
+    )
+    profile_parser.add_argument(
+        "--functional", action="store_true",
+        help="time the functional (timing-free) pass instead of the "
+             "cycle-level simulator",
+    )
+    profile_parser.add_argument(
+        "--vector", choices=("on", "off"), default=None,
+        help="'off' times the scalar data plane; omitted, the "
+             "REPRO_VECTOR environment setting applies "
+             "(used with --functional)",
+    )
+    profile_parser.add_argument(
+        "--mdcache-kb", type=int, default=32,
+        help="metadata-cache capacity for --functional",
     )
     profile_parser.add_argument("--cprofile", action="store_true",
                                 help="run under cProfile and print hotspots")
@@ -753,6 +932,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument("--system", choices=SYSTEMS,
                                 default="attache")
+    metrics_parser.add_argument(
+        "--functional", action="store_true",
+        help="observe a timing-free functional pass (metadata cache + "
+             "COPR) and print its counter totals instead of a timing "
+             "run's time series",
+    )
+    metrics_parser.add_argument(
+        "--mdcache-kb", type=int, default=32,
+        help="metadata-cache capacity for --functional",
+    )
     metrics_parser.add_argument(
         "--csv", default=None,
         help="write all columns as CSV to this path ('-' for stdout) "
@@ -943,6 +1132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "functional": _cmd_functional,
+        "figures": _cmd_figures,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

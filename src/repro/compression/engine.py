@@ -201,6 +201,41 @@ class CompressionEngine:
             return False
         return self._lookup(data) is not None
 
+    def is_compressible_many(self, matrix):
+        """Per-row :meth:`is_compressible` over an (N, 64) uint8 matrix.
+
+        Engines running exactly the BDI/FPC codecs classify the whole
+        batch through the vector kernels (:mod:`repro.kernels.classify`)
+        when the vector path is enabled; any other configuration falls
+        back to the scalar method per row.  Returns a numpy bool array
+        (callers live on the vector path, so numpy is available).
+        """
+        import numpy as np
+
+        from repro import kernels
+
+        if kernels.enabled() and {type(algo) for algo in self._algorithms} <= {
+            BdiCompressor,
+            FpcCompressor,
+        }:
+            from repro.kernels import classify as _vec
+
+            target = self._target_size
+            mask = np.zeros(matrix.shape[0], dtype=bool)
+            kinds = {type(algo) for algo in self._algorithms}
+            if BdiCompressor in kinds:
+                sizes = _vec.bdi_size_matrix(matrix)
+                mask |= (sizes >= 0) & (sizes <= target)
+            if FpcCompressor in kinds:
+                sizes = _vec.fpc_size_matrix(matrix)
+                mask |= (sizes >= 0) & (sizes <= target)
+            return mask
+        return np.fromiter(
+            (self.is_compressible(row.tobytes()) for row in matrix),
+            dtype=bool,
+            count=matrix.shape[0],
+        )
+
     def compressed_size(self, data: bytes) -> int:
         """Best payload size, or the full line size if incompressible."""
         if self._size_fns is not None:

@@ -306,8 +306,117 @@ def run_pinned_sweep(repeats: int = 2) -> SweepBenchReport:
     )
 
 
+# ----------------------------------------------------------------------
+# The pinned functional pass: vector kernels vs the scalar event loop
+# ----------------------------------------------------------------------
+
+#: The pinned functional configuration — the Figs. 1/15/16
+#: metadata-traffic shape (shared LLC feeding an lru metadata cache, no
+#: COPR), sized so both passes finish in CI smoke time.  Do not change
+#: casually: benchmarks/BENCH_functional.json was measured against
+#: exactly this point.
+PINNED_FUNCTIONAL_BENCHMARK = "mix1"
+PINNED_FUNCTIONAL_CORES = 4
+PINNED_FUNCTIONAL_RECORDS = 20000
+PINNED_FUNCTIONAL_SEED = 2018
+PINNED_FUNCTIONAL_SCALE = 1 / 32
+PINNED_FUNCTIONAL_LLC_BYTES = 256 * 1024
+PINNED_FUNCTIONAL_LLC_WAYS = 8
+PINNED_FUNCTIONAL_MDCACHE_BYTES = 32 * 1024
+PINNED_FUNCTIONAL_MDCACHE_WAYS = 16
+
+
+def run_functional_once(vector_on: bool) -> BenchRun:
+    """Run the pinned functional pass once in the requested mode."""
+    from repro import kernels
+    from repro.core.metadata_cache import MetadataCache
+    from repro.sim.functional import run_functional
+
+    with kernels.overridden(vector_on):
+        metadata_cache = MetadataCache(
+            capacity_bytes=PINNED_FUNCTIONAL_MDCACHE_BYTES,
+            ways=PINNED_FUNCTIONAL_MDCACHE_WAYS,
+            policy="lru",
+        )
+        start = time.perf_counter()
+        result = run_functional(
+            PINNED_FUNCTIONAL_BENCHMARK,
+            cores=PINNED_FUNCTIONAL_CORES,
+            records_per_core=PINNED_FUNCTIONAL_RECORDS,
+            seed=PINNED_FUNCTIONAL_SEED,
+            footprint_scale=PINNED_FUNCTIONAL_SCALE,
+            llc_bytes=PINNED_FUNCTIONAL_LLC_BYTES,
+            llc_ways=PINNED_FUNCTIONAL_LLC_WAYS,
+            metadata_cache=metadata_cache,
+        )
+        wall = time.perf_counter() - start
+    return BenchRun(
+        wall_s=wall,
+        events=PINNED_FUNCTIONAL_CORES * PINNED_FUNCTIONAL_RECORDS,
+        digest=result_digest(result),
+        perf=None,
+    )
+
+
+@dataclass
+class FunctionalBenchReport:
+    """Best-of-N measurement of the pinned functional pass, both modes."""
+
+    fast: BenchRun  #: best (minimum wall clock) vector run
+    slow: BenchRun  #: best scalar run
+    repeats: int
+    identical: bool  #: every run of both modes produced one digest
+
+    @property
+    def speedup(self) -> float:
+        """slow/fast wall-clock ratio of the best runs (machine-free)."""
+        return self.slow.wall_s / self.fast.wall_s if self.fast.wall_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": PINNED_FUNCTIONAL_BENCHMARK,
+            "cores": PINNED_FUNCTIONAL_CORES,
+            "records_per_core": PINNED_FUNCTIONAL_RECORDS,
+            "seed": PINNED_FUNCTIONAL_SEED,
+            "footprint_scale": PINNED_FUNCTIONAL_SCALE,
+            "llc_bytes": PINNED_FUNCTIONAL_LLC_BYTES,
+            "llc_ways": PINNED_FUNCTIONAL_LLC_WAYS,
+            "mdcache_bytes": PINNED_FUNCTIONAL_MDCACHE_BYTES,
+            "mdcache_ways": PINNED_FUNCTIONAL_MDCACHE_WAYS,
+            "repeats": self.repeats,
+            "identical": self.identical,
+            "speedup": round(self.speedup, 3),
+            "fast": self.fast.to_dict(),
+            "slow": self.slow.to_dict(),
+        }
+
+
+def run_pinned_functional(repeats: int = 3) -> FunctionalBenchReport:
+    """Best-of-*repeats* pinned functional benchmark, vector vs scalar.
+
+    Interleaved like :func:`run_pinned`; the only variable between the
+    modes is ``repro.kernels`` dispatch, so the ratio isolates exactly
+    what the batched data plane buys.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fast_runs, slow_runs = [], []
+    for _ in range(repeats):
+        fast_runs.append(run_functional_once(vector_on=True))
+        slow_runs.append(run_functional_once(vector_on=False))
+    digests = {run.digest for run in fast_runs + slow_runs}
+    return FunctionalBenchReport(
+        fast=min(fast_runs, key=lambda run: run.wall_s),
+        slow=min(slow_runs, key=lambda run: run.wall_s),
+        repeats=repeats,
+        identical=len(digests) == 1,
+    )
+
+
 __all__ = [
     "PINNED_BENCHMARK",
+    "PINNED_FUNCTIONAL_BENCHMARK",
+    "PINNED_FUNCTIONAL_SEED",
     "PINNED_SEED",
     "PINNED_SYSTEM",
     "PINNED_SWEEP_BENCHMARKS",
@@ -316,14 +425,17 @@ __all__ = [
     "PINNED_SWEEP_SYSTEMS",
     "BenchReport",
     "BenchRun",
+    "FunctionalBenchReport",
     "SweepBenchReport",
     "SweepBenchRun",
     "pinned_scale",
     "pinned_sweep_scale",
     "pinned_sweep_specs",
     "result_digest",
+    "run_functional_once",
     "run_once",
     "run_pinned",
+    "run_pinned_functional",
     "run_pinned_sweep",
     "run_sweep_once",
 ]

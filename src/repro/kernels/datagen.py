@@ -1,0 +1,287 @@
+"""Batch cacheline class evaluation and content synthesis.
+
+Columnar mirror of :class:`repro.workloads.datagen.DataModel`: classes
+and contents are pure functions of ``(seed, profile, line, version)``,
+so a batch of (line, version) pairs maps to arrays through the same
+splitmix64 hash fold the scalar model uses, drawn with
+:func:`repro.kernels.rng.vec_splitmix64`.
+
+Two exactness hazards are handled explicitly:
+
+* bounded draws with bounds 17 and 200 can (with probability ~1e-17 per
+  draw) reject in the scalar rejection loop, which would shift every
+  subsequent draw for that line — any line whose raw draws cross the
+  rejection threshold falls back to the scalar ``line_data`` wholesale;
+* ``_pattern_fpc_sparse`` assigns ``words[rng.next_below(16)] =
+  rng.next_below(1 << 15)`` — Python evaluates the right-hand side
+  first, so the *value* draw precedes the *index* draw.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..util.bitops import CACHELINE_BYTES
+from ..util.rng import MASK64
+from .rng import GOLDEN_GAMMA, rejection_threshold, vec_splitmix64
+
+__all__ = [
+    "hash_fold",
+    "line_classes",
+    "lines_data",
+    "measure_compressibility",
+]
+
+_GAMMA = np.uint64(GOLDEN_GAMMA)
+_INV_2_53 = 1.0 / 9007199254740992.0
+_CHUNK_ELEMENTS = 1 << 23
+
+#: Cumulative upper bounds of DataModel._PATTERN_WEIGHTS in order
+#: (zeros 1, repeat8 2, base8 4, base4 4, fpc_small 3, fpc_sparse 3).
+_PATTERN_BOUNDS = np.array([1, 3, 7, 11, 14, 17], dtype=np.uint64)
+
+
+def hash_fold(seed: int, parts) -> np.ndarray:
+    """Vector mirror of ``DataModel._hash``: fold *parts* into a state.
+
+    *parts* is a sequence of uint64 arrays (or scalars); arrays
+    broadcast together.
+    """
+    state = np.uint64(seed & MASK64)
+    with np.errstate(over="ignore"):
+        for part in parts:
+            part = np.asarray(part, dtype=np.uint64)
+            z = (state ^ (part * _GAMMA)) + _GAMMA
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            state = z ^ (z >> np.uint64(31))
+    return np.asarray(state, dtype=np.uint64)
+
+
+def _unit(seed: int, parts) -> np.ndarray:
+    return (hash_fold(seed, parts) >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def line_classes(model, lines: np.ndarray, versions: np.ndarray) -> np.ndarray:
+    """Vector mirror of ``DataModel.line_class`` over (line, version) pairs."""
+    profile = model._profile
+    seed = model._seed
+    lines = np.ascontiguousarray(lines, dtype=np.uint64)
+    pages = lines >> np.uint64(6)  # LINES_PER_PAGE == 64
+    pure = _unit(seed, (pages, 0xBA5E)) < profile.page_uniformity
+    fraction = profile.compressible_fraction
+    base = np.where(
+        pure,
+        _unit(seed, (pages, 0xC1A5)) < fraction,
+        _unit(seed, (lines, 0x11FE)) < fraction,
+    )
+    versions = np.ascontiguousarray(versions, dtype=np.int64)
+    flips_odd = np.zeros(lines.shape[0], dtype=bool)
+    if versions.any():
+        churn = profile.store_churn
+        # Probe each *unique* line once up to its maximum queried
+        # version; a per-line prefix parity then answers every (line,
+        # version) query — the same probes as the scalar loop, without
+        # re-walking 1..v per duplicate line.  Chunked so pathological
+        # version totals stay bounded per sweep.
+        unique, inverse = np.unique(lines, return_inverse=True)
+        max_version = np.zeros(unique.shape[0], dtype=np.int64)
+        np.maximum.at(max_version, inverse, versions)
+        ends = np.cumsum(max_version)
+        starts = ends - max_version
+        parity = np.zeros(int(ends[-1]), dtype=np.int8)
+        begin = 0
+        while begin < unique.shape[0]:
+            end = begin
+            while (
+                end < unique.shape[0]
+                and ends[end] - starts[begin] <= _CHUNK_ELEMENTS
+            ):
+                end += 1
+            end = max(end, begin + 1)
+            counts = max_version[begin:end]
+            total = int(counts.sum())
+            if total:
+                owner = np.repeat(np.arange(begin, end), counts)
+                offsets = np.cumsum(counts) - counts
+                probe_version = (
+                    np.arange(total) - np.repeat(offsets, counts) + 1
+                ).astype(np.uint64)
+                flipped = (
+                    _unit(seed, (unique[owner], probe_version, 0xF11B)) < churn
+                )
+                running = np.cumsum(flipped)
+                # Zero-count segments contribute nothing to the repeat;
+                # clip their (past-the-end) offsets before indexing.
+                first = np.minimum(offsets, total - 1)
+                segment_base = np.repeat(
+                    running[first] - flipped[first], counts
+                )
+                parity[starts[begin] : starts[begin] + total] = (
+                    (running - segment_base) % 2
+                ).astype(np.int8)
+            begin = end
+        queried = versions > 0
+        lookup = starts[inverse] + versions - 1
+        flips_odd[queried] = parity[lookup[queried]] == 1
+    return base ^ flips_odd
+
+
+def _draw_matrix(seeds: np.ndarray, first: int, count: int) -> np.ndarray:
+    """Draws *first*..*first+count-1* (1-based) of each seed's stream."""
+    with np.errstate(over="ignore"):
+        states = seeds[:, None] + _GAMMA * np.arange(
+            first, first + count, dtype=np.uint64
+        )
+        return vec_splitmix64(states)
+
+
+def _generate_candidates(
+    model, lines: np.ndarray, versions: np.ndarray, salt: int, targets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One salt wave of ``DataModel._generate`` over all rows.
+
+    Returns ``(matrix, fallback)`` — the candidate (N, 64) uint8 matrix
+    and a row mask where a rejected bounded draw requires the scalar
+    path (matrix rows under the mask are unspecified).
+    """
+    count = lines.shape[0]
+    seeds = hash_fold(model._seed, (lines, versions, np.uint64(salt), 0xDA7A))
+    matrix = np.zeros((count, CACHELINE_BYTES), dtype=np.uint8)
+    fallback = np.zeros(count, dtype=bool)
+
+    incompressible = np.nonzero(~targets)[0]
+    if incompressible.size:
+        words = _draw_matrix(seeds[incompressible], 1, 8)
+        matrix[incompressible] = (
+            np.ascontiguousarray(words, dtype="<u8")
+            .view(np.uint8)
+            .reshape(-1, CACHELINE_BYTES)
+        )
+
+    compressible = np.nonzero(targets)[0]
+    if not compressible.size:
+        return matrix, fallback
+    pick_raw = _draw_matrix(seeds[compressible], 1, 1)[:, 0]
+    threshold17 = np.uint64(rejection_threshold(17))
+    threshold200 = np.uint64(rejection_threshold(200))
+    fallback[compressible[pick_raw >= threshold17]] = True
+    pattern = np.searchsorted(_PATTERN_BOUNDS, pick_raw % np.uint64(17), side="right")
+
+    def rows_of(pattern_id: int) -> np.ndarray:
+        return compressible[pattern == pattern_id]
+
+    # zeros (pattern 0): matrix rows already zero.
+    rows = rows_of(1)  # repeat8
+    if rows.size:
+        chunk = np.ascontiguousarray(_draw_matrix(seeds[rows], 2, 1), dtype="<u8")
+        matrix[rows] = np.tile(chunk.view(np.uint8).reshape(-1, 8), (1, 8))
+    rows = rows_of(2)  # base8_delta1
+    if rows.size:
+        draws = _draw_matrix(seeds[rows], 2, 9)
+        base = draws[:, :1]
+        deltas = draws[:, 1:]
+        fallback[rows[(deltas >= threshold200).any(axis=1)]] = True
+        with np.errstate(over="ignore"):
+            words = base + deltas % np.uint64(200) - np.uint64(100)
+        matrix[rows] = (
+            np.ascontiguousarray(words, dtype="<u8")
+            .view(np.uint8)
+            .reshape(-1, CACHELINE_BYTES)
+        )
+    rows = rows_of(3)  # base4_delta1
+    if rows.size:
+        draws = _draw_matrix(seeds[rows], 2, 17)
+        base = (draws[:, :1] & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        deltas = draws[:, 1:]
+        fallback[rows[(deltas >= threshold200).any(axis=1)]] = True
+        words = (base + (deltas % np.uint64(200)).astype(np.int64) - 100) & 0xFFFFFFFF
+        matrix[rows] = (
+            words.astype("<u4").view(np.uint8).reshape(-1, CACHELINE_BYTES)
+        )
+    rows = rows_of(4)  # fpc_small_words
+    if rows.size:
+        draws = _draw_matrix(seeds[rows], 2, 16)
+        words = ((draws % np.uint64(256)).astype(np.int64) - 128) & 0xFFFFFFFF
+        matrix[rows] = (
+            words.astype("<u4").view(np.uint8).reshape(-1, CACHELINE_BYTES)
+        )
+    rows = rows_of(5)  # fpc_sparse
+    if rows.size:
+        draws = _draw_matrix(seeds[rows], 2, 9)
+        writes = (draws[:, 0] % np.uint64(4)).astype(np.int64) + 1
+        words = np.zeros((rows.size, 16), dtype=np.int64)
+        for k in range(4):
+            active = np.nonzero(writes > k)[0]
+            if not active.size:
+                break
+            # RHS before subscript: the value draw precedes the index draw.
+            values = (draws[active, 1 + 2 * k] % np.uint64(1 << 15)).astype(np.int64)
+            indices = (draws[active, 2 + 2 * k] % np.uint64(16)).astype(np.int64)
+            words[active, indices] = values
+        matrix[rows] = (
+            words.astype("<u4").view(np.uint8).reshape(-1, CACHELINE_BYTES)
+        )
+    return matrix, fallback
+
+
+def lines_data(model, lines: np.ndarray, versions: np.ndarray) -> np.ndarray:
+    """Vector mirror of ``DataModel.line_data``: verified (N, 64) contents.
+
+    Walks the same 16-salt retry loop in waves: every row's candidate is
+    verified against the model's engine, mismatches advance to the next
+    salt, and the exhaustion error matches the scalar message for the
+    first failing row in input order.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.uint64)
+    versions = np.ascontiguousarray(versions, dtype=np.uint64)
+    targets = line_classes(model, lines, versions)
+    out = np.zeros((lines.shape[0], CACHELINE_BYTES), dtype=np.uint8)
+    pending = np.arange(lines.shape[0])
+    for salt in range(16):
+        if not pending.size:
+            return out
+        matrix, fallback = _generate_candidates(
+            model, lines[pending], versions[pending], salt, targets[pending]
+        )
+        if fallback.any():  # pragma: no cover - ~1e-17 per draw
+            for row in np.nonzero(fallback)[0]:
+                index = pending[row]
+                matrix[row] = np.frombuffer(
+                    model.line_data(int(lines[index]), int(versions[index])),
+                    dtype=np.uint8,
+                )
+        verified = model._engine.is_compressible_many(matrix) == targets[pending]
+        verified |= fallback  # scalar line_data is already verified
+        out[pending[verified]] = matrix[verified]
+        pending = pending[~verified]
+    if pending.size:
+        line = int(lines[pending[0]])
+        version = int(versions[pending[0]])
+        compressible = bool(targets[pending[0]])
+        raise RuntimeError(
+            f"could not generate {'' if compressible else 'in'}compressible "
+            f"content for line {line:#x} v{version}"
+        )
+    return out
+
+
+def measure_compressibility(
+    model, line_addresses, at_version: int = 0
+) -> Tuple[int, int]:
+    """Vector mirror of ``DataModel.measure_compressibility``.
+
+    Generation verifies each line's content against its target class, so
+    the measured count equals the count of True classes; generating (and
+    discarding) the contents preserves the scalar path's exhaustion
+    error exactly.
+    """
+    lines = np.fromiter(
+        (line for line in line_addresses), dtype=np.uint64
+    )
+    versions = np.full(lines.shape[0], at_version, dtype=np.uint64)
+    lines_data(model, lines, versions)
+    classes = line_classes(model, lines, versions)
+    return int(classes.sum()), int(lines.shape[0])

@@ -1,0 +1,275 @@
+"""The batched functional-simulation pipeline.
+
+Columnar mirror of :class:`repro.sim.functional.MissStream` plus the
+event loop of :func:`repro.sim.functional.run_functional`:
+
+1. per-core trace columns interleave round-robin into one global
+   access stream;
+2. one :func:`repro.kernels.lru.lru_simulate` pass replaces the
+   per-access LLC walk, producing miss/write-back events with their
+   global record positions;
+3. line versions at write-back time are answered analytically — the
+   version of a line at position *p* is the count of stores to it at
+   positions <= *p* (a sorted composite-key lookup), so the scalar
+   ``note_store`` bookkeeping never runs;
+4. write-back classes and version-0 read classes come from
+   :func:`repro.kernels.datagen.line_classes`, routed per data-model
+   region; each read's effective class is its line's most recent
+   preceding write-back class, exactly like ``MissStream._stored``;
+5. the metadata cache is replayed from the event arrays — one more
+   ``lru_simulate`` pass for the ``lru`` policy (with the final dict
+   state materialised back, so a caller-held cache is left exactly as
+   the scalar loop leaves it), or a scalar loop for ``drrip``/``ship``;
+   COPR always updates through the scalar predictor, fed from the event
+   arrays.
+
+The pipeline never touches ``DataModel._versions`` or LLC dict state;
+both live only inside the workload instance built for the run, so the
+omission is unobservable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..util.bitops import CACHELINE_BYTES
+from .datagen import line_classes
+from .lru import lru_simulate
+
+__all__ = ["interleave_columns", "simulate_events", "FunctionalCounters"]
+
+
+class FunctionalCounters:
+    """Counter results of one batched functional pass."""
+
+    __slots__ = ("demand_reads", "demand_writes", "compressible_reads")
+
+    def __init__(self, demand_reads: int, demand_writes: int,
+                 compressible_reads: int) -> None:
+        self.demand_reads = demand_reads
+        self.demand_writes = demand_writes
+        self.compressible_reads = compressible_reads
+
+
+def interleave_columns(columns):
+    """Round-robin interleave per-core columns into one global stream.
+
+    Returns ``(addresses, is_store)`` in the exact order
+    ``MissStream.events`` consumes records, or ``None`` when the cores'
+    record counts differ (the strict transpose needs a rectangle).
+    """
+    address_rows = [np.asarray(addresses, dtype=np.uint64)
+                    for addresses, __, ___ in columns]
+    op_rows = [np.asarray(ops, dtype=np.uint8) for __, ___, ops in columns]
+    count = address_rows[0].shape[0]
+    if any(row.shape[0] != count for row in address_rows):
+        return None
+    addresses = np.stack(address_rows).T.ravel()
+    is_store = np.stack(op_rows).T.ravel() == 1  # MemOp.STORE.value
+    return addresses, is_store
+
+
+def _route_models(data_model, lines: np.ndarray) -> np.ndarray:
+    """Region index owning each line (mirrors ``_model_for_line``)."""
+    regions = data_model.regions
+    bases = np.array([base for base, __, ___ in regions], dtype=np.uint64)
+    limits = np.array(
+        [base + size for base, size, __ in regions], dtype=np.uint64
+    )
+    byte = lines * np.uint64(CACHELINE_BYTES)
+    index = np.searchsorted(bases, byte, side="right").astype(np.int64) - 1
+    clipped = np.clip(index, 0, len(regions) - 1)
+    inside = (index >= 0) & (byte < limits[clipped])
+    # Out-of-region lines default to the first model, like the scalar.
+    return np.where(inside, clipped, 0)
+
+
+def _classes_routed(
+    data_model, lines: np.ndarray, versions: np.ndarray
+) -> np.ndarray:
+    """Per-region ``line_classes`` over a mixed batch of lines."""
+    regions = data_model.regions
+    out = np.zeros(lines.shape[0], dtype=bool)
+    owners = _route_models(data_model, lines)
+    for region_index in range(len(regions)):
+        member = np.nonzero(owners == region_index)[0]
+        if member.size:
+            model = regions[region_index][2]
+            out[member] = line_classes(
+                model, lines[member], versions[member]
+            )
+    return out
+
+
+def _materialize_metadata_lru(metadata_cache, outcome) -> None:
+    """Write an ``lru_simulate`` end state back into a MetadataCache.
+
+    Restricted to the ``lru`` policy starting from an empty cache (the
+    caller checks both): entries then always carry ``rrpv == 0``, and
+    ``reused`` is True exactly when a block saw any access after its
+    last install.
+    """
+    # Per-key suffix access totals since the last install: sort nodes by
+    # (key, pos) — outcome arrays are pos-ordered, so a stable key sort
+    # gives pos order within each key segment.
+    order = np.argsort(outcome.key, kind="stable")
+    seg_keys = outcome.key[order]
+    seg_hit = outcome.hit[order]
+    seg_count = outcome.count[order]
+    from repro.core.metadata_cache import _Entry
+
+    sets, ways = outcome.set_tags.shape
+    for set_index in range(sets):
+        cache_set = metadata_cache._data[set_index]
+        for way in range(ways - 1, -1, -1):  # LRU way first: dict order
+            tag = int(outcome.set_tags[set_index, way])
+            if tag < 0:
+                continue
+            entry = _Entry(
+                dirty=bool(outcome.set_dirty[set_index, way]), rrpv=0
+            )
+            lo = int(np.searchsorted(seg_keys, tag, side="left"))
+            hi = int(np.searchsorted(seg_keys, tag, side="right"))
+            # A resident key was installed by its last missing node
+            # (the cache started empty, so one exists).
+            install = lo + int((~seg_hit[lo:hi]).nonzero()[0][-1])
+            entry.reused = bool(seg_count[install:hi].sum() > 1)
+            cache_set[tag] = entry
+
+
+def _metadata_cache_empty(metadata_cache) -> bool:
+    return all(not cache_set for cache_set in metadata_cache._data)
+
+
+def simulate_events(
+    workload,
+    llc_sets: int,
+    llc_ways: int,
+    metadata_cache=None,
+    copr=None,
+) -> Optional[FunctionalCounters]:
+    """One batched functional pass over *workload*'s trace columns.
+
+    Returns the demand counters (metadata cache and COPR accumulate
+    into the caller's objects, exactly like the scalar event loop), or
+    ``None`` when the workload carries no columns / uneven columns —
+    the caller falls back to the scalar path.
+    """
+    columns = getattr(workload, "columns", None)
+    if not columns:
+        return None
+    interleaved = interleave_columns(columns)
+    if interleaved is None:
+        return None
+    addresses, is_store = interleaved
+    lines = (addresses >> np.uint64(6)).astype(np.int64)
+    total = lines.shape[0]
+
+    outcome = lru_simulate(lines, is_store, llc_sets, llc_ways)
+    miss = ~outcome.hit
+    miss_pos = outcome.pos[miss]
+    miss_line = outcome.key[miss]
+    wb_line = outcome.evict_key[miss]
+    wb_flag = outcome.evict_dirty[miss]
+
+    # Event assembly: each miss node yields [dirty write-back?, read],
+    # in stream order (miss nodes are already pos-sorted).
+    event_counts = 1 + wb_flag.astype(np.int64)
+    ends = np.cumsum(event_counts)
+    starts = ends - event_counts
+    n_events = int(ends[-1]) if ends.shape[0] else 0
+    ev_is_wb = np.zeros(n_events, dtype=bool)
+    ev_is_wb[starts[wb_flag]] = True
+    ev_node = np.repeat(np.arange(miss_pos.shape[0]), event_counts)
+    ev_pos = miss_pos[ev_node]
+    ev_line = np.where(ev_is_wb, wb_line[ev_node], miss_line[ev_node])
+
+    # Dense line ids make (line, pos) composite keys overflow-safe.
+    unique_lines = np.unique(lines)
+    stride = np.int64(total + 1)
+    store_positions = np.nonzero(is_store)[0]
+    store_keys = np.sort(
+        np.searchsorted(unique_lines, lines[store_positions]) * stride
+        + store_positions
+    )
+
+    wb_index = np.nonzero(ev_is_wb)[0]
+    read_index = np.nonzero(~ev_is_wb)[0]
+    wb_ids = np.searchsorted(unique_lines, ev_line[wb_index])
+    # Version at write-back = stores to the victim line at pos <= p.
+    # The pos-p store (if any) targets the *requesting* line, which can
+    # never equal the victim, so <= and < coincide.
+    wb_versions = (
+        np.searchsorted(store_keys, wb_ids * stride + ev_pos[wb_index],
+                        side="right")
+        - np.searchsorted(store_keys, wb_ids * stride, side="left")
+    )
+    wb_lines_u64 = ev_line[wb_index].astype(np.uint64)
+    wb_classes = _classes_routed(
+        workload.data_model, wb_lines_u64, wb_versions
+    )
+
+    # Read class = last preceding write-back's class, else version 0.
+    rd_ids = np.searchsorted(unique_lines, ev_line[read_index])
+    wb_sort = np.argsort(wb_ids * stride + ev_pos[wb_index])
+    wb_keys_sorted = (wb_ids * stride + ev_pos[wb_index])[wb_sort]
+    wb_classes_sorted = wb_classes[wb_sort]
+    lo = np.searchsorted(wb_keys_sorted, rd_ids * stride, side="left")
+    hi = np.searchsorted(
+        wb_keys_sorted, rd_ids * stride + ev_pos[read_index], side="left"
+    )
+    has_prior = hi > lo
+    rd_classes = _classes_routed(
+        workload.data_model,
+        ev_line[read_index].astype(np.uint64),
+        np.zeros(read_index.shape[0], dtype=np.int64),
+    )
+    rd_classes[has_prior] = wb_classes_sorted[
+        np.maximum(hi - 1, 0)[has_prior]
+    ]
+
+    ev_comp = np.zeros(n_events, dtype=bool)
+    ev_comp[wb_index] = wb_classes
+    ev_comp[read_index] = rd_classes
+
+    if metadata_cache is not None:
+        if (
+            metadata_cache.policy == "lru"
+            and _metadata_cache_empty(metadata_cache)
+        ):
+            blocks = ev_line // metadata_cache.coverage_lines
+            md = lru_simulate(
+                blocks, ev_is_wb, metadata_cache._sets, metadata_cache._ways
+            )
+            stats = metadata_cache.stats
+            stats.accesses += md.accesses
+            stats.hits += md.hits
+            stats.installs += md.misses
+            stats.dirty_evictions += md.dirty_evictions
+            _materialize_metadata_lru(metadata_cache, md)
+        else:
+            access = metadata_cache.access
+            for line, dirty in zip(ev_line.tolist(), ev_is_wb.tolist()):
+                access(line, make_dirty=dirty)
+
+    if copr is not None:
+        ev_addr = (ev_line * CACHELINE_BYTES).tolist()
+        comp_list = ev_comp.tolist()
+        wb_list = ev_is_wb.tolist()
+        predict = copr.predict
+        update = copr.update
+        for address, is_wb, compressible in zip(ev_addr, wb_list, comp_list):
+            if is_wb:
+                update(address, compressible)
+            else:
+                update(
+                    address, compressible, predicted=predict(address)
+                )
+
+    return FunctionalCounters(
+        demand_reads=int(read_index.shape[0]),
+        demand_writes=int(wb_index.shape[0]),
+        compressible_reads=int(rd_classes.sum()),
+    )

@@ -1,0 +1,185 @@
+"""Chunked-rounds set-associative true-LRU cache simulation.
+
+One kernel serves both scalar models that use insertion-ordered dicts as
+LRU stacks: :class:`repro.cpu.cache.LastLevelCache` and the ``lru``
+policy of :class:`repro.core.metadata_cache.MetadataCache`.
+
+The trace is grouped by set (stable, preserving program order within
+each set) and maximal runs of consecutive same-key accesses within a set
+collapse into *nodes*: only a run's first access can miss or evict — the
+rest are MRU refreshes — so each node carries the run's access count and
+the OR of its write flags.  Nodes are then processed in *rounds* (the
+k-th node of every set together): within a round all lanes touch
+distinct sets, so each round is one gather / match / shift / scatter
+pass over a (lanes, ways) tag matrix with column 0 as MRU.
+
+The result reports per-node outcomes in first-access order plus the
+aggregate counters and the final (sets, ways) tag/dirty matrices, so a
+caller that started from an empty dict-backed cache can materialise the
+identical end state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LruOutcome", "lru_simulate"]
+
+
+@dataclass
+class LruOutcome:
+    """Per-node results of one LRU simulation, in first-access order.
+
+    Attributes:
+        pos: global index of each node's first access.
+        key: the accessed key.
+        count: accesses collapsed into the node (>= 1).
+        write_any: OR of the node's write flags.
+        hit: whether the node's first access hit.
+        evict_key: victim key for evicting misses, else -1.
+        evict_dirty: whether that victim was dirty.
+        accesses: total accesses simulated.
+        set_tags: final (sets, ways) resident keys, column 0 = MRU,
+            -1 = empty way.
+        set_dirty: final per-way dirty bits, aligned with ``set_tags``.
+    """
+
+    pos: np.ndarray
+    key: np.ndarray
+    count: np.ndarray
+    write_any: np.ndarray
+    hit: np.ndarray
+    evict_key: np.ndarray
+    evict_dirty: np.ndarray
+    accesses: int
+    set_tags: np.ndarray
+    set_dirty: np.ndarray
+
+    @property
+    def hits(self) -> int:
+        """Per-access hits (run refreshes always hit)."""
+        return int(self.accesses - len(self.key) + self.hit.sum())
+
+    @property
+    def misses(self) -> int:
+        return int((~self.hit).sum())
+
+    @property
+    def evictions(self) -> int:
+        return int((self.evict_key >= 0).sum())
+
+    @property
+    def dirty_evictions(self) -> int:
+        return int(self.evict_dirty.sum())
+
+
+def lru_simulate(
+    keys: np.ndarray, is_write: np.ndarray, sets: int, ways: int
+) -> LruOutcome:
+    """Simulate a true-LRU set-associative cache over an access stream.
+
+    *keys* index the cache (set = key % sets); *is_write* marks accesses
+    that dirty their entry.  Caches start empty.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    is_write = np.ascontiguousarray(is_write, dtype=bool)
+    total = keys.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if not total:
+        return LruOutcome(
+            pos=empty, key=empty, count=empty,
+            write_any=np.empty(0, dtype=bool), hit=np.empty(0, dtype=bool),
+            evict_key=empty, evict_dirty=np.empty(0, dtype=bool), accesses=0,
+            set_tags=np.full((sets, ways), -1, dtype=np.int64),
+            set_dirty=np.zeros((sets, ways), dtype=bool),
+        )
+    set_ids = keys % sets
+    order = np.argsort(set_ids, kind="stable")
+    sorted_keys = keys[order]
+    sorted_sets = set_ids[order]
+    sorted_writes = is_write[order]
+
+    new_set = np.empty(total, dtype=bool)
+    new_set[0] = True
+    new_set[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    new_run = new_set.copy()
+    new_run[1:] |= sorted_keys[1:] != sorted_keys[:-1]
+    run_start = np.nonzero(new_run)[0]
+    node_count = np.diff(np.append(run_start, total))
+    node_key = sorted_keys[run_start]
+    node_set = sorted_sets[run_start]
+    node_write = np.logical_or.reduceat(sorted_writes, run_start)
+    node_pos = order[run_start]
+    nodes = run_start.shape[0]
+
+    # Rank of each node within its set = its round number.
+    set_change = new_set[run_start]
+    set_start = np.maximum.accumulate(
+        np.where(set_change, np.arange(nodes), 0)
+    )
+    rank = np.arange(nodes) - set_start
+    rank_order = np.argsort(rank, kind="stable")
+    sorted_rank = rank[rank_order]
+    rounds = int(sorted_rank[-1]) + 1
+    bounds = np.searchsorted(sorted_rank, np.arange(rounds + 1))
+
+    # Per-way state packs (key << 1) | dirty, -1 marking an empty way:
+    # one matrix halves the per-round gather/scatter traffic, and the
+    # move-to-front becomes a single masked shift instead of a
+    # take_along_axis gather.
+    state = np.full((sets, ways), -1, dtype=np.int64)
+    hit = np.empty(nodes, dtype=bool)
+    evict_key = np.full(nodes, -1, dtype=np.int64)
+    evict_dirty = np.zeros(nodes, dtype=bool)
+    shift_columns = np.arange(1, ways)[None, :]
+    for round_id in range(rounds):
+        lanes = rank_order[bounds[round_id] : bounds[round_id + 1]]
+        rows = node_set[lanes]
+        lane_state = state[rows]
+        lane_keys = node_key[lanes]
+        lane_write = node_write[lanes]
+        match = (lane_state >> 1) == lane_keys[:, None]
+        lane_hit = match.any(axis=1)
+        hit_col = np.argmax(match, axis=1)
+        occupancy = (lane_state != -1).sum(axis=1)
+        full = occupancy >= ways
+        evicting = ~lane_hit & full
+        victims = lane_state[evicting, ways - 1]
+        evict_key[lanes[evicting]] = victims >> 1
+        evict_dirty[lanes[evicting]] = (victims & 1) == 1
+        # Move-to-front: new column 0 holds the key; entries before the
+        # vacated slot (hit position, LRU way, or first free way) shift
+        # down one; later entries stay.
+        slot = np.where(lane_hit, hit_col, np.where(full, ways - 1, occupancy))
+        front_dirty = np.where(
+            lane_hit,
+            (lane_state[np.arange(lanes.shape[0]), slot] & 1) | lane_write,
+            lane_write,
+        )
+        lane_state[:, 1:] = np.where(
+            shift_columns <= slot[:, None],
+            lane_state[:, :-1],
+            lane_state[:, 1:],
+        )
+        lane_state[:, 0] = (lane_keys << 1) | front_dirty
+        state[rows] = lane_state
+        hit[lanes] = lane_hit
+
+    occupied = state != -1
+    tags = np.where(occupied, state >> 1, np.int64(-1))
+    dirty = occupied & ((state & 1) == 1)
+    emit = np.argsort(node_pos, kind="stable")
+    return LruOutcome(
+        pos=node_pos[emit],
+        key=node_key[emit],
+        count=node_count[emit],
+        write_any=node_write[emit],
+        hit=hit[emit],
+        evict_key=evict_key[emit],
+        evict_dirty=evict_dirty[emit],
+        accesses=total,
+        set_tags=tags,
+        set_dirty=dirty,
+    )

@@ -1,0 +1,127 @@
+"""Vectorised splitmix64 draws, bit-identical to ``DeterministicRng``.
+
+``DeterministicRng`` advances its state by a fixed odd increment
+(GOLDEN_GAMMA) per draw, so the *i*-th output after state ``s0`` is a
+pure function of ``s0 + i * GOLDEN_GAMMA`` — perfectly vectorisable with
+wrapping uint64 arithmetic.  :class:`VecRng` exposes the same draw
+sequence as columnar batches; interleaving vector batches with scalar
+draws from a ``DeterministicRng`` handed the same state yields one
+identical stream.
+
+Bounded draws (``next_below``) use rejection sampling in the scalar
+generator.  For the bounds the data plane uses, a rejection is either
+impossible (powers of two dividing 2**64) or astronomically rare
+(probability below 1e-17 per draw for bounds like 17 or 200), but the
+vector path still has to be *exact*: :func:`below_exact` detects any
+rejected draw in a batch and falls back to scalar continuation from the
+precise state just before the rejected draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import MASK64, DeterministicRng
+
+__all__ = [
+    "GOLDEN_GAMMA",
+    "VecRng",
+    "rejection_threshold",
+    "vec_splitmix64",
+]
+
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+_GAMMA_U64 = np.uint64(GOLDEN_GAMMA)
+_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_MUL2 = np.uint64(0x94D049BB133111EB)
+_SHIFT30 = np.uint64(30)
+_SHIFT27 = np.uint64(27)
+_SHIFT31 = np.uint64(31)
+_SHIFT11 = np.uint64(11)
+_INV_2_53 = 1.0 / float(1 << 53)
+
+
+def rejection_threshold(bound: int) -> int:
+    """The scalar generator's rejection threshold for *bound*."""
+    return (MASK64 + 1) - ((MASK64 + 1) % bound)
+
+
+def vec_splitmix64(states: np.ndarray) -> np.ndarray:
+    """The pure splitmix64 output function over a uint64 array.
+
+    Equivalent to ``repro.util.rng.splitmix64`` applied elementwise:
+    numpy uint64 arithmetic wraps modulo 2**64 exactly like the scalar
+    ``& MASK64`` masking.
+    """
+    with np.errstate(over="ignore"):
+        z = states + _GAMMA_U64
+        z = (z ^ (z >> _SHIFT30)) * _MUL1
+        z = (z ^ (z >> _SHIFT27)) * _MUL2
+        return z ^ (z >> _SHIFT31)
+
+
+class VecRng:
+    """Batch view of one ``DeterministicRng`` stream.
+
+    The integer ``state`` property always equals what the scalar
+    generator's ``_state`` would be after the same number of draws, so a
+    ``DeterministicRng`` can take over (or hand off) at any batch
+    boundary.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & MASK64
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def scalar(self) -> DeterministicRng:
+        """A scalar generator continuing this stream from the current state."""
+        rng = DeterministicRng(0)
+        rng._state = self._state
+        return rng
+
+    def u64(self, count: int) -> np.ndarray:
+        """The next *count* ``next_u64`` outputs as a uint64 array."""
+        if count <= 0:
+            return np.empty(0, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            states = np.uint64(self._state) + _GAMMA_U64 * np.arange(
+                1, count + 1, dtype=np.uint64
+            )
+            out = vec_splitmix64(states)
+        self._state = (self._state + count * GOLDEN_GAMMA) & MASK64
+        return out
+
+    def floats(self, count: int) -> np.ndarray:
+        """The next *count* ``next_float`` outputs (exactly representable)."""
+        return (self.u64(count) >> _SHIFT11).astype(np.float64) * _INV_2_53
+
+    def below_exact(self, bound: int, count: int) -> np.ndarray:
+        """The next *count* ``next_below(bound)`` outputs, rejections included.
+
+        Draws in one batch and checks the scalar rejection threshold; if
+        any draw would have been rejected (probability ~1e-17 per draw
+        for the bounds used here), the accepted prefix is kept and the
+        rest of the batch continues through the scalar generator, which
+        replays the rejection loop exactly.
+        """
+        raw = self.u64(count)
+        threshold = rejection_threshold(bound)
+        if threshold <= MASK64:
+            bad = np.nonzero(raw >= np.uint64(threshold))[0]
+            if bad.size:  # pragma: no cover - ~1e-17 per draw
+                first = int(bad[0])
+                # Rewind to just before the first rejected draw and let
+                # the scalar rejection loop take over from there.
+                self._state = (self._state - (count - first) * GOLDEN_GAMMA) & MASK64
+                rng = self.scalar()
+                tail = [rng.next_below(bound) for _ in range(count - first)]
+                self._state = rng._state
+                out = np.empty(count, dtype=np.uint64)
+                out[:first] = raw[:first] % np.uint64(bound)
+                out[first:] = tail
+                return out
+        return raw % np.uint64(bound)

@@ -1,0 +1,349 @@
+"""Bulk address-stream and trace-column generation.
+
+Columnar mirror of :class:`repro.workloads.tracegen.TraceGenerator` and
+the :mod:`repro.workloads.access` patterns.  Each vector pattern exposes
+``take(n)`` returning the next *n* byte addresses as a uint64 array,
+consuming exactly the RNG draws the scalar generator would — the draws
+for a landing/visit/phase happen when its *first* address is requested,
+and a ``take`` boundary falling inside a burst buffers the remainder
+without drawing ahead (over-drawing would corrupt mixed patterns, whose
+sub-streams persist across phases).
+
+The landing loops stay scalar Python (they are inherently sequential
+and consume 1–3 draws per multi-address landing), while burst expansion,
+modular address arithmetic, stream sweeps, and the op/gap trace columns
+are vectorised.  Gap values divide ``log(u)`` by ``log(p)`` in float:
+``np.log`` and ``math.log`` may disagree in the last ulp, so quotients
+within a guard band of an integer are recomputed with the scalar
+formula before truncation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..util.bitops import CACHELINE_BYTES
+from ..util.rng import DeterministicRng, splitmix64
+from ..workloads.profiles import BenchmarkProfile
+from .rng import VecRng
+
+__all__ = [
+    "core_columns",
+    "make_vector_pattern",
+    "workload_columns",
+]
+
+
+def _expand_landings(
+    base: int,
+    region_lines: int,
+    starts: List[int],
+    counts: List[int],
+) -> np.ndarray:
+    """Expand (start line, count) landings into wrapped byte addresses."""
+    start_arr = np.array(starts, dtype=np.int64)
+    count_arr = np.array(counts, dtype=np.int64)
+    total = int(count_arr.sum())
+    line = np.repeat(start_arr, count_arr) + (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(count_arr) - count_arr, count_arr)
+    )
+    return (base + (line % region_lines) * CACHELINE_BYTES).astype(np.uint64)
+
+
+class _VecStream:
+    """Vector mirror of ``StreamPattern.addresses``."""
+
+    def __init__(self, base: int, region_bytes: int, seed: int, stride: int) -> None:
+        self._base = base
+        self._lines = region_bytes // CACHELINE_BYTES
+        self._stride = stride
+        self._rng = DeterministicRng(seed)
+        self._index: Optional[int] = None
+
+    def take(self, n: int) -> np.ndarray:
+        if self._index is None:
+            self._index = self._rng.next_below(self._lines)
+        line = self._index + self._stride * np.arange(n, dtype=np.int64)
+        self._index = (self._index + self._stride * n) % self._lines
+        return (self._base + (line % self._lines) * CACHELINE_BYTES).astype(np.uint64)
+
+
+class _BurstPattern:
+    """Shared take/buffer machinery for landing-plus-burst patterns."""
+
+    def __init__(self, base: int, region_bytes: int, seed: int) -> None:
+        self._base = base
+        self._lines = region_bytes // CACHELINE_BYTES
+        self._rng = DeterministicRng(seed)
+        #: (start line incl. consumed offsets, addresses still to emit)
+        self._pending: Optional[Tuple[int, int]] = None
+
+    def _next_landing(self) -> Tuple[int, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def take(self, n: int) -> np.ndarray:
+        starts: List[int] = []
+        counts: List[int] = []
+        filled = 0
+        if self._pending is not None:
+            start, remaining = self._pending
+            emit = min(remaining, n)
+            starts.append(start)
+            counts.append(emit)
+            filled = emit
+            self._pending = (start + emit, remaining - emit) if emit < remaining else None
+        while filled < n:
+            line, burst = self._next_landing()
+            emit = min(burst, n - filled)
+            starts.append(line)
+            counts.append(emit)
+            filled += emit
+            if emit < burst:
+                self._pending = (line + emit, burst - emit)
+        return _expand_landings(self._base, self._lines, starts, counts)
+
+
+class _VecRandom(_BurstPattern):
+    """Vector mirror of ``UniformRandomPattern.addresses``."""
+
+    def __init__(self, base: int, region_bytes: int, seed: int, burst: int) -> None:
+        super().__init__(base, region_bytes, seed)
+        self._burst = burst
+
+    def _next_landing(self) -> Tuple[int, int]:
+        rng = self._rng
+        line = rng.next_below(self._lines)
+        burst = 1 if self._burst == 1 else 1 + rng.next_below(2 * self._burst - 1)
+        return line, burst
+
+
+class _VecZipf(_BurstPattern):
+    """Vector mirror of ``ZipfPattern.addresses``."""
+
+    def __init__(
+        self,
+        base: int,
+        region_bytes: int,
+        seed: int,
+        alpha: float,
+        hot_fraction: float,
+        burst: int,
+    ) -> None:
+        super().__init__(base, region_bytes, seed)
+        self._alpha = alpha
+        self._hot_lines = max(1, int(self._lines * hot_fraction))
+        self._log_hot = math.log(self._hot_lines + 1)
+        self._burst = burst
+
+    def _next_landing(self) -> Tuple[int, int]:
+        rng = self._rng
+        if rng.next_float() < 0.7:  # ZipfPattern._hot_probability
+            u = max(rng.next_float(), 1e-12) ** (1.0 / self._alpha)
+            rank = int(math.exp(u * self._log_hot)) - 1
+            rank = min(rank, self._hot_lines - 1)
+            line = splitmix64(rank * 0x9E3779B97F4A7C15) % self._lines
+        else:
+            line = rng.next_below(self._lines)
+        burst = 1 + rng.next_below(2 * self._burst - 1) if self._burst > 1 else 1
+        return line, burst
+
+
+class _VecChase(_BurstPattern):
+    """Vector mirror of ``PointerChasePattern.addresses``.
+
+    The advance draw (restart float, plus the random-target draw on a
+    restart) happens *after* a visit's last yield in the scalar
+    generator — i.e. when the next visit's first address is requested —
+    so it runs at the top of ``_next_landing`` guarded by a first-visit
+    flag.
+    """
+
+    def __init__(
+        self, base: int, region_bytes: int, seed: int, restart: float, burst: int
+    ) -> None:
+        super().__init__(base, region_bytes, seed)
+        self._restart = restart
+        self._burst = burst
+        self._current = 0
+        self._started = False
+
+    def _next_landing(self) -> Tuple[int, int]:
+        rng = self._rng
+        if self._started:
+            if rng.next_float() < self._restart:
+                self._current = rng.next_below(self._lines)
+            else:
+                self._current = splitmix64(self._current ^ 0xC0FFEE) % self._lines
+        self._started = True
+        burst = 1 + rng.next_below(2 * self._burst - 1) if self._burst > 1 else 1
+        return self._current, burst
+
+
+class _VecMixed:
+    """Vector mirror of ``MixedPattern.addresses``."""
+
+    def __init__(self, subpatterns: List[object], seed: int, phase_length: int) -> None:
+        self._subs = subpatterns
+        self._rng = DeterministicRng(seed)
+        self._phase_length = phase_length
+        self._current: Optional[object] = None
+        self._remaining = 0
+
+    def take(self, n: int) -> np.ndarray:
+        chunks: List[np.ndarray] = []
+        filled = 0
+        while filled < n:
+            if self._remaining == 0:
+                self._current = self._subs[self._rng.next_below(len(self._subs))]
+                self._remaining = 1 + self._rng.next_below(2 * self._phase_length)
+            emit = min(self._remaining, n - filled)
+            chunks.append(self._current.take(emit))
+            self._remaining -= emit
+            filled += emit
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
+def make_vector_pattern(
+    profile: BenchmarkProfile, region_base: int, region_bytes: int, seed: int
+):
+    """Vector twin of ``BenchmarkProfile.make_pattern`` (same draw stream)."""
+    params = dict(profile.pattern_params)
+    kind = profile.pattern_kind
+    if kind == "stream":
+        return _VecStream(
+            region_base, region_bytes, seed, int(params.get("stride_lines", 1))
+        )
+    if kind == "random":
+        return _VecRandom(
+            region_base, region_bytes, seed, int(params.get("burst_lines", 1))
+        )
+    if kind == "zipf":
+        return _VecZipf(
+            region_base,
+            region_bytes,
+            seed,
+            alpha=params.get("alpha", 0.8),
+            hot_fraction=params.get("hot_fraction", 0.1),
+            burst=int(params.get("burst_lines", 3)),
+        )
+    if kind == "chase":
+        return _VecChase(
+            region_base,
+            region_bytes,
+            seed,
+            restart=params.get("restart_probability", 0.02),
+            burst=int(params.get("burst_lines", 2)),
+        )
+    components = str(params.get("components", "stream,zipf")).split(",")
+    subpatterns = []
+    for index, sub_kind in enumerate(components):
+        sub_seed = seed * len(components) + index + 1
+        if sub_kind == "stream":
+            subpatterns.append(_VecStream(region_base, region_bytes, sub_seed, 1))
+        elif sub_kind == "zipf":
+            subpatterns.append(
+                _VecZipf(
+                    region_base,
+                    region_bytes,
+                    sub_seed,
+                    alpha=params.get("alpha", 0.8),
+                    hot_fraction=0.1,
+                    burst=int(params.get("burst_lines", 3)),
+                )
+            )
+        elif sub_kind == "random":
+            subpatterns.append(
+                _VecRandom(
+                    region_base, region_bytes, sub_seed,
+                    int(params.get("burst_lines", 2)),
+                )
+            )
+        elif sub_kind == "chase":
+            subpatterns.append(
+                _VecChase(
+                    region_base,
+                    region_bytes,
+                    sub_seed,
+                    restart=params.get("restart_probability", 0.02),
+                    burst=int(params.get("burst_lines", 2)),
+                )
+            )
+        else:
+            raise ValueError(f"unknown mixed component {sub_kind!r}")
+    return _VecMixed(subpatterns, seed, int(params.get("phase_length", 256)))
+
+
+def _geometric_gaps(gap_floats: np.ndarray, gap_log_p: float) -> np.ndarray:
+    """Vector mirror of ``TraceGenerator._geometric_gap`` over unit draws."""
+    u = np.maximum(gap_floats, 1e-12)
+    quotient = np.log(u) / gap_log_p
+    gaps = np.floor(quotient)  # quotient >= 0, so floor == int() truncation
+    # np.log may differ from math.log in the last ulp; only quotients
+    # within a guard band of an integer can truncate differently, so
+    # recompute those with the exact scalar formula.
+    fraction = quotient - gaps
+    band = 1e-9 + np.abs(quotient) * 1e-12
+    risky = np.nonzero((fraction < band) | (fraction > 1.0 - band))[0]
+    if risky.size:
+        gaps[risky] = [
+            int(math.log(value) / gap_log_p) for value in u[risky].tolist()
+        ]
+    return gaps.astype(np.int64)
+
+
+def core_columns(
+    profile: BenchmarkProfile,
+    region_base: int,
+    region_bytes: int,
+    seed: int,
+    count: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One core's trace as ``(addresses u64, gaps u32, ops u8)`` columns.
+
+    Bit-identical to draining ``TraceGenerator(...).records(count)``:
+    the op draw precedes the gap draw per record (both from the
+    ``seed ^ 0x7ACE`` stream), and the address stream consumes its own
+    pattern draws.
+    """
+    pattern = make_vector_pattern(profile, region_base, region_bytes, seed)
+    addresses = pattern.take(count)
+    trace_rng = VecRng(seed ^ 0x7ACE)
+    mean = profile.mean_gap
+    if mean:
+        draws = trace_rng.floats(2 * count)
+        op_floats = draws[0::2]
+        gap_log_p = math.log(mean / (mean + 1.0))
+        gaps = _geometric_gaps(draws[1::2], gap_log_p)
+    else:
+        op_floats = trace_rng.floats(count)
+        gaps = np.zeros(count, dtype=np.int64)
+    ops = (op_floats < profile.write_fraction).astype(np.uint8)
+    return (
+        np.ascontiguousarray(addresses, dtype="<u8"),
+        np.ascontiguousarray(gaps, dtype="<u4"),
+        ops,
+    )
+
+
+def workload_columns(
+    profiles,
+    regions,
+    records_per_core: int,
+    seed: int,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-core trace columns for a resolved workload layout.
+
+    Mirrors the per-core seeding of
+    :func:`repro.workloads.tracegen.generate_workload` exactly
+    (``rng.fork(core_id).next_u64()`` off one ``DeterministicRng(seed)``).
+    """
+    rng = DeterministicRng(seed)
+    columns = []
+    for core_id, (profile, (base, size)) in enumerate(zip(profiles, regions)):
+        core_seed = rng.fork(core_id).next_u64()
+        columns.append(core_columns(profile, base, size, core_seed, records_per_core))
+    return columns

@@ -268,6 +268,12 @@ METRIC_CATALOG: Tuple[MetricSpec, ...] = (
                "metadata-cache lookups"),
     MetricSpec("metadata_hits", "cumulative", "accesses",
                "metadata-cache lookups served without a memory access"),
+    MetricSpec("metadata_installs", "cumulative", "requests",
+               "metadata fills from memory (misses that cost a read)"),
+    MetricSpec("metadata_writebacks", "cumulative", "requests",
+               "dirty metadata evictions written back to memory"),
+    MetricSpec("compressible_reads", "cumulative", "requests",
+               "demand reads whose line compresses to <= 30 B"),
     MetricSpec("subrank<n>_beats", "cumulative", "data beats",
                "data-bus beats served by sub-rank <n>"),
     MetricSpec("channel<n>_queue", "instant", "requests",

@@ -121,6 +121,38 @@ class DataScrambler:
         self._keystreams[address] = entry
         return entry
 
+    def keystream_lines(self, addresses):
+        """Full-line keystreams for a batch of addresses.
+
+        Returns an (N, 64) uint8 matrix, row *i* bit-identical to
+        ``keystream(addresses[i], CACHELINE_BYTES)``.  Dispatches to the
+        vector kernels when enabled; otherwise assembles the matrix from
+        the scalar (memoised) path.
+        """
+        import numpy as np
+
+        from repro import kernels
+
+        if kernels.enabled():
+            from repro.kernels.scramble import keystream_matrix
+
+            return keystream_matrix(self._seed, addresses)
+        return np.frombuffer(
+            b"".join(
+                self.keystream(int(address), CACHELINE_BYTES)
+                for address in np.asarray(addresses).tolist()
+            ),
+            dtype=np.uint8,
+        ).reshape(-1, CACHELINE_BYTES)
+
+    def scramble_lines(self, addresses, matrix):
+        """Scramble an (N, 64) uint8 line matrix in one XOR sweep.
+
+        The batch mirror of :meth:`scramble` for full lines; XOR is an
+        involution, so it descrambles too.
+        """
+        return matrix ^ self.keystream_lines(addresses)
+
     def scramble(self, address: int, data: bytes) -> bytes:
         """Scramble *data* destined for *address*."""
         length = len(data)

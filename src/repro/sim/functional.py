@@ -115,6 +115,20 @@ class FunctionalRun:
     metadata_installs: int = 0
     metadata_writebacks: int = 0
 
+    def to_dict(self) -> dict:
+        """Canonical payload (digest-stable; used by the pinned bench)."""
+        return {
+            "workload": self.workload,
+            "demand_reads": self.demand_reads,
+            "demand_writes": self.demand_writes,
+            "compressible_reads": self.compressible_reads,
+            "copr_accuracy": self.copr_accuracy,
+            "copr_by_source": dict(sorted(self.copr_by_source.items())),
+            "metadata_hit_rate": self.metadata_hit_rate,
+            "metadata_installs": self.metadata_installs,
+            "metadata_writebacks": self.metadata_writebacks,
+        }
+
     @property
     def demand_requests(self) -> int:
         return self.demand_reads + self.demand_writes
@@ -148,18 +162,24 @@ def run_functional(
     metadata_cache: Optional[MetadataCache] = None,
     copr_config: Optional[CoprConfig] = None,
     copr_memory_bytes: Optional[int] = None,
+    obs=None,
 ) -> FunctionalRun:
     """One functional pass: feed LLC-filtered events into the metadata
     cache and/or COPR and report hit rates, accuracy, and traffic.
 
     The Global Indicator partitions the workload's populated address
-    span by default (``copr_memory_bytes`` overrides).
+    span by default (``copr_memory_bytes`` overrides).  When the vector
+    kernels are enabled (:mod:`repro.kernels`) and the workload carries
+    trace columns, the whole pass runs through the batched pipeline —
+    bit-identical results, no per-record Python loop.  ``obs`` accepts
+    an :class:`repro.obs.ObsConfig` or :class:`repro.obs.Observability`
+    hub; the run's demand and metadata-traffic totals are emitted as
+    registry counters.
     """
     workload = build_workload(
         benchmark, cores=cores, records_per_core=records_per_core,
         seed=seed, footprint_scale=footprint_scale,
     )
-    stream = MissStream(workload, llc_bytes=llc_bytes, llc_ways=llc_ways)
     copr = (
         CoprPredictor(
             copr_memory_bytes
@@ -171,23 +191,45 @@ def run_functional(
         else None
     )
     run = FunctionalRun(workload=benchmark)
-    for event in stream.events():
-        line = event.address // CACHELINE_BYTES
-        if event.is_writeback:
-            run.demand_writes += 1
-            if metadata_cache is not None:
-                metadata_cache.access(line, make_dirty=True)
-            if copr is not None:
-                copr.update(event.address, event.compressible)
-        else:
-            run.demand_reads += 1
-            if event.compressible:
-                run.compressible_reads += 1
-            if metadata_cache is not None:
-                metadata_cache.access(line, make_dirty=False)
-            if copr is not None:
-                predicted = copr.predict(event.address)
-                copr.update(event.address, event.compressible, predicted=predicted)
+
+    counters = None
+    from repro import kernels
+
+    if kernels.enabled():
+        from repro.kernels.functional import simulate_events
+
+        # Instantiating the scalar LLC keeps the geometry validation
+        # (and its error messages) identical across both paths.
+        llc = LastLevelCache(llc_bytes, llc_ways)
+        counters = simulate_events(
+            workload, llc.sets, llc.ways,
+            metadata_cache=metadata_cache, copr=copr,
+        )
+    if counters is not None:
+        run.demand_reads = counters.demand_reads
+        run.demand_writes = counters.demand_writes
+        run.compressible_reads = counters.compressible_reads
+    else:
+        stream = MissStream(workload, llc_bytes=llc_bytes, llc_ways=llc_ways)
+        for event in stream.events():
+            line = event.address // CACHELINE_BYTES
+            if event.is_writeback:
+                run.demand_writes += 1
+                if metadata_cache is not None:
+                    metadata_cache.access(line, make_dirty=True)
+                if copr is not None:
+                    copr.update(event.address, event.compressible)
+            else:
+                run.demand_reads += 1
+                if event.compressible:
+                    run.compressible_reads += 1
+                if metadata_cache is not None:
+                    metadata_cache.access(line, make_dirty=False)
+                if copr is not None:
+                    predicted = copr.predict(event.address)
+                    copr.update(
+                        event.address, event.compressible, predicted=predicted
+                    )
     if metadata_cache is not None:
         run.metadata_hit_rate = metadata_cache.stats.hit_rate
         run.metadata_installs = metadata_cache.stats.installs
@@ -195,4 +237,27 @@ def run_functional(
     if copr is not None:
         run.copr_accuracy = copr.stats.accuracy
         run.copr_by_source = dict(copr.stats.by_source)
+    _emit_obs(run, metadata_cache, copr, obs)
     return run
+
+
+def _emit_obs(run: FunctionalRun, metadata_cache, copr, obs) -> None:
+    """Publish one run's totals as observability counters."""
+    if obs is None:
+        return
+    from repro.obs import as_observability
+
+    hub = as_observability(obs)
+    registry = hub.registry
+    registry.counter("demand_reads").inc(run.demand_reads)
+    registry.counter("demand_writes").inc(run.demand_writes)
+    registry.counter("compressible_reads").inc(run.compressible_reads)
+    if metadata_cache is not None:
+        stats = metadata_cache.stats
+        registry.counter("metadata_accesses").inc(stats.accesses)
+        registry.counter("metadata_hits").inc(stats.hits)
+        registry.counter("metadata_installs").inc(run.metadata_installs)
+        registry.counter("metadata_writebacks").inc(run.metadata_writebacks)
+    if copr is not None:
+        registry.counter("copr_predictions").inc(copr.stats.predictions)
+        registry.counter("copr_correct").inc(copr.stats.correct)

@@ -280,6 +280,14 @@ class DataModel:
         self, line_addresses, at_version: int = 0
     ) -> Tuple[int, int]:
         """Return ``(compressible, total)`` over the given lines."""
+        from repro import kernels
+
+        if kernels.enabled():
+            from repro.kernels.datagen import (
+                measure_compressibility as batch_measure,
+            )
+
+            return batch_measure(self, line_addresses, at_version)
         compressible = 0
         total = 0
         for line in line_addresses:

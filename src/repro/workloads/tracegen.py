@@ -125,6 +125,11 @@ class WorkloadInstance:
         traces: per-core trace iterators.
         data_model: content source covering every core's region.
         region_bases: per-core region base addresses.
+        columns: optional per-core ``(addresses, gaps, ops)`` trace
+            columns (numpy arrays or buffer views) backing ``traces`` —
+            present when the instance was built through the vector
+            kernels or replayed from a bank blob, and consumed by the
+            batched functional pipeline.
     """
 
     name: str
@@ -133,6 +138,7 @@ class WorkloadInstance:
     data_model: CompositeDataModel
     region_bases: List[int]
     region_sizes: List[int] = None  # type: ignore[assignment]
+    columns: Optional[List[tuple]] = None
 
     @property
     def cores(self) -> int:
@@ -217,11 +223,28 @@ def generate_workload(
     regions = layout_regions(profiles, footprint_scale)
 
     traces: List[Iterator[TraceRecord]] = []
-    rng = DeterministicRng(seed)
-    for core_id, (profile, (base, size)) in enumerate(zip(profiles, regions)):
-        core_seed = rng.fork(core_id).next_u64()
-        generator = TraceGenerator(profile, base, size, core_seed)
-        traces.append(generator.records(records_per_core))
+    columns = None
+    from repro import kernels
+
+    if kernels.enabled():
+        from repro.kernels.tracegen import workload_columns
+        from repro.workloads.bank import replay_records
+
+        columns = workload_columns(profiles, regions, records_per_core, seed)
+        for addresses, gaps, ops in columns:
+            # memoryviews iterate as plain Python ints, so the replayed
+            # records are indistinguishable from the generator's.
+            traces.append(replay_records(
+                memoryview(addresses), memoryview(gaps), memoryview(ops)
+            ))
+    else:
+        rng = DeterministicRng(seed)
+        for core_id, (profile, (base, size)) in enumerate(
+            zip(profiles, regions)
+        ):
+            core_seed = rng.fork(core_id).next_u64()
+            generator = TraceGenerator(profile, base, size, core_seed)
+            traces.append(generator.records(records_per_core))
 
     return WorkloadInstance(
         name=name,
@@ -230,6 +253,7 @@ def generate_workload(
         data_model=build_data_model(profiles, regions, seed),
         region_bases=[base for base, __ in regions],
         region_sizes=[size for __, size in regions],
+        columns=columns,
     )
 
 
