@@ -336,9 +336,44 @@ def _obs_config_from_args(args: argparse.Namespace, trace: bool):
     )
 
 
+def _trace_run_dir(args: argparse.Namespace) -> int:
+    """Export a finished orchestrated run's span log as a Perfetto trace."""
+    from repro.obs.fleet import load_span_records, write_fleet_trace
+
+    if not load_span_records(args.run):
+        print(f"no span records under {args.run}/spans.jsonl")
+        print("record some by re-running the sweep with --spans "
+              "(sweep / orchestrate / cluster sweep)")
+        return 1
+    path, trace = write_fleet_trace(args.run, output=args.output)
+    events = trace.get("traceEvents", [])
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    marks = sum(1 for e in events if e.get("ph") == "i")
+    agents = trace.get("otherData", {}).get("agents", [])
+    rows = [
+        ["trace file", str(path)],
+        ["span events", str(spans)],
+        ["instant events", str(marks)],
+        ["agents", ", ".join(agents) if agents else "(local pool only)"],
+    ]
+    for entry in trace.get("otherData", {}).get("clock_offsets", []):
+        offset = entry.get("offset_s")
+        if entry.get("agent") and offset is not None:
+            rows.append([f"clock offset: {entry['agent']}",
+                         f"{1000 * offset:+.3f} ms"])
+    print(format_table(["metric", "value"], rows,
+                       title=f"fleet trace: {args.run}"))
+    print(f"open in Perfetto (https://ui.perfetto.dev) or "
+          f"chrome://tracing: {path}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Record sampled request lifecycles and write a Chrome trace."""
     from repro.obs import Observability
+
+    if args.run is not None:
+        return _trace_run_dir(args)
 
     hub = Observability(_obs_config_from_args(args, trace=True))
     result = run_benchmark(
@@ -501,6 +536,13 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     summary = obs.summary()
     print(f"overall: bandwidth {summary['bandwidth_bytes_per_cycle']:.2f} "
           f"B/cycle over {obs.num_epochs} epochs")
+    latency = hub.registry.get("controller.read_latency_bus_cycles")
+    if latency is not None and getattr(latency, "count", 0):
+        print(f"read latency (bus cycles): "
+              f"p50 {latency.quantile(0.50):.1f}, "
+              f"p95 {latency.quantile(0.95):.1f}, "
+              f"p99 {latency.quantile(0.99):.1f} "
+              f"over {latency.count} reads (bucket estimates)")
     return 0
 
 
@@ -513,6 +555,17 @@ def _grid_obs(args: argparse.Namespace):
     # Grid points never keep a tracer handle to write out, so sweeps
     # collect only the time series.
     return ObsConfig(epoch_cycles=args.obs_epoch, trace=False)
+
+
+def _grid_fleet(args: argparse.Namespace):
+    """The grid's FleetConfig when fleet flags were passed, else None."""
+    spans = bool(getattr(args, "spans", False))
+    port = getattr(args, "status_port", None)
+    if not spans and port is None:
+        return None
+    from repro.obs.fleet import FleetConfig
+
+    return FleetConfig(spans=spans, status_port=port)
 
 
 def _run_grid(args: argparse.Namespace, run_dir=None):
@@ -533,6 +586,7 @@ def _run_grid(args: argparse.Namespace, run_dir=None):
         obs=_grid_obs(args),
         pool=args.pool,
         recycle_after=args.recycle_after,
+        fleet=_grid_fleet(args),
     )
 
 
@@ -703,6 +757,7 @@ def _cluster_sweep(args: argparse.Namespace) -> int:
         progress=args.progress,
         obs=_grid_obs(args),
         pool=backend,
+        fleet=_grid_fleet(args),
     )
     csv_text = sweep.to_csv(metrics=list(args.metrics))
     if args.output == "-":
@@ -756,6 +811,17 @@ def _cluster_status(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard for a running (or finished) grid run."""
+    from repro.obs.top import run_top
+
+    try:
+        return run_top(args.target, interval_s=args.interval,
+                       once=args.once)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     handlers = {
         "agent": _cluster_agent,
@@ -782,6 +848,7 @@ def _run_grid_with_scale(args, scale, run_dir):
         obs=_grid_obs(args),
         pool=args.pool,
         recycle_after=args.recycle_after,
+        fleet=_grid_fleet(args),
     )
 
 
@@ -910,6 +977,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--output", default=None,
         help="trace path (default <benchmark>.<system>.trace.json)",
+    )
+    trace_parser.add_argument(
+        "--run", metavar="RUN_DIR", default=None,
+        help="instead of simulating, merge RUN_DIR/spans.jsonl (recorded "
+             "by sweep/orchestrate/cluster sweep --spans) into one "
+             "Perfetto trace of the whole distributed run",
     )
     _add_obs(trace_parser)
     trace_parser.add_argument(
@@ -1057,6 +1130,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--hosts", nargs="+", required=True, metavar="HOST:PORT",
         help="agents to query (HOST:PORT only)",
     )
+
+    top_parser = commands.add_parser(
+        "top",
+        help="live dashboard for a grid run (status URL or run dir)",
+    )
+    top_parser.add_argument(
+        "target", metavar="URL|RUN_DIR",
+        help="a --status-port URL (http://host:port) for a live view, or "
+             "a run directory for a post-hoc snapshot from its "
+             "telemetry.jsonl",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (live view)",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit",
+    )
     return parser
 
 
@@ -1122,6 +1214,15 @@ def _add_grid(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--obs", action="store_true",
                         help="attach per-epoch time series to every "
                              "grid point's result")
+    parser.add_argument("--spans", action="store_true",
+                        help="record orchestration spans (queued/dispatch/"
+                             "run/cache/retry per attempt) to "
+                             "<run-dir>/spans.jsonl for repro trace --run")
+    parser.add_argument("--status-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live /status.json + Prometheus "
+                             "/metrics on this port while the grid runs "
+                             "(0 = OS-chosen; the URL is announced)")
     _add_obs(parser)
 
 
@@ -1139,6 +1240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "orchestrate": _cmd_orchestrate,
         "cluster": _cmd_cluster,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

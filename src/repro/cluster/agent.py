@@ -71,6 +71,9 @@ class _LocalJob:
     worker: object
     started: float
     label: str = ""
+    #: Agent-monotonic fleet-span timestamps (zeros when not observed).
+    received: float = 0.0  #: job frame arrival
+    probe: tuple = ()      #: (t0, t1) around the agent-cache lookup
 
 
 @dataclass
@@ -199,6 +202,7 @@ class AgentServer:
         channel.send(protocol.welcome(
             code=code_fingerprint(), name=self.name, slots=self.jobs,
             pid=os.getpid(), has_cache=self.cache is not None,
+            clock=time.monotonic(),
         ))
         self.stats.sessions += 1
         self._serve_jobs(channel)
@@ -261,7 +265,17 @@ class AgentServer:
         """Handle one coordinator message; False ends the session."""
         kind = message.get("kind")
         if kind == "ping":
-            channel.send(protocol.pong(message.get("seq", 0)))
+            # The clock echo is the coordinator's offset-sample source:
+            # it timestamps send/receive around this round trip and maps
+            # our monotonic domain onto its own (Cristian's algorithm).
+            channel.send(protocol.pong(message.get("seq", 0),
+                                       clock=time.monotonic()))
+            return True
+        if kind == "observe":
+            # Fleet spans: start reporting agent-side phase timestamps.
+            set_timing = getattr(backend, "set_timing", None)
+            if set_timing is not None:
+                set_timing(bool(message.get("spans")))
             return True
         if kind == "seed":
             agent_cache.seed(message.get("keys", ()))
@@ -289,18 +303,29 @@ class AgentServer:
         job_id = message["id"]
         key = message["key"]
         payload = message["job"]
+        observed = bool(getattr(backend, "timing", False))
+        received = time.monotonic() if observed else 0.0
+        probe_t0 = time.monotonic() if observed else 0.0
         status, cached_result = agent_cache.lookup(key)
+        probe = (probe_t0, time.monotonic()) if observed else ()
+
+        def cache_timing():
+            if not observed:
+                return None
+            return {"phases": {"cache_probe": list(probe)}, "remote": True}
+
         if status == HIT_SEEDED:
             self.stats.served += 1
             self.stats.cache_hits += 1
-            channel.send(protocol.result_ref(job_id, key, self.name))
+            channel.send(protocol.result_ref(job_id, key, self.name,
+                                             timing=cache_timing()))
             return
         if status == HIT_FULL:
             self.stats.served += 1
             self.stats.cache_hits += 1
             channel.send(protocol.result(
                 job_id, key, cached_result.to_dict(), agent=self.name,
-                wall_s=0.0, cached=True,
+                wall_s=0.0, cached=True, timing=cache_timing(),
             ))
             return
         try:
@@ -315,6 +340,7 @@ class AgentServer:
             job_id=job_id, key=key, process=process, conn=conn,
             worker=worker, started=time.monotonic(),
             label=str(payload.get("benchmark", "")),
+            received=received, probe=probe,
         )
 
     def _complete(self, job: _LocalJob, channel, backend, agent_cache,
@@ -329,7 +355,22 @@ class AgentServer:
         if payload is None and job.process.exitcode is None:
             return  # spurious wakeup; the worker is still going
         inflight.pop(job.job_id, None)
-        wall = time.monotonic() - job.started
+        finished = time.monotonic()
+        wall = finished - job.started
+        timing = None
+        if getattr(backend, "timing", False):
+            # All agent-monotonic; the coordinator maps these onto its
+            # own timeline with the link's clock-offset estimate.
+            phases = {
+                "agent_queue": [job.received or job.started, job.started],
+                "agent_run": [job.started, finished],
+            }
+            if job.probe:
+                phases["cache_probe"] = list(job.probe)
+            worker_phases = ((payload or {}).get("timing") or {}).get("phases")
+            if worker_phases:
+                phases.update(worker_phases)
+            timing = {"phases": phases, "remote": True}
         if payload is None:
             exitcode = job.process.exitcode
             backend.retire_dead(job)
@@ -337,6 +378,7 @@ class AgentServer:
             channel.send(protocol.error(
                 job.job_id, job.key, self.name,
                 f"worker crashed (exit code {exitcode})",
+                timing=timing,
             ))
             return
         if payload.get("status") == "ok":
@@ -349,7 +391,7 @@ class AgentServer:
             )
             channel.send(protocol.result(
                 job.job_id, job.key, payload["result"], agent=self.name,
-                wall_s=wall, cached=False,
+                wall_s=wall, cached=False, timing=timing,
             ))
         else:
             backend.retire_ok(job)  # the worker survived the exception
@@ -360,6 +402,7 @@ class AgentServer:
                 traceback_text=payload.get("traceback"),
                 rng=payload.get("rng"),
                 fastpath=payload.get("fastpath"),
+                timing=timing,
             ))
 
 

@@ -35,6 +35,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster import protocol
 from repro.cluster.federation import known_keys
+from repro.obs.fleet import (
+    NULL_SPAN_LOG,
+    ClockSample,
+    estimate_clock_offset,
+    map_remote_time,
+)
 from repro.cluster.transport import ConnectionClosed, FrameChannel, TransportError
 from repro.cluster.transport import connect as transport_connect
 from repro.orchestrator.cache import ResultCache
@@ -70,6 +76,24 @@ class AgentLink:
         self.inflight: set = set()
         self.served = 0
         self.reader: Optional[threading.Thread] = None
+        #: Agent monotonic-clock offset estimate (``local = remote -
+        #: offset``) and the RTT of the sample that produced it.  Seeded
+        #: by the handshake round trip, refined by every ping/pong.
+        self.clock_offset: Optional[float] = None
+        self.clock_rtt: Optional[float] = None
+
+    def observe_clock(self, sent: float, received: float,
+                      remote: float) -> None:
+        """Fold one round-trip clock sample into the offset estimate.
+
+        Keeps the minimum-RTT sample seen so far — the tightest error
+        bound (Cristian's algorithm: the true offset is within RTT/2).
+        """
+        sample = ClockSample(sent=sent, received=received, remote=remote)
+        if self.clock_rtt is None or sample.rtt < self.clock_rtt:
+            self.clock_offset, self.clock_rtt = estimate_clock_offset(
+                [sample]
+            )
 
     @property
     def free_slots(self) -> int:
@@ -143,6 +167,8 @@ class ClusterBackend:
         self._jobs: Dict[str, _ClusterJob] = {}
         self._counter = itertools.count(1)
         self._ping_seq = itertools.count(1)
+        self._ping_sent: Dict[int, float] = {}  # seq -> send monotonic
+        self._spans = NULL_SPAN_LOG
         self._closing = False
         self.redispatched = 0  #: jobs re-sent after an agent died
         self.speculated = 0    #: duplicate dispatches of tail jobs
@@ -180,6 +206,30 @@ class ClusterBackend:
     def prepare(self, keys: Iterable[str]) -> None:
         """Orchestrator pre-run hook: static seed over the whole grid."""
         self.seed_known(keys)
+
+    # -- fleet observability --------------------------------------------
+
+    def attach_fleet(self, spans) -> None:
+        """Orchestrator hook: record spans for this run into *spans*.
+
+        Asks every agent to start timestamping job phases (``observe``
+        advisory) and annotates the span log with the current per-agent
+        clock-offset estimates; the heartbeat keeps refining them.
+        """
+        self._spans = spans
+        with self._cond:
+            links = [l for l in self._links if l.alive]
+        message = protocol.observe(True)
+        for link in links:
+            try:
+                link.channel.send(message)
+            except ConnectionClosed:
+                self._mark_dead(link)
+                continue
+            if link.clock_offset is not None:
+                spans.meta("agent_clock", agent=link.name,
+                           offset=round(link.clock_offset, 6),
+                           rtt=round(link.clock_rtt, 6))
 
     def _broadcast_seed(self, keys: List[str],
                         except_link: Optional[AgentLink] = None) -> None:
@@ -309,15 +359,40 @@ class ClusterBackend:
             job.links.add(link)
             return link
 
+    def _mapped_timing(self, link: AgentLink,
+                       message: dict) -> Optional[dict]:
+        """Agent-side phase timestamps on the coordinator's timeline.
+
+        Timing only ships when the run is observed; if no clock-offset
+        estimate exists yet (cannot happen after a completed handshake,
+        but stay safe) the phases are dropped rather than misplaced.
+        """
+        timing = message.get("timing")
+        if not timing or link.clock_offset is None:
+            return None
+        offset = link.clock_offset
+        phases = {}
+        for name, pair in (timing.get("phases") or {}).items():
+            try:
+                phases[name] = [map_remote_time(float(pair[0]), offset),
+                                map_remote_time(float(pair[1]), offset)]
+            except (TypeError, ValueError, IndexError):
+                continue
+        return {"phases": phases} if phases else None
+
     def _payload_from(self, link: AgentLink, message: dict) -> dict:
         kind = message["kind"]
+        timing = self._mapped_timing(link, message)
         if kind == "result":
-            return {
+            out = {
                 "status": "ok",
                 "result": message["result"],
                 "agent": message.get("agent", link.name),
                 "cached": bool(message.get("cached")),
             }
+            if timing is not None:
+                out["timing"] = timing
+            return out
         if kind == "result_ref":
             cached = (
                 self._cache.get(message["key"])
@@ -331,12 +406,15 @@ class ClusterBackend:
                              f"no entry for {message['key'][:12]}…",
                     "agent": message.get("agent", link.name),
                 }
-            return {
+            out = {
                 "status": "ok",
                 "result": cached.to_dict(),
                 "agent": message.get("agent", link.name),
                 "cached": True,
             }
+            if timing is not None:
+                out["timing"] = timing
+            return out
         payload = {
             "status": "error",
             "error": message.get("error", "agent error"),
@@ -345,6 +423,8 @@ class ClusterBackend:
         for field in ("traceback", "rng", "fastpath"):
             if field in message:
                 payload[field] = message[field]
+        if timing is not None:
+            payload["timing"] = timing
         return payload
 
     def _on_outcome(self, link: AgentLink, message: dict) -> None:
@@ -396,8 +476,11 @@ class ClusterBackend:
                 if job.links:
                     continue  # a speculative copy still runs elsewhere
                 try:
-                    self._dispatch(job)
+                    survivor = self._dispatch(job)
                     self.redispatched += 1
+                    self._spans.mark("redispatched", key=job.key,
+                                     agent=survivor.name,
+                                     from_agent=link.name)
                 except WorkerStartupError:
                     job.settled = True
                     job.mailbox = {
@@ -417,7 +500,20 @@ class ClusterBackend:
                 break
             kind = message.get("kind")
             if kind == "pong":
-                link.last_seen = time.monotonic()
+                received = time.monotonic()
+                link.last_seen = received
+                sent = self._ping_sent.pop(message.get("seq"), None)
+                clock = message.get("clock")
+                if sent is not None and isinstance(clock, (int, float)):
+                    previous = link.clock_offset
+                    link.observe_clock(sent, received, float(clock))
+                    if (self._spans.enabled
+                            and link.clock_offset != previous):
+                        self._spans.meta(
+                            "agent_clock", agent=link.name,
+                            offset=round(link.clock_offset, 6),
+                            rtt=round(link.clock_rtt, 6),
+                        )
             elif kind in ("result", "result_ref", "error"):
                 self._on_outcome(link, message)
             # anything else from an agent is advisory; ignore
@@ -435,8 +531,13 @@ class ClusterBackend:
                 if now - link.last_seen > self._heartbeat_timeout_s:
                     self._mark_dead(link)
                     continue
+                sequence = next(self._ping_seq)
+                if len(self._ping_sent) > 64:
+                    # Unanswered pings from dead links; drop the oldest.
+                    self._ping_sent.pop(next(iter(self._ping_sent)))
+                self._ping_sent[sequence] = time.monotonic()
                 try:
-                    link.channel.send(protocol.ping(next(self._ping_seq)))
+                    link.channel.send(protocol.ping(sequence))
                 except ConnectionClosed:
                     self._mark_dead(link)
             self._maybe_speculate()
@@ -460,8 +561,11 @@ class ClusterBackend:
                 if not candidates:
                     continue
                 try:
-                    self._dispatch(job, exclude=job.links)
+                    copy = self._dispatch(job, exclude=job.links)
                     self.speculated += 1
+                    self._spans.mark("speculated", key=job.key,
+                                     agent=copy.name,
+                                     age_s=round(now - job.started, 3))
                 except WorkerStartupError:
                     return
 
@@ -476,8 +580,10 @@ def pair_agent(host: str, port: int, process=None,
     channel = transport_connect(host, port, timeout=timeout)
     code = code_fingerprint()
     try:
+        hello_sent = time.monotonic()
         channel.send(protocol.hello(code))
         greeting = channel.recv(timeout=timeout)
+        welcome_received = time.monotonic()
         protocol.check_peer(greeting, "welcome", code)
     except (ConnectionClosed, TransportError, OSError) as exc:
         channel.close()
@@ -487,11 +593,17 @@ def pair_agent(host: str, port: int, process=None,
     except protocol.HandshakeError:
         channel.close()
         raise
-    return AgentLink(
+    link = AgentLink(
         channel=channel, name=greeting.get("name", f"{host}:{port}"),
         slots=int(greeting.get("slots", 1)), address=f"{host}:{port}",
         process=process,
     )
+    clock = greeting.get("clock")
+    if isinstance(clock, (int, float)):
+        # The handshake round trip doubles as the first clock-offset
+        # sample, so spans are mappable before the first heartbeat.
+        link.observe_clock(hello_sent, welcome_received, float(clock))
+    return link
 
 
 def agent_status(host: str, port: int, timeout: float = 10.0) -> dict:

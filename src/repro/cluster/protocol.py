@@ -10,18 +10,22 @@ Coordinator -> agent
     ``job``       dispatch one grid point (id + JobSpec payload)
     ``cancel``    stop one in-flight job (timeout or lost speculation)
     ``ping``      heartbeat probe
+    ``observe``   advisory: flip fleet span timing for this session
     ``bye``       end the session (agent keeps listening)
     ``shutdown``  end the session AND exit the agent process
 
 Agent -> coordinator
-    ``welcome``      handshake accepted (slots, name, fingerprints)
+    ``welcome``      handshake accepted (slots, name, fingerprints,
+                     agent monotonic clock for offset estimation)
     ``reject``       handshake refused (version/fingerprint mismatch)
     ``result``       one job's full ``SimulationResult`` payload
+                     (+ agent-side phase timestamps when observed)
     ``result_ref``   the job hit the agent cache on a *seeded* key — the
                      coordinator already holds the payload, so only the
                      key crosses the wire (cache federation)
     ``error``        one job failed (error + traceback + RNG snapshot)
-    ``pong``         heartbeat reply
+    ``pong``         heartbeat reply (echoes the agent monotonic clock,
+                     the coordinator's clock-offset sample source)
     ``status_reply`` agent introspection for ``repro cluster status``
 
 Handshake contract: a session only opens when both ends run the same
@@ -37,7 +41,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 #: Bump on any message-vocabulary change; mismatched ends refuse to pair.
-PROTOCOL_VERSION = 1
+#: v2: fleet observability — ``observe`` advisory, monotonic ``clock``
+#: fields on ``welcome``/``pong``, optional ``timing`` on outcomes.
+PROTOCOL_VERSION = 2
 
 
 class ClusterError(RuntimeError):
@@ -58,10 +64,15 @@ def hello(code: str, role: str = "coordinator") -> dict:
 
 
 def welcome(code: str, name: str, slots: int, pid: int,
-            has_cache: bool) -> dict:
-    return {"kind": "welcome", "protocol": PROTOCOL_VERSION, "code": code,
-            "name": name, "slots": slots, "pid": pid,
-            "has_cache": has_cache}
+            has_cache: bool, clock: Optional[float] = None) -> dict:
+    out = {"kind": "welcome", "protocol": PROTOCOL_VERSION, "code": code,
+           "name": name, "slots": slots, "pid": pid,
+           "has_cache": has_cache}
+    if clock is not None:
+        # The agent's time.monotonic() at handshake time: the hello ->
+        # welcome round trip doubles as the first clock-offset sample.
+        out["clock"] = clock
+    return out
 
 
 def reject(reason: str) -> dict:
@@ -81,19 +92,28 @@ def cancel(job_id: str) -> dict:
 
 
 def result(job_id: str, key: str, payload: dict, agent: str,
-           wall_s: float, cached: bool) -> dict:
-    return {"kind": "result", "id": job_id, "key": key, "result": payload,
-            "agent": agent, "wall_s": round(wall_s, 6), "cached": cached}
+           wall_s: float, cached: bool,
+           timing: Optional[dict] = None) -> dict:
+    out = {"kind": "result", "id": job_id, "key": key, "result": payload,
+           "agent": agent, "wall_s": round(wall_s, 6), "cached": cached}
+    if timing is not None:
+        out["timing"] = timing
+    return out
 
 
-def result_ref(job_id: str, key: str, agent: str) -> dict:
-    return {"kind": "result_ref", "id": job_id, "key": key, "agent": agent}
+def result_ref(job_id: str, key: str, agent: str,
+               timing: Optional[dict] = None) -> dict:
+    out = {"kind": "result_ref", "id": job_id, "key": key, "agent": agent}
+    if timing is not None:
+        out["timing"] = timing
+    return out
 
 
 def error(job_id: str, key: str, agent: str, message: str,
           traceback_text: Optional[str] = None,
           rng: Optional[dict] = None,
-          fastpath: Optional[bool] = None) -> dict:
+          fastpath: Optional[bool] = None,
+          timing: Optional[dict] = None) -> dict:
     out: Dict[str, object] = {
         "kind": "error", "id": job_id, "key": key, "agent": agent,
         "error": message,
@@ -104,6 +124,8 @@ def error(job_id: str, key: str, agent: str, message: str,
         out["rng"] = rng
     if fastpath is not None:
         out["fastpath"] = fastpath
+    if timing is not None:
+        out["timing"] = timing
     return out
 
 
@@ -111,8 +133,21 @@ def ping(sequence: int) -> dict:
     return {"kind": "ping", "seq": sequence}
 
 
-def pong(sequence: int) -> dict:
-    return {"kind": "pong", "seq": sequence}
+def pong(sequence: int, clock: Optional[float] = None) -> dict:
+    out = {"kind": "pong", "seq": sequence}
+    if clock is not None:
+        out["clock"] = clock
+    return out
+
+
+def observe(spans: bool) -> dict:
+    """Advisory: the coordinator wants agent-side span timestamps.
+
+    Sent once per session after pairing when fleet tracing is on.
+    Agents that predate the vocabulary would ignore unknown kinds; the
+    handshake version gate means in practice both ends always match.
+    """
+    return {"kind": "observe", "spans": bool(spans)}
 
 
 def bye() -> dict:
@@ -196,6 +231,7 @@ __all__ = [
     "hello",
     "job",
     "mismatch_reason",
+    "observe",
     "ping",
     "pong",
     "reject",

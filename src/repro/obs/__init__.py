@@ -1,6 +1,6 @@
-"""``repro.obs`` — in-simulation observability.
+"""``repro.obs`` — in-simulation and fleet observability.
 
-Three layers, all with near-zero cost when disabled (the default):
+Simulation layers, all with near-zero cost when disabled (the default):
 
 * :mod:`repro.obs.metrics` — named counters/gauges/histograms behind a
   :class:`MetricsRegistry`; the shared :data:`NULL_REGISTRY` hands out
@@ -9,6 +9,18 @@ Three layers, all with near-zero cost when disabled (the default):
   columnar :class:`ObsRecord` attached to ``SimulationResult.obs``.
 * :mod:`repro.obs.tracer` — sampled request-lifecycle tracing exported
   as Chrome trace-event JSON (Perfetto-loadable).
+
+Fleet layers, observing the orchestration *around* simulations (same
+zero-cost-when-off discipline, mirrored by :data:`NULL_SPAN_LOG`):
+
+* :mod:`repro.obs.fleet` — per-job-attempt orchestration spans across
+  the local pool and remote cluster agents, merged onto one coordinator
+  timeline (clock-offset estimation) and exported as a Perfetto trace.
+* :mod:`repro.obs.prometheus` — Prometheus text exposition (0.0.4) for
+  any :class:`MetricsRegistry`.
+* :mod:`repro.obs.statusplane` — a sampling thread plus stdlib HTTP
+  server publishing ``/status.json`` and ``/metrics`` for live runs.
+* :mod:`repro.obs.top` — the ``repro top`` terminal dashboard.
 
 The :class:`Observability` hub bundles one registry plus (optionally)
 one tracer; ``run_benchmark(obs=...)`` accepts either an
@@ -34,6 +46,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     find_metric,
 )
+from repro.obs.fleet import FleetConfig, NULL_SPAN_LOG, SpanLog
 from repro.obs.timeseries import OBS_SCHEMA_VERSION, ObsRecord, TimeSeriesSampler
 from repro.obs.tracer import EventTracer
 
@@ -97,6 +110,7 @@ def as_observability(obs) -> Optional[Observability]:
 __all__ = [
     "Counter",
     "EventTracer",
+    "FleetConfig",
     "Gauge",
     "Histogram",
     "METRIC_CATALOG",
@@ -104,10 +118,12 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "NULL_SPAN_LOG",
     "OBS_SCHEMA_VERSION",
     "ObsConfig",
     "ObsRecord",
     "Observability",
+    "SpanLog",
     "TimeSeriesSampler",
     "as_observability",
     "find_metric",

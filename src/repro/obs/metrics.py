@@ -89,6 +89,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the chosen bucket, the same estimate
+        Prometheus's ``histogram_quantile`` computes from
+        ``_bucket{le=...}`` series.  The overflow bucket has no upper
+        bound, so ranks landing there clamp to the last finite bound.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative < rank or not bucket_count:
+                continue
+            if index >= len(self.bounds):
+                return self.bounds[-1]  # overflow bucket: clamp
+            upper = self.bounds[index]
+            lower = self.bounds[index - 1] if index else 0.0
+            return lower + (upper - lower) * (rank - previous) / bucket_count
+        return self.bounds[-1]
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -96,6 +123,9 @@ class Histogram:
             "buckets": list(self.buckets),
             "sum": self.total,
             "count": self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -112,6 +142,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     value = 0.0
     total = 0.0
@@ -280,7 +313,8 @@ METRIC_CATALOG: Tuple[MetricSpec, ...] = (
                "pending reads + writes queued at channel <n>"),
     MetricSpec("controller.read_latency_bus_cycles", "histogram",
                "bus cycles",
-               "end-to-end demand-read latency distribution"),
+               "end-to-end demand-read latency distribution "
+               "(to_dict carries p50/p95/p99 bucket estimates)"),
 )
 
 

@@ -1,0 +1,182 @@
+"""Prometheus text exposition (format 0.0.4) from metric instruments.
+
+Renders a :class:`repro.obs.metrics.MetricsRegistry` — counters, gauges
+and histograms — as the plain-text format every Prometheus-compatible
+scraper understands, without depending on ``prometheus_client``.
+
+Instrument names may carry labels inline using the exposition's own
+syntax, e.g. ``repro_fleet_jobs_total{status="done"}``: the base name
+identifies the metric family (one ``# HELP``/``# TYPE`` header per
+family, however many labelled children exist) and the label set is
+emitted per sample.  Names are sanitised to the legal charset
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``) and label values escaped per the spec
+(backslash, double-quote and newline).
+
+Histograms expand to the conventional ``_bucket{le=...}`` series
+(cumulative counts, closed by ``le="+Inf"``) plus ``_sum`` and
+``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+#: Content-Type a conforming scrape endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INLINE_LABELS_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def sanitize_name(name: str) -> str:
+    """Map an arbitrary instrument name onto the legal metric charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line (backslash and newline only)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """Render one sample value (integers without a trailing ``.0``)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def parse_inline_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``family{label="value",...}`` into ``(family, labels)``.
+
+    Label values arrive already unescaped (the registry stores plain
+    strings); escaping happens once at render time.  A name without a
+    ``{...}`` suffix returns an empty label dict.
+    """
+    match = _INLINE_LABELS_RE.match(name)
+    if match is None:
+        return sanitize_name(name), {}
+    labels: Dict[str, str] = {}
+    for pair in _LABEL_PAIR_RE.finditer(match.group("labels")):
+        raw = pair.group("value")
+        value = raw.replace(r"\"", '"').replace(r"\n", "\n")
+        value = value.replace("\\\\", "\\")
+        labels[pair.group("name")] = value
+    return sanitize_name(match.group("base")), labels
+
+
+def render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        name = key if _LABEL_NAME_RE.match(key) else sanitize_name(key)
+        parts.append(f'{name}="{escape_label_value(str(labels[key]))}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _type_of(instrument) -> str:
+    if isinstance(instrument, Counter):
+        return "counter"
+    if isinstance(instrument, Gauge):
+        return "gauge"
+    if isinstance(instrument, Histogram):
+        return "histogram"
+    return "untyped"
+
+
+def exposition(
+    registry,
+    help_texts: Optional[Dict[str, str]] = None,
+) -> str:
+    """The registry's full scrape payload, families sorted by name.
+
+    *help_texts* maps family base names to ``# HELP`` strings; families
+    without an entry get a generic line.  The returned text always ends
+    with a newline (scrapers treat a truncated final line as an error).
+    """
+    help_texts = help_texts or {}
+    families: Dict[str, Dict[str, object]] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        base, labels = parse_inline_labels(name)
+        family = families.setdefault(
+            base, {"type": _type_of(instrument), "samples": []}
+        )
+        if family["type"] != _type_of(instrument):
+            family["type"] = "untyped"  # mixed family: be honest
+        family["samples"].append((labels, instrument))
+
+    lines: List[str] = []
+    for base in sorted(families):
+        family = families[base]
+        help_text = help_texts.get(base, f"repro metric {base}")
+        lines.append(f"# HELP {base} {escape_help(help_text)}")
+        lines.append(f"# TYPE {base} {family['type']}")
+        for labels, instrument in family["samples"]:
+            if isinstance(instrument, Histogram):
+                lines.extend(_histogram_lines(base, labels, instrument))
+            else:
+                lines.append(
+                    f"{base}{render_labels(labels)} "
+                    f"{format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _histogram_lines(base: str, labels: Dict[str, str],
+                     histogram: Histogram) -> List[str]:
+    lines: List[str] = []
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, histogram.buckets):
+        cumulative += count
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = format_value(bound)
+        lines.append(
+            f"{base}_bucket{render_labels(bucket_labels)} {cumulative}"
+        )
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(
+        f"{base}_bucket{render_labels(inf_labels)} {histogram.count}"
+    )
+    lines.append(
+        f"{base}_sum{render_labels(labels)} "
+        f"{format_value(histogram.total)}"
+    )
+    lines.append(f"{base}_count{render_labels(labels)} {histogram.count}")
+    return lines
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_help",
+    "escape_label_value",
+    "exposition",
+    "format_value",
+    "parse_inline_labels",
+    "render_labels",
+    "sanitize_name",
+]

@@ -1,0 +1,312 @@
+"""Live status plane: a sampler ring buffer behind a tiny HTTP server.
+
+While a sweep runs, a daemon sampler thread snapshots the orchestration
+state — :class:`repro.orchestrator.telemetry.RunCounters` plus
+per-worker/per-agent detail (throughput, queue depth, utilization,
+cache-hit sources, straggler watermark, RSS) — into a bounded ring
+buffer, and a stdlib-only HTTP server exposes it:
+
+``/status.json``
+    the latest snapshot plus a short ``history`` of
+    ``[elapsed_s, finished]`` pairs, for machines and ``repro top``;
+``/metrics``
+    the same snapshot rendered as Prometheus text exposition
+    (:mod:`repro.obs.prometheus`), for any scraper.
+
+The plane only exists when the run asked for it (``--status-port``);
+with no port configured nothing here is constructed, no thread starts
+and no socket binds — the zero-cost-when-off discipline the rest of
+``repro.obs`` follows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs import prometheus
+from repro.obs.metrics import MetricsRegistry
+
+#: Version stamp on every ``/status.json`` payload.
+STATUS_SCHEMA_VERSION = 1
+
+#: Ring-buffer capacity: at the default 0.5 s sample interval this keeps
+#: the last two minutes of progress history.
+DEFAULT_HISTORY = 240
+
+#: Histogram bounds for per-point wall seconds (simulated grid points
+#: span ~0.1 s micro configs to multi-minute full-scale points).
+POINT_WALL_BOUNDS = (
+    0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: ``# HELP`` lines for the fleet metric families.
+FLEET_HELP: Dict[str, str] = {
+    "repro_fleet_jobs_total": "Terminal job outcomes by status",
+    "repro_fleet_jobs_running": "Job attempts currently executing",
+    "repro_fleet_jobs_queued": "Jobs waiting for a worker slot",
+    "repro_fleet_jobs_planned": "Grid points in this sweep",
+    "repro_fleet_busy_seconds_total":
+        "Worker seconds spent simulating (sum over attempts)",
+    "repro_fleet_elapsed_seconds": "Wall seconds since the run began",
+    "repro_fleet_workers": "Resolved worker slot count",
+    "repro_fleet_worker_utilization":
+        "busy_seconds / (elapsed * workers), capped at 1",
+    "repro_fleet_throughput_jobs_per_second":
+        "Finished jobs per elapsed wall second",
+    "repro_fleet_straggler_seconds":
+        "Age of the oldest in-flight attempt (straggler watermark)",
+    "repro_fleet_rss_bytes": "Orchestrator resident set size",
+    "repro_fleet_cache_hits_total":
+        "Jobs answered without simulating, by source",
+    "repro_fleet_agent_up": "1 while the cluster agent link is alive",
+    "repro_fleet_agent_inflight": "Jobs in flight on the agent",
+    "repro_fleet_agent_served_total": "Outcomes the agent has shipped",
+    "repro_fleet_agent_clock_offset_seconds":
+        "Estimated agent monotonic-clock offset vs the coordinator",
+    "repro_fleet_point_wall_seconds":
+        "Wall-clock distribution of completed grid points",
+}
+
+
+def read_rss_bytes() -> Optional[int]:
+    """Best-effort resident set size (Linux ``VmRSS``), else None."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def fleet_registry(snapshot: Dict[str, object]) -> MetricsRegistry:
+    """Build the fleet metric instruments for one status snapshot.
+
+    Rebuilt per scrape from the snapshot (cheap: tens of instruments),
+    so the scheduling loop never touches a registry on its hot path.
+    """
+    registry = MetricsRegistry()
+    counters = dict(snapshot.get("counters") or {})
+
+    def number(value, default=0.0) -> float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return default
+
+    for status in ("done", "failed", "cached"):
+        registry.counter(
+            f'repro_fleet_jobs_total{{status="{status}"}}'
+        ).inc(number(counters.get(status)))
+    registry.gauge("repro_fleet_jobs_running").set(
+        number(counters.get("running")))
+    registry.gauge("repro_fleet_jobs_queued").set(
+        number(counters.get("queued")))
+    registry.gauge("repro_fleet_jobs_planned").set(
+        number(counters.get("total")))
+    registry.counter("repro_fleet_busy_seconds_total").inc(
+        number(counters.get("busy_seconds")))
+    registry.gauge("repro_fleet_elapsed_seconds").set(
+        number(snapshot.get("elapsed_s")))
+    registry.gauge("repro_fleet_workers").set(
+        number(snapshot.get("workers")))
+    registry.gauge("repro_fleet_worker_utilization").set(
+        number(snapshot.get("utilization")))
+    registry.gauge("repro_fleet_throughput_jobs_per_second").set(
+        number(snapshot.get("throughput_jobs_s")))
+    registry.gauge("repro_fleet_straggler_seconds").set(
+        number(snapshot.get("straggler_s")))
+    rss = snapshot.get("rss_bytes")
+    if rss is not None:
+        registry.gauge("repro_fleet_rss_bytes").set(number(rss))
+
+    sources = dict(snapshot.get("cache_sources") or {})
+    for source in sorted(sources):
+        label = prometheus.escape_label_value(str(source))
+        registry.counter(
+            f'repro_fleet_cache_hits_total{{source="{label}"}}'
+        ).inc(number(sources[source]))
+
+    for agent in snapshot.get("agents") or ():
+        label = prometheus.escape_label_value(str(agent.get("name", "?")))
+        registry.gauge(f'repro_fleet_agent_up{{agent="{label}"}}').set(
+            1.0 if agent.get("alive") else 0.0)
+        registry.gauge(
+            f'repro_fleet_agent_inflight{{agent="{label}"}}'
+        ).set(number(agent.get("inflight")))
+        registry.counter(
+            f'repro_fleet_agent_served_total{{agent="{label}"}}'
+        ).inc(number(agent.get("served")))
+        offset = agent.get("clock_offset_s")
+        if offset is not None:
+            registry.gauge(
+                f'repro_fleet_agent_clock_offset_seconds{{agent="{label}"}}'
+            ).set(number(offset))
+
+    walls = snapshot.get("point_wall_s") or ()
+    if walls:
+        histogram = registry.histogram(
+            "repro_fleet_point_wall_seconds", bounds=POINT_WALL_BOUNDS
+        )
+        for wall in walls:
+            histogram.observe(number(wall))
+    return registry
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    """GET-only handler over the owning :class:`StatusPlane`."""
+
+    plane: "StatusPlane" = None  # bound by the dynamic subclass
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        path = self.path.split("?", 1)[0]
+        if path == "/status.json":
+            body = json.dumps(self.plane.status_payload()).encode("utf-8")
+            self._reply(200, "application/json; charset=utf-8", body)
+        elif path == "/metrics":
+            snapshot = self.plane.latest or {}
+            text = prometheus.exposition(
+                fleet_registry(snapshot), help_texts=FLEET_HELP
+            )
+            self._reply(200, prometheus.CONTENT_TYPE, text.encode("utf-8"))
+        elif path == "/":
+            body = (b"repro fleet status plane\n"
+                    b"  /status.json  latest snapshot + history\n"
+                    b"  /metrics      Prometheus text exposition\n")
+            self._reply(200, "text/plain; charset=utf-8", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:
+        pass  # a scrape per second must not spam the progress line
+
+
+class StatusPlane:
+    """Sampler thread + HTTP server around a snapshot *provider*.
+
+    *provider* is a zero-argument callable returning the current status
+    snapshot dict; the plane stamps schema/state/history on top.  Both
+    threads are daemons, but :meth:`stop` tears them down deterministically
+    (final ``state="done"`` snapshot included) at the end of the run.
+    """
+
+    def __init__(
+        self,
+        provider: Callable[[], Dict[str, object]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        interval_s: float = 0.5,
+        history: int = DEFAULT_HISTORY,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._provider = provider
+        self._host = host
+        self._port = port
+        self._interval_s = interval_s
+        self._lock = threading.Lock()
+        self._history = deque(maxlen=history)
+        self._latest: Optional[Dict[str, object]] = None
+        self._stop = threading.Event()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._sampler_thread: Optional[threading.Thread] = None
+        self.url: Optional[str] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> str:
+        """Bind, take the first sample, start both threads; returns URL."""
+        handler = type("Handler", (_StatusHandler,), {"plane": self})
+        self._server = ThreadingHTTPServer((self._host, self._port), handler)
+        self._server.daemon_threads = True
+        host, port = self._server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        self.sample(state="running")
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever, name="fleet-status-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._sampler_thread = threading.Thread(
+            target=self._sample_loop, name="fleet-status-sampler",
+            daemon=True,
+        )
+        self._sampler_thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        """Final snapshot, then shut the server and sampler down."""
+        if self._stop.is_set():
+            return
+        self.sample(state="done")
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+        if self._sampler_thread is not None:
+            self._sampler_thread.join(timeout=5.0)
+
+    # -- sampling -------------------------------------------------------
+
+    def sample(self, state: str = "running") -> Dict[str, object]:
+        """Take one snapshot now (the sampler calls this on its cadence)."""
+        try:
+            snapshot = dict(self._provider())
+        except Exception as exc:  # the plane must never fail the run
+            snapshot = {"error": f"{type(exc).__name__}: {exc}"}
+        snapshot["schema"] = STATUS_SCHEMA_VERSION
+        snapshot["state"] = state
+        with self._lock:
+            self._latest = snapshot
+            counters = snapshot.get("counters") or {}
+            self._history.append([
+                round(float(snapshot.get("elapsed_s", 0.0)), 3),
+                int(counters.get("finished", 0) or 0),
+            ])
+        return snapshot
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self.sample(state="running")
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def latest(self) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return dict(self._latest) if self._latest is not None else None
+
+    def status_payload(self) -> Dict[str, object]:
+        with self._lock:
+            payload = dict(self._latest) if self._latest is not None else {
+                "schema": STATUS_SCHEMA_VERSION, "state": "starting",
+            }
+            payload["history"] = [list(pair) for pair in self._history]
+        return payload
+
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "FLEET_HELP",
+    "POINT_WALL_BOUNDS",
+    "STATUS_SCHEMA_VERSION",
+    "StatusPlane",
+    "fleet_registry",
+    "read_rss_bytes",
+]

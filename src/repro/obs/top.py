@@ -1,0 +1,244 @@
+"""``repro top`` — a live terminal dashboard over the status plane.
+
+Point it at a running sweep's status URL (``repro top
+http://127.0.0.1:8377``) and it polls ``/status.json``, redrawing a
+compact frame each interval until the run reports ``state: done``.
+Point it at a run directory instead and it degrades gracefully: the run
+is over (or never served a status port), so one frame is reconstructed
+post-hoc from ``telemetry.jsonl`` and printed once.
+
+Stdlib only (``urllib``), like the rest of the fleet plane.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, TextIO
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> Dict[str, object]:
+    """One ``/status.json`` snapshot from a live status plane."""
+    target = url.rstrip("/")
+    if not target.endswith("/status.json"):
+        target += "/status.json"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def snapshot_from_telemetry(run_dir) -> Dict[str, object]:
+    """Reconstruct a status snapshot from a finished run's telemetry.
+
+    Mirrors the live ``/status.json`` schema closely enough that one
+    renderer serves both; ``state`` records whether the telemetry ended
+    in a summary (``done``/``aborted``) or mid-run (``stale``).
+    """
+    path = pathlib.Path(run_dir) / "telemetry.jsonl"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no telemetry.jsonl under {run_dir} — pass a run directory "
+            "or a live status URL"
+        )
+    counters = {"total": 0, "done": 0, "failed": 0, "cached": 0,
+                "running": 0}
+    walls = []
+    last_t = 0.0
+    summary = None
+    sources: Dict[str, int] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        event = record.get("event")
+        if event == "begin":
+            counters["total"] = int(record.get("total", 0))
+        elif event == "job":
+            status = record.get("status", "done")
+            if status in counters:
+                counters[status] += 1
+            if status == "done":
+                walls.append(float(record.get("wall_s", 0.0)))
+            last_t = max(last_t, float(record.get("t", 0.0)))
+        elif event == "attempt":
+            last_t = max(last_t, float(record.get("t", 0.0)))
+        elif event == "summary":
+            summary = record
+    finished = counters["done"] + counters["failed"] + counters["cached"]
+    counters["finished"] = finished
+    counters["queued"] = max(0, counters["total"] - finished)
+    elapsed = float(summary.get("elapsed_s", last_t)) if summary else last_t
+    snapshot: Dict[str, object] = {
+        "schema": 1,
+        "state": ("aborted" if summary and summary.get("aborted")
+                  else "done" if summary else "stale"),
+        "elapsed_s": elapsed,
+        "counters": counters,
+        "workers": summary.get("workers") if summary else None,
+        "backend": summary.get("backend") if summary else None,
+        "utilization": (summary.get("worker_utilization", 0.0)
+                        if summary else 0.0),
+        "throughput_jobs_s": (finished / elapsed if elapsed > 0 else 0.0),
+        "cache_hit_rate": (summary.get("cache_hit_rate", 0.0)
+                           if summary else 0.0),
+        "straggler_s": 0.0,
+        "cache_sources": sources,
+        "agents": [],
+        "point_wall_s": walls,
+    }
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _bar(fraction: float, width: int = 32) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_bytes(value) -> str:
+    try:
+        size = float(value)
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.0f} {unit}" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024.0
+    return "-"
+
+
+def render_status(snapshot: Dict[str, object]) -> str:
+    """One dashboard frame (plain text, no cursor control)."""
+    counters = dict(snapshot.get("counters") or {})
+    total = int(counters.get("total", 0) or 0)
+    finished = int(counters.get("finished", 0) or 0)
+    running = int(counters.get("running", 0) or 0)
+    queued = int(counters.get("queued", 0) or 0)
+    elapsed = float(snapshot.get("elapsed_s", 0.0) or 0.0)
+    throughput = float(snapshot.get("throughput_jobs_s", 0.0) or 0.0)
+    fraction = finished / total if total else 0.0
+
+    lines = []
+    state = snapshot.get("state", "?")
+    backend = snapshot.get("backend") or "?"
+    workers = snapshot.get("workers")
+    header = (f"repro fleet · {state} · backend {backend}"
+              + (f" · {workers} workers" if workers else ""))
+    lines.append(header)
+    eta = ""
+    remaining = total - finished
+    if state == "running" and throughput > 0 and remaining > 0:
+        eta = f"  eta ~{remaining / throughput:.0f}s"
+    lines.append(
+        f"[{_bar(fraction)}] {finished}/{total} "
+        f"({100.0 * fraction:.0f}%)  elapsed {elapsed:.1f}s{eta}"
+    )
+    lines.append(
+        f"done {counters.get('done', 0)} · cached "
+        f"{counters.get('cached', 0)} · failed {counters.get('failed', 0)} "
+        f"· running {running} · queued {queued}"
+    )
+    utilization = float(snapshot.get("utilization", 0.0) or 0.0)
+    straggler = float(snapshot.get("straggler_s", 0.0) or 0.0)
+    lines.append(
+        f"throughput {throughput:.2f} jobs/s · utilization "
+        f"{100.0 * utilization:.0f}% · straggler {straggler:.1f}s · rss "
+        f"{_fmt_bytes(snapshot.get('rss_bytes'))}"
+    )
+    sources = dict(snapshot.get("cache_sources") or {})
+    hit_rate = float(snapshot.get("cache_hit_rate", 0.0) or 0.0)
+    if sources:
+        detail = ", ".join(
+            f"{name} {sources[name]}" for name in sorted(sources)
+        )
+        lines.append(f"cache hit-rate {100.0 * hit_rate:.0f}% ({detail})")
+    else:
+        lines.append(f"cache hit-rate {100.0 * hit_rate:.0f}%")
+    agents = list(snapshot.get("agents") or ())
+    if agents:
+        lines.append("agents:")
+        lines.append(f"  {'name':<24} {'state':<6} {'inflight':>8} "
+                     f"{'served':>7} {'clock offset':>13}")
+        for agent in agents:
+            offset = agent.get("clock_offset_s")
+            offset_text = (f"{offset * 1000.0:+.2f} ms"
+                           if isinstance(offset, (int, float)) else "-")
+            lines.append(
+                f"  {str(agent.get('name', '?')):<24} "
+                f"{'up' if agent.get('alive') else 'down':<6} "
+                f"{agent.get('inflight', 0):>8} "
+                f"{agent.get('served', 0):>7} {offset_text:>13}"
+            )
+    if snapshot.get("error"):
+        lines.append(f"provider error: {snapshot['error']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The ``repro top`` loop
+# ----------------------------------------------------------------------
+
+def run_top(
+    target: str,
+    interval_s: float = 1.0,
+    once: bool = False,
+    stream: Optional[TextIO] = None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """Drive the dashboard against *target* (URL or run directory).
+
+    Returns a process exit code: 0 on a clean finish, 1 when the target
+    is unreachable/unusable.
+    """
+    out = stream if stream is not None else sys.stdout
+    if not target.startswith(("http://", "https://")):
+        try:
+            snapshot = snapshot_from_telemetry(target)
+        except (FileNotFoundError, OSError) as exc:
+            print(f"repro top: {exc}", file=out)
+            return 1
+        print(render_status(snapshot), file=out)
+        return 0
+
+    failures = 0
+    while True:
+        try:
+            snapshot = fetch_status(target)
+            failures = 0
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            failures += 1
+            if failures >= 3:
+                print(
+                    f"repro top: status plane at {target} unreachable "
+                    f"({exc}) — the run has likely finished; point me at "
+                    "its --run-dir for a post-hoc view", file=out,
+                )
+                return 1
+            sleep(interval_s)
+            continue
+        frame = render_status(snapshot)
+        if not once and out.isatty():
+            out.write("\x1b[2J\x1b[H" + frame + "\n")
+            out.flush()
+        else:
+            print(frame, file=out)
+        if once or snapshot.get("state") in ("done", "aborted"):
+            return 0
+        sleep(interval_s)
+
+
+__all__ = [
+    "fetch_status",
+    "render_status",
+    "run_top",
+    "snapshot_from_telemetry",
+]

@@ -35,12 +35,14 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from repro.obs.crashdump import write_crash_dump
+from repro.obs.fleet import FleetConfig, NULL_SPAN_LOG, SpanLog
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.jobs import JobSpec, execute_job
 from repro.orchestrator.manifest import RunManifest
@@ -109,6 +111,21 @@ class _Pending:
     index: int
     attempt: int  #: next attempt number (1-based)
     ready_at: float  #: monotonic time before which we must not launch
+    queued_at: float = 0.0  #: monotonic time the attempt entered the queue
+
+
+class _FleetRuntime:
+    """Mutable fleet-observability state shared across one run's threads.
+
+    Holds the span log plus references to the scheduling loop's live
+    structures so the status-plane sampler can read queue depth and the
+    straggler watermark without the loop pushing updates anywhere.
+    """
+
+    def __init__(self, spans=NULL_SPAN_LOG) -> None:
+        self.spans = spans
+        self.running: List["_Running"] = []
+        self.pending = ()
 
 
 @dataclass
@@ -260,6 +277,7 @@ class Orchestrator:
         progress: bool = False,
         stream=None,
         estimates: Optional[Dict[str, float]] = None,
+        fleet: Optional[FleetConfig] = None,
     ) -> OrchestrationReport:
         """Execute *specs*, reusing the cache and any prior run state.
 
@@ -314,29 +332,70 @@ class Orchestrator:
         outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
         telemetry.begin(len(specs))
 
+        fleet = fleet if fleet is not None else FleetConfig()
+        spans = NULL_SPAN_LOG
+        if fleet.spans:
+            spans_path = fleet.spans_path
+            if spans_path is None and manifest is not None:
+                spans_path = manifest.run_dir / "spans.jsonl"
+            spans = SpanLog(spans_path)
+        #: Consulted by the local backend factories: workers report
+        #: bank-attach/run phase timestamps only when spans are on.
+        self.fleet_timing = bool(fleet.spans)
+        fleet_rt = _FleetRuntime(spans)
+
         pending: "deque[_Pending]" = deque()
         completed_before = manifest.completed_keys() if manifest else {}
         for index, (spec, key) in enumerate(zip(specs, keys)):
+            probe_t0 = spans.now() if spans.enabled else 0.0
             outcome = self._reuse(spec, key, completed_before, manifest)
+            if spans.enabled:
+                spans.span("cache_probe", probe_t0, spans.now(), key=key,
+                           job=spec.describe(), index=index)
             if outcome is not None:
+                if spans.enabled:
+                    spans.mark("cached", key=key, job=spec.describe(),
+                               index=index, source=outcome.source)
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
                                was_running=False)
             else:
-                pending.append(_Pending(index=index, attempt=1, ready_at=0.0))
+                pending.append(_Pending(index=index, attempt=1, ready_at=0.0,
+                                        queued_at=time.monotonic()))
 
         pending = self._lpt_order(pending, specs, None, merged_estimates)
+        fleet_rt.pending = pending
         backend, cleanup = self._make_backend(manifest)
+        attach = getattr(backend, "attach_fleet", None)
+        if attach is not None and spans.enabled:
+            # Cluster backends forward the span log to their agents
+            # (observe message) and annotate it with clock offsets.
+            attach(spans)
         prepare = getattr(backend, "prepare", None)
         if prepare is not None:
             # Cache federation: backends that can pre-seed remote caches
             # (the cluster coordinator) learn the full grid's keys before
             # the first dispatch.
             prepare(keys)
+        plane = None
+        if fleet.status_port is not None:
+            from repro.obs.statusplane import StatusPlane
+
+            plane = StatusPlane(
+                self._status_provider(telemetry, backend, outcomes, fleet_rt),
+                host=fleet.status_host, port=fleet.status_port,
+                interval_s=fleet.sample_interval_s,
+            )
+            url = plane.start()
+            if fleet.announce is not None:
+                fleet.announce(url)
+            else:
+                print(f"[fleet] status plane at {url}",
+                      file=stream if stream is not None else sys.stderr)
         try:
             try:
                 self._drive(specs, keys, outcomes, pending, manifest,
-                            telemetry, backend)
+                            telemetry, backend, fleet_rt)
             except BaseException:
                 # Any teardown — Ctrl-C, or a fatal worker-startup error
                 # from the warm pool — must not leave the telemetry
@@ -345,6 +404,8 @@ class Orchestrator:
                 telemetry.summary(aborted=True)
                 raise
         finally:
+            if plane is not None:
+                plane.stop()
             backend.shutdown()
             if cleanup is not None:
                 cleanup()
@@ -368,6 +429,77 @@ class Orchestrator:
             # orchestrator still owns its shutdown, but not its cleanup.
             return self.pool, None
         return backend_factory(self.pool)(self, manifest)
+
+    def _status_provider(self, telemetry, backend, outcomes, fleet_rt):
+        """The closure the status-plane sampler calls per snapshot.
+
+        Reads the live counters and scheduling structures without locks:
+        every field is a single attribute read or a copy of a list the
+        loop only appends to, so a torn sample can at worst be one job
+        stale — fine for a dashboard.
+        """
+        from repro.obs.statusplane import read_rss_bytes
+
+        backend_kind = getattr(backend, "name", type(backend).__name__)
+
+        def provider() -> Dict[str, object]:
+            now = time.monotonic()
+            counters = telemetry.counters
+            elapsed = telemetry.elapsed()
+            straggler = max(
+                (now - slot.started for slot in list(fleet_rt.running)),
+                default=0.0,
+            )
+            sources: Dict[str, int] = {}
+            for outcome in list(outcomes):
+                if outcome is not None and outcome.source != "run":
+                    sources[outcome.source] = (
+                        sources.get(outcome.source, 0) + 1
+                    )
+            agents = []
+            agents_fn = getattr(backend, "agents", None)
+            if callable(agents_fn):
+                for link in agents_fn():
+                    agents.append({
+                        "name": link.name,
+                        "alive": bool(link.alive),
+                        "slots": link.slots,
+                        "inflight": len(link.inflight),
+                        "served": link.served,
+                        "clock_offset_s": getattr(link, "clock_offset",
+                                                  None),
+                        "clock_rtt_s": getattr(link, "clock_rtt", None),
+                    })
+            finished = counters.finished
+            return {
+                "elapsed_s": round(elapsed, 3),
+                "workers": self.jobs,
+                "backend": backend_kind,
+                "counters": {
+                    "total": counters.total,
+                    "running": counters.running,
+                    "done": counters.done,
+                    "failed": counters.failed,
+                    "cached": counters.cached,
+                    "finished": finished,
+                    "queued": counters.queued,
+                    "busy_seconds": round(counters.busy_seconds, 3),
+                },
+                "throughput_jobs_s": (
+                    round(finished / elapsed, 4) if elapsed > 0 else 0.0
+                ),
+                "utilization": round(
+                    counters.utilization(elapsed, self.jobs), 4
+                ),
+                "cache_hit_rate": round(counters.cache_hit_rate, 4),
+                "straggler_s": round(straggler, 3),
+                "rss_bytes": read_rss_bytes(),
+                "cache_sources": sources,
+                "agents": agents,
+                "point_wall_s": list(counters.wall_seconds_per_point),
+            }
+
+        return provider
 
     def _lpt_order(self, pending, specs, manifest,
                    estimates: Optional[Mapping[str, float]]):
@@ -471,9 +603,12 @@ class Orchestrator:
                         started=now, deadline=deadline, worker=worker)
 
     def _drive(self, specs, keys, outcomes, pending, manifest, telemetry,
-               backend):
+               backend, fleet_rt: Optional[_FleetRuntime] = None):
         """The scheduling loop: launch, poll, retry, finalise."""
+        fleet_rt = fleet_rt if fleet_rt is not None else _FleetRuntime()
+        spans = fleet_rt.spans
         running: List[_Running] = []
+        fleet_rt.running = running
         attempt_wall: Dict[int, float] = {}  # index -> wall over attempts
 
         def settle(slot: _Running, failure: Optional[str],
@@ -486,10 +621,28 @@ class Orchestrator:
             (traceback, RNG state) the worker managed to ship.
             """
             index = slot.index
-            wall = time.monotonic() - slot.started
+            settled_at = time.monotonic()
+            wall = settled_at - slot.started
             attempt_wall[index] = attempt_wall.get(index, 0.0) + wall
             spec, key = specs[index], keys[index]
+            if spans.enabled:
+                agent = (payload or {}).get("agent")
+                spans.span("run", slot.started, settled_at, key=key,
+                           job=spec.describe(), index=index,
+                           attempt=slot.attempt, agent=agent)
+                phases = ((payload or {}).get("timing") or {}).get("phases")
+                if phases:
+                    # Worker/agent-side timestamps.  Local workers share
+                    # the coordinator's CLOCK_MONOTONIC and cluster
+                    # results arrive already mapped by the coordinator's
+                    # clock-offset estimate, so the offset here is 0.
+                    spans.remote_phases(phases, 0.0, key=key,
+                                        job=spec.describe(), index=index,
+                                        attempt=slot.attempt, agent=agent)
             if failure is None:
+                spans.mark("result", settled_at, key=key, index=index,
+                           attempt=slot.attempt,
+                           agent=(payload or {}).get("agent"))
                 return wall  # success handled by caller
             dump_path: Optional[str] = None
             if manifest is not None:
@@ -508,9 +661,12 @@ class Orchestrator:
                 pending.append(_Pending(
                     index=index, attempt=slot.attempt + 1,
                     ready_at=time.monotonic() + delay,
+                    queued_at=settled_at,
                 ))
                 telemetry.job_retried(key, spec.describe(), slot.attempt,
                                       failure, wall)
+                spans.mark("retry", settled_at, key=key, index=index,
+                           attempt=slot.attempt, error=failure)
             else:
                 outcome = JobOutcome(
                     spec=spec, key=key, status="failed",
@@ -521,11 +677,17 @@ class Orchestrator:
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
                                was_running=True, busy_wall=wall)
+                fail_args = {"error": failure}
+                if dump_path:
+                    fail_args["crash_dump"] = dump_path
+                spans.mark("failed", settled_at, key=key, index=index,
+                           attempt=slot.attempt, **fail_args)
             return wall
 
         try:
             self._drive_loop(specs, pending, running, telemetry, settle,
-                             outcomes, keys, attempt_wall, backend, manifest)
+                             outcomes, keys, attempt_wall, backend, manifest,
+                             spans)
         except BaseException:
             # Interrupted mid-run (or the pool failed fatally): reap
             # every in-flight worker so nothing is left orphaned.
@@ -533,7 +695,8 @@ class Orchestrator:
             raise
 
     def _drive_loop(self, specs, pending, running, telemetry, settle,
-                    outcomes, keys, attempt_wall, backend, manifest):
+                    outcomes, keys, attempt_wall, backend, manifest,
+                    spans=NULL_SPAN_LOG):
         while pending or running:
             now = time.monotonic()
 
@@ -549,6 +712,16 @@ class Orchestrator:
                         self._launch(backend, specs[item.index], item, now)
                     )
                     telemetry.job_started()
+                    if spans.enabled:
+                        launched = time.monotonic()
+                        key = keys[item.index]
+                        label = specs[item.index].describe()
+                        spans.span("queued", item.queued_at or now, now,
+                                   key=key, job=label, index=item.index,
+                                   attempt=item.attempt)
+                        spans.span("dispatch", now, launched, key=key,
+                                   job=label, index=item.index,
+                                   attempt=item.attempt)
                 pending.extend(held)
 
             if not running:
@@ -604,7 +777,7 @@ class Orchestrator:
                     settle(slot, error, payload)
                     continue
                 backend.retire_ok(slot)
-                last_wall = settle(slot, None)
+                last_wall = settle(slot, None, payload)
                 index = slot.index
                 result = SimulationResult.from_dict(payload["result"])
                 outcome = JobOutcome(

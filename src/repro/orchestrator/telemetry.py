@@ -7,6 +7,13 @@ Two audiences, one source of truth:
   docs/ORCHESTRATOR.md);
 * humans watch a single self-overwriting progress line on a TTY (plain
   newline-separated lines when piped, so CI logs stay readable).
+
+Clocks: every duration (``elapsed``, ``busy_seconds``, per-record ``t``)
+is measured on ``time.monotonic()``, so NTP steps or a suspended laptop
+can't skew utilization math or the progress line.  The ``begin`` and
+``summary`` records additionally carry an epoch ``ts`` (``time.time()``)
+so readers can place the run on the calendar; nothing is computed from
+those wall-clock stamps.
 """
 
 from __future__ import annotations
@@ -86,7 +93,11 @@ class RunTelemetry:
 
     def begin(self, total_jobs: int) -> None:
         self.counters.total = total_jobs
-        self._emit({"event": "begin", "total": total_jobs})
+        self._emit({
+            "event": "begin",
+            "total": total_jobs,
+            "ts": round(time.time(), 6),
+        })
         self._render_progress()
 
     def job_started(self) -> None:
@@ -170,6 +181,7 @@ class RunTelemetry:
         walls = counters.wall_seconds_per_point
         record: Dict[str, object] = {
             "event": "summary",
+            "ts": round(time.time(), 6),
             "aborted": aborted,
             "total": counters.total,
             "done": counters.done,

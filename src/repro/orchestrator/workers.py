@@ -22,6 +22,7 @@ same and results are bit-identical across modes.
 
 from __future__ import annotations
 
+import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -55,36 +56,51 @@ def _error_payload(exc: BaseException) -> dict:
 # Worker entry points (children of the orchestrator process)
 # ----------------------------------------------------------------------
 
-def _spawn_worker_entry(conn, runner, job_payload) -> None:
+def _spawn_worker_entry(conn, runner, job_payload, timing: bool = False) -> None:
     """Spawn mode: run one job, ship the outcome, exit.
 
     Failures ship the worker's RNG state and fast-path flag alongside
     the traceback so the parent can write a replayable crash dump.
+    With *timing* on (fleet spans), success payloads additionally carry
+    ``{"timing": {"phases": {...}}}`` — ``time.monotonic()`` pairs in
+    the parent's clock domain (CLOCK_MONOTONIC is system-wide).
     """
     from repro.orchestrator.jobs import JobSpec
 
     try:
+        run_t0 = time.monotonic()
         result = runner(JobSpec.from_dict(job_payload))
-        conn.send({"status": "ok", "result": result.to_dict()})
+        payload = {"status": "ok", "result": result.to_dict()}
+        if timing:
+            payload["timing"] = {
+                "phases": {"worker_run": [run_t0, time.monotonic()]},
+            }
+        conn.send(payload)
     except BaseException as exc:  # isolate *everything*, incl. KeyboardInterrupt
         conn.send(_error_payload(exc))
     finally:
         conn.close()
 
 
-def _warm_worker_main(conn, runner, bank_root) -> None:
+def _warm_worker_main(conn, runner, bank_root, timing: bool = False) -> None:
     """Warm mode: serve jobs from the request pipe until told to exit.
 
     A job exception is reported like spawn mode's and the worker keeps
     serving — worker lifetime is the parent's decision (recycling,
     timeout kills), not the job's.  Interpreter-fatal signals
     (KeyboardInterrupt, SystemExit) still end the worker after
-    reporting, and the parent replaces it.
+    reporting, and the parent replaces it.  The one-off workload-bank
+    attach is timed when *timing* is on and reported with the worker's
+    first job (the only job that ever waited on it).
     """
+    attach_span = None
     if bank_root is not None:
         from repro.workloads import bank
 
+        attach_t0 = time.monotonic()
         bank.install(bank_root)
+        if timing:
+            attach_span = [attach_t0, time.monotonic()]
     # Compression results and scrambler keystreams are pure functions of
     # line content / (seed, address), so a warm worker shares their memo
     # caches across all its jobs (a sweep touches the same workload's
@@ -105,8 +121,16 @@ def _warm_worker_main(conn, runner, bank_root) -> None:
             if not isinstance(message, dict) or message.get("cmd") == "exit":
                 break
             try:
+                run_t0 = time.monotonic()
                 result = runner(JobSpec.from_dict(message["job"]))
-                conn.send({"status": "ok", "result": result.to_dict()})
+                payload = {"status": "ok", "result": result.to_dict()}
+                if timing:
+                    phases = {"worker_run": [run_t0, time.monotonic()]}
+                    if attach_span is not None:
+                        phases["bank_attach"] = attach_span
+                        attach_span = None
+                    payload["timing"] = {"phases": phases}
+                conn.send(payload)
             except Exception as exc:
                 conn.send(_error_payload(exc))
             except BaseException as exc:
@@ -134,16 +158,21 @@ class SpawnBackend:
 
     name = "spawn"
 
-    def __init__(self, ctx, runner) -> None:
+    def __init__(self, ctx, runner, timing: bool = False) -> None:
         self._ctx = ctx
         self._runner = runner
+        self.timing = timing
+
+    def set_timing(self, timing: bool) -> None:
+        """Flip phase-timestamp reporting for workers launched later."""
+        self.timing = bool(timing)
 
     def launch(self, job_payload):
         """Start one attempt; returns ``(process, conn, worker=None)``."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_spawn_worker_entry,
-            args=(child_conn, self._runner, job_payload),
+            args=(child_conn, self._runner, job_payload, self.timing),
             daemon=True,
         )
         try:
@@ -194,18 +223,24 @@ class WarmPoolBackend:
     name = "warm"
 
     def __init__(self, ctx, runner, bank_root=None,
-                 recycle_after: int = DEFAULT_RECYCLE_AFTER) -> None:
+                 recycle_after: int = DEFAULT_RECYCLE_AFTER,
+                 timing: bool = False) -> None:
         if recycle_after < 1:
             raise ValueError("recycle_after must be >= 1")
         self._ctx = ctx
         self._runner = runner
         self._bank_root = str(bank_root) if bank_root is not None else None
         self._recycle_after = recycle_after
+        self.timing = timing
         self._idle: List[_WarmWorker] = []
         #: every live worker, busy or idle (abort() must reach them all).
         self._workers: List[_WarmWorker] = []
         self.spawned = 0
         self.recycled = 0
+
+    def set_timing(self, timing: bool) -> None:
+        """Flip phase-timestamp reporting for workers spawned later."""
+        self.timing = bool(timing)
 
     # -- pool plumbing --------------------------------------------------
 
@@ -213,7 +248,7 @@ class WarmPoolBackend:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_warm_worker_main,
-            args=(child_conn, self._runner, self._bank_root),
+            args=(child_conn, self._runner, self._bank_root, self.timing),
             daemon=True,
         )
         try:
@@ -365,7 +400,11 @@ def available_backends():
 
 
 def _spawn_factory(orchestrator, manifest):
-    return SpawnBackend(orchestrator._ctx, orchestrator.runner), None
+    backend = SpawnBackend(
+        orchestrator._ctx, orchestrator.runner,
+        timing=bool(getattr(orchestrator, "fleet_timing", False)),
+    )
+    return backend, None
 
 
 def _warm_factory(orchestrator, manifest):
@@ -385,6 +424,7 @@ def _warm_factory(orchestrator, manifest):
     backend = WarmPoolBackend(
         orchestrator._ctx, orchestrator.runner, bank_root=bank_root,
         recycle_after=orchestrator.recycle_after,
+        timing=bool(getattr(orchestrator, "fleet_timing", False)),
     )
     return backend, cleanup
 

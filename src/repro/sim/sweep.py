@@ -152,6 +152,7 @@ def run_sweep(
     obs=None,
     pool="warm",
     recycle_after: Optional[int] = None,
+    fleet=None,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
 
@@ -189,6 +190,10 @@ def run_sweep(
             point — each point's ``SimulationResult.obs`` then carries
             the per-epoch time series.  Observed points hash to distinct
             cache keys, so an obs sweep never poisons a plain cache.
+        fleet: optional :class:`repro.obs.fleet.FleetConfig` —
+            orchestration spans + live status plane for the run
+            (orchestrated paths only; the serial fast path has no fleet
+            to observe).  The default ``None`` is fully inert.
     """
     if obs is not None:
         from repro.obs import ObsConfig
@@ -281,7 +286,8 @@ def run_sweep(
         **pool_kwargs,
     )
     report = orchestrator.run(
-        specs, run_dir=run_dir, run_spec=run_spec, progress=progress
+        specs, run_dir=run_dir, run_spec=run_spec, progress=progress,
+        fleet=fleet,
     )
 
     sweep = Sweep(parameter_keys=grid_keys)

@@ -1,0 +1,589 @@
+"""Fleet observability: spans, clock sync, status plane, exposition.
+
+Covers the PR's acceptance surface: Prometheus text-exposition
+conformance, span-merge determinism under fake clock offsets, golden
+digest equality for a sweep with ``--status-port`` on vs off, and a
+two-loopback-agent cluster sweep whose merged Perfetto trace covers
+every job attempt on one coordinated timeline.
+"""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import prometheus
+from repro.obs.fleet import (
+    ClockSample,
+    FleetConfig,
+    NULL_SPAN_LOG,
+    SpanLog,
+    estimate_clock_offset,
+    export_fleet_trace,
+    load_span_records,
+    map_remote_time,
+    write_fleet_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.statusplane import (
+    FLEET_HELP,
+    STATUS_SCHEMA_VERSION,
+    StatusPlane,
+    fleet_registry,
+)
+from repro.obs.top import render_status, run_top, snapshot_from_telemetry
+from repro.sim.runner import ExperimentScale
+
+SMOKE = ExperimentScale(name="fleet-smoke", factor=64, cores=2,
+                        records_per_core=300, warmup_per_core=0)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# Clock-offset estimation
+# ----------------------------------------------------------------------
+
+class TestClockOffset:
+    def test_min_rtt_sample_wins(self):
+        samples = [
+            ClockSample(sent=10.0, received=10.8, remote=60.0),   # rtt 0.8
+            ClockSample(sent=20.0, received=20.2, remote=70.35),  # rtt 0.2
+            ClockSample(sent=30.0, received=30.6, remote=81.0),   # rtt 0.6
+        ]
+        offset, rtt = estimate_clock_offset(samples)
+        # Best sample: midpoint 20.1, remote 70.35 -> offset 50.25.
+        assert offset == pytest.approx(50.25)
+        assert rtt == pytest.approx(0.2)
+
+    def test_known_offset_is_recovered_within_half_rtt(self):
+        true_offset = -3.75  # the agent's clock runs behind
+        samples = []
+        for sent, rtt in ((5.0, 0.4), (6.0, 0.1), (7.0, 0.9)):
+            midpoint = sent + rtt / 2.0
+            samples.append(ClockSample(
+                sent=sent, received=sent + rtt,
+                remote=midpoint + true_offset,
+            ))
+        offset, rtt = estimate_clock_offset(samples)
+        assert offset == pytest.approx(true_offset, abs=rtt / 2.0)
+
+    def test_mapping_is_the_offset_inverse(self):
+        offset, __ = estimate_clock_offset(
+            [ClockSample(sent=0.0, received=1.0, remote=42.5)]
+        )
+        assert map_remote_time(42.5, offset) == pytest.approx(0.5)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError, match="no samples"):
+            estimate_clock_offset([])
+
+    def test_estimate_is_deterministic_for_tied_rtts(self):
+        a = ClockSample(sent=1.0, received=1.2, remote=10.0)
+        b = ClockSample(sent=2.0, received=2.2, remote=99.0)
+        assert estimate_clock_offset([a, b]) == estimate_clock_offset([a, b])
+        # First of the tied-RTT samples wins (min is stable).
+        offset, __ = estimate_clock_offset([a, b])
+        assert offset == pytest.approx(10.0 - 1.1)
+
+
+# ----------------------------------------------------------------------
+# SpanLog
+# ----------------------------------------------------------------------
+
+class TestSpanLog:
+    def test_records_are_relative_to_the_log_epoch(self):
+        clock = FakeClock(start=500.0)
+        log = SpanLog(clock=clock)
+        log.span("run", 500.25, 500.75, key="k1", index=3, attempt=1)
+        (record,) = log.records
+        assert record["t0"] == pytest.approx(0.25)
+        assert record["t1"] == pytest.approx(0.75)
+        assert record["key"] == "k1"
+        assert record["index"] == 3
+        assert record["v"] == 1
+
+    def test_none_and_empty_fields_are_stripped(self):
+        log = SpanLog(clock=FakeClock())
+        log.span("queued", 100.0, 100.1)
+        (record,) = log.records
+        assert "agent" not in record and "key" not in record
+        assert "attempt" not in record and "args" not in record
+
+    def test_mark_defaults_to_now(self):
+        clock = FakeClock(start=10.0)
+        log = SpanLog(clock=clock)
+        clock.advance(2.5)
+        log.mark("result", key="k")
+        (record,) = log.records
+        assert record["t"] == pytest.approx(2.5)
+
+    def test_file_is_append_only_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        log = SpanLog(path=path, clock=FakeClock())
+        log.span("run", 100.0, 101.0, key="a")
+        log.mark("result", 101.0, key="a")
+        log.meta("agent_clock", agent="box", offset=0.5, rtt=0.1)
+        loaded = load_span_records(tmp_path)
+        assert [r["event"] for r in loaded] == ["span", "mark", "meta"]
+        assert loaded == log.records
+
+    def test_malformed_remote_phase_is_skipped(self):
+        log = SpanLog(clock=FakeClock())
+        log.remote_phases(
+            {"agent_run": [101.0, 102.0], "bad": ["x"], "worse": None},
+            offset=0.0, key="k",
+        )
+        assert [r["phase"] for r in log.records] == ["agent_run"]
+
+    def test_null_span_log_is_inert(self):
+        assert not NULL_SPAN_LOG.enabled
+        NULL_SPAN_LOG.span("run", 0.0, 1.0, key="k")
+        NULL_SPAN_LOG.mark("result")
+        NULL_SPAN_LOG.meta("agent_clock")
+        NULL_SPAN_LOG.remote_phases({"run": [0, 1]}, 0.0)
+        assert NULL_SPAN_LOG.records == []
+
+    def test_fleet_config_default_is_inert(self):
+        assert not FleetConfig().active
+        assert FleetConfig(spans=True).active
+        assert FleetConfig(status_port=0).active
+
+
+# ----------------------------------------------------------------------
+# Span merge determinism under fake clock offsets
+# ----------------------------------------------------------------------
+
+class TestSpanMergeDeterminism:
+    def test_mapped_remote_spans_land_on_the_coordinator_timeline(self):
+        # Two "agents" whose clocks differ wildly observe the same true
+        # coordinator-time interval [100.5, 101.5]; after offset mapping
+        # the recorded spans are identical.
+        logs = []
+        for offset in (0.0, +1234.5, -99.25):
+            log = SpanLog(clock=FakeClock(start=100.0))
+            remote = {"agent_run": [100.5 + offset, 101.5 + offset]}
+            log.remote_phases(remote, offset, key="k", agent="box")
+            logs.append(log.records)
+        assert logs[0] == logs[1] == logs[2]
+        assert logs[0][0]["t0"] == pytest.approx(0.5)
+        assert logs[0][0]["t1"] == pytest.approx(1.5)
+
+    def test_export_is_deterministic(self):
+        records = [
+            {"event": "span", "phase": "run", "t0": 0.1, "t1": 0.9,
+             "key": "k1", "index": 0, "attempt": 1, "agent": "b"},
+            {"event": "span", "phase": "agent_run", "t0": 0.2, "t1": 0.8,
+             "key": "k1", "index": 0, "attempt": 1, "agent": "b"},
+            {"event": "mark", "phase": "result", "t": 0.9, "key": "k1",
+             "index": 0, "agent": "a"},
+            {"event": "meta", "kind": "agent_clock", "agent": "b",
+             "offset": 0.001, "rtt": 0.002},
+        ]
+        first = json.dumps(export_fleet_trace(records), sort_keys=True)
+        second = json.dumps(export_fleet_trace(list(records)),
+                            sort_keys=True)
+        assert first == second
+
+    def test_export_groups_agents_into_process_lanes(self):
+        records = [
+            {"event": "span", "phase": "run", "t0": 0.0, "t1": 1.0,
+             "key": "k", "index": 0},
+            {"event": "span", "phase": "agent_run", "t0": 0.1, "t1": 0.9,
+             "key": "k", "index": 0, "agent": "box:1"},
+        ]
+        trace = export_fleet_trace(records)
+        names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert names == {"orchestrator", "agent box:1"}
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert {e["pid"] for e in spans} == {0, 1}
+        # Seconds exported as microseconds for readable Perfetto digits.
+        assert max(e["ts"] for e in spans) == pytest.approx(100_000.0)
+
+    def test_failed_marks_cross_link_crash_dumps(self):
+        records = [
+            {"event": "mark", "phase": "failed", "t": 1.0, "key": "kxyz",
+             "index": 2, "attempt": 2},
+        ]
+        trace = export_fleet_trace(
+            records, crash_dumps={"kxyz": "crashes/kxyz.attempt2.json"}
+        )
+        (mark,) = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+        assert mark["args"]["crash_dump"] == "crashes/kxyz.attempt2.json"
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition conformance
+# ----------------------------------------------------------------------
+
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'                      # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'    # first label
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][-+]?\d+)?|[-+]Inf|NaN)$'
+)
+
+
+def _conforming(text: str) -> bool:
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _SAMPLE_LINE.match(line), f"non-conforming line: {line!r}"
+    return True
+
+
+class TestPrometheusExposition:
+    def test_content_type_pins_the_text_format(self):
+        assert prometheus.CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_counter_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.counter('jobs_total{status="done"}').inc(3)
+        registry.counter('jobs_total{status="failed"}').inc(1)
+        registry.gauge("queue_depth").set(7)
+        text = prometheus.exposition(
+            registry, help_texts={"jobs_total": "Terminal outcomes"}
+        )
+        assert _conforming(text)
+        lines = text.splitlines()
+        # One HELP/TYPE per family, however many labelled children.
+        assert lines.count("# HELP jobs_total Terminal outcomes") == 1
+        assert lines.count("# TYPE jobs_total counter") == 1
+        assert 'jobs_total{status="done"} 3' in lines
+        assert 'jobs_total{status="failed"} 1' in lines
+        assert "# TYPE queue_depth gauge" in lines
+        assert "queue_depth 7" in lines
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        name = 'agent_up{agent="' + prometheus.escape_label_value(
+            'box\\1 "fast"\nline'
+        ) + '"}'
+        registry.gauge(name).set(1)
+        text = prometheus.exposition(registry)
+        assert _conforming(text)
+        assert r'agent_up{agent="box\\1 \"fast\"\nline"} 1' in text
+
+    def test_names_are_sanitised_to_the_legal_charset(self):
+        assert prometheus.sanitize_name(
+            "controller.read-latency bus"
+        ) == "controller_read_latency_bus"
+        assert prometheus.sanitize_name("0weird").startswith("_")
+        registry = MetricsRegistry()
+        registry.counter("controller.read_latency").inc(1)
+        assert "controller_read_latency 1" in prometheus.exposition(registry)
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("wall_seconds", bounds=(1.0, 2.0))
+        for value in (0.5, 0.7, 1.5, 99.0):
+            histogram.observe(value)
+        text = prometheus.exposition(registry)
+        assert _conforming(text)
+        lines = text.splitlines()
+        assert 'wall_seconds_bucket{le="1"} 2' in lines
+        assert 'wall_seconds_bucket{le="2"} 3' in lines
+        assert 'wall_seconds_bucket{le="+Inf"} 4' in lines
+        assert "wall_seconds_count 4" in lines
+        assert "wall_seconds_sum 101.7" in lines
+
+    def test_format_value(self):
+        assert prometheus.format_value(3.0) == "3"
+        assert prometheus.format_value(0.25) == "0.25"
+        assert prometheus.format_value(float("inf")) == "+Inf"
+        assert prometheus.format_value(float("nan")) == "NaN"
+
+    def test_fleet_registry_renders_conformingly(self):
+        snapshot = {
+            "counters": {"done": 5, "failed": 1, "cached": 2,
+                         "running": 3, "queued": 4, "total": 15,
+                         "busy_seconds": 12.5},
+            "elapsed_s": 6.25, "workers": 4, "utilization": 0.5,
+            "throughput_jobs_s": 1.28, "straggler_s": 0.4,
+            "rss_bytes": 123456789,
+            "cache_sources": {"seeded": 2},
+            "agents": [{"name": "vm:9001", "alive": True, "inflight": 1,
+                        "served": 7, "clock_offset_s": 0.0015}],
+            "point_wall_s": [0.2, 0.4, 3.0],
+        }
+        text = prometheus.exposition(
+            fleet_registry(snapshot), help_texts=FLEET_HELP
+        )
+        assert _conforming(text)
+        assert 'repro_fleet_jobs_total{status="done"} 5' in text
+        assert 'repro_fleet_cache_hits_total{source="seeded"} 2' in text
+        assert 'repro_fleet_agent_up{agent="vm:9001"} 1' in text
+        assert 'repro_fleet_point_wall_seconds_bucket{le="0.25"} 1' in text
+        assert "# HELP repro_fleet_jobs_total" in text
+
+
+# ----------------------------------------------------------------------
+# Status plane HTTP server
+# ----------------------------------------------------------------------
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestStatusPlane:
+    def test_serves_status_json_and_metrics(self):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return {"elapsed_s": 1.5,
+                    "counters": {"done": 2, "finished": 2, "total": 4}}
+
+        plane = StatusPlane(provider, port=0, interval_s=60.0)
+        url = plane.start()
+        try:
+            code, ctype, body = _get(url + "/status.json")
+            assert code == 200 and ctype.startswith("application/json")
+            payload = json.loads(body)
+            assert payload["schema"] == STATUS_SCHEMA_VERSION
+            assert payload["state"] == "running"
+            assert payload["counters"]["done"] == 2
+            assert payload["history"] == [[1.5, 2]]
+
+            code, ctype, body = _get(url + "/metrics")
+            assert code == 200 and ctype == prometheus.CONTENT_TYPE
+            assert _conforming(body)
+            assert 'repro_fleet_jobs_total{status="done"} 2' in body
+
+            code, __, body = _get(url + "/")
+            assert code == 200 and "/metrics" in body
+        finally:
+            plane.stop()
+        assert plane.latest["state"] == "done"
+
+    def test_unknown_path_is_404(self):
+        plane = StatusPlane(lambda: {}, port=0, interval_s=60.0)
+        url = plane.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(url + "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            plane.stop()
+
+    def test_provider_errors_never_escape(self):
+        def provider():
+            raise RuntimeError("boom")
+
+        plane = StatusPlane(provider, port=0, interval_s=60.0)
+        url = plane.start()
+        try:
+            __, __, body = _get(url + "/status.json")
+            payload = json.loads(body)
+            assert "boom" in payload["error"]
+            assert payload["state"] == "running"
+        finally:
+            plane.stop()
+
+    def test_stop_is_idempotent(self):
+        plane = StatusPlane(lambda: {}, port=0, interval_s=60.0)
+        plane.start()
+        plane.stop()
+        plane.stop()
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+
+def _write_telemetry(path, records):
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records),
+        encoding="utf-8",
+    )
+
+
+class TestTop:
+    def test_snapshot_from_telemetry(self, tmp_path):
+        _write_telemetry(tmp_path / "telemetry.jsonl", [
+            {"event": "begin", "total": 3, "ts": 1700000000.0},
+            {"event": "job", "t": 1.0, "key": "a", "status": "done",
+             "wall_s": 0.9},
+            {"event": "job", "t": 1.5, "key": "b", "status": "cached",
+             "wall_s": 0.0},
+            {"event": "job", "t": 2.0, "key": "c", "status": "failed",
+             "wall_s": 0.4},
+            {"event": "summary", "aborted": False, "elapsed_s": 2.25,
+             "workers": 2, "backend": "warm", "cache_hit_rate": 1 / 3,
+             "worker_utilization": 0.6},
+        ])
+        snapshot = snapshot_from_telemetry(tmp_path)
+        assert snapshot["state"] == "done"
+        assert snapshot["counters"]["finished"] == 3
+        assert snapshot["counters"]["cached"] == 1
+        assert snapshot["workers"] == 2
+        assert snapshot["point_wall_s"] == [0.9]
+        assert snapshot["throughput_jobs_s"] == pytest.approx(3 / 2.25)
+
+    def test_truncated_telemetry_reads_as_stale(self, tmp_path):
+        _write_telemetry(tmp_path / "telemetry.jsonl", [
+            {"event": "begin", "total": 5},
+            {"event": "job", "t": 1.0, "key": "a", "status": "done",
+             "wall_s": 1.0},
+        ])
+        snapshot = snapshot_from_telemetry(tmp_path)
+        assert snapshot["state"] == "stale"
+        assert snapshot["counters"]["queued"] == 4
+
+    def test_render_status_frame(self):
+        frame = render_status({
+            "state": "running", "backend": "cluster", "workers": 4,
+            "elapsed_s": 10.0, "throughput_jobs_s": 2.0,
+            "counters": {"total": 40, "finished": 20, "done": 18,
+                         "cached": 2, "failed": 0, "running": 4,
+                         "queued": 16},
+            "utilization": 0.8, "straggler_s": 1.2,
+            "cache_hit_rate": 0.1, "cache_sources": {"seeded": 2},
+            "agents": [{"name": "vm:1", "alive": True, "inflight": 2,
+                        "served": 10, "clock_offset_s": 0.002}],
+        })
+        assert "repro fleet · running · backend cluster" in frame
+        assert "20/40 (50%)" in frame
+        assert "eta ~10s" in frame
+        assert "seeded 2" in frame
+        assert "vm:1" in frame and "+2.00 ms" in frame
+
+    def test_run_top_post_hoc(self, tmp_path, capsys):
+        _write_telemetry(tmp_path / "telemetry.jsonl", [
+            {"event": "begin", "total": 1},
+            {"event": "job", "t": 0.5, "key": "a", "status": "done",
+             "wall_s": 0.5},
+            {"event": "summary", "aborted": False, "elapsed_s": 0.5,
+             "workers": 1, "backend": "warm"},
+        ])
+        assert run_top(str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "repro fleet · done" in out
+
+    def test_run_top_without_telemetry_fails_cleanly(self, tmp_path, capsys):
+        assert run_top(str(tmp_path)) == 1
+        assert "telemetry.jsonl" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# End to end: digests and run dirs unperturbed; cluster spans merged
+# ----------------------------------------------------------------------
+
+def _sweep_digests(points):
+    from repro.fastpath.bench import result_digest
+
+    return [result_digest(p.result) for p in points]
+
+
+class TestFleetEndToEnd:
+    def test_status_port_does_not_perturb_digests_or_run_dir(self, tmp_path):
+        from repro.sim.sweep import run_sweep
+
+        grid = dict(benchmarks=["STREAM"], systems=["baseline", "attache"],
+                    seeds=[7], scale=SMOKE, jobs=2, retries=0)
+        plain = run_sweep(run_dir=tmp_path / "plain", **grid)
+        urls = []
+        observed = run_sweep(
+            run_dir=tmp_path / "observed",
+            fleet=FleetConfig(status_port=0, announce=urls.append),
+            **grid,
+        )
+        assert _sweep_digests(plain.points) == _sweep_digests(observed.points)
+        assert plain.to_csv() == observed.to_csv()
+        # With spans off the status plane adds no files to the run dir.
+        plain_files = sorted(p.name for p in (tmp_path / "plain").iterdir())
+        observed_files = sorted(
+            p.name for p in (tmp_path / "observed").iterdir()
+        )
+        assert plain_files == observed_files
+        assert "spans.jsonl" not in observed_files
+        assert len(urls) == 1 and urls[0].startswith("http://127.0.0.1:")
+
+    def test_local_pool_spans_cover_every_attempt(self, tmp_path):
+        from repro.sim.sweep import run_sweep
+
+        run_dir = tmp_path / "run"
+        sweep = run_sweep(
+            benchmarks=["STREAM"], systems=["baseline", "attache"],
+            seeds=[7], scale=SMOKE, jobs=2, retries=0, run_dir=run_dir,
+            fleet=FleetConfig(spans=True),
+        )
+        assert not sweep.failures
+        records = load_span_records(run_dir)
+        keys = {r["key"] for r in records
+                if r.get("event") == "span" and r.get("phase") == "run"}
+        assert len(keys) == len(sweep.points)
+        for phase in ("queued", "dispatch", "worker_run"):
+            covered = {r["key"] for r in records
+                       if r.get("phase") == phase}
+            assert covered == keys, f"phase {phase} missing attempts"
+        results = [r for r in records if r.get("phase") == "result"]
+        assert len(results) == len(sweep.points)
+        path, trace = write_fleet_trace(run_dir)
+        assert path.exists()
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert {e["args"]["key"] for e in spans} == keys
+
+    def test_two_loopback_agents_merge_onto_one_timeline(self, tmp_path):
+        from repro.cluster import connect_cluster
+        from repro.sim.sweep import run_sweep
+
+        run_dir = tmp_path / "run"
+        backend = connect_cluster(["local", "local"], agent_jobs=1)
+        sweep = run_sweep(
+            benchmarks=["STREAM"], systems=["baseline", "attache"],
+            seeds=[7], scale=SMOKE, jobs=max(1, backend.total_slots()),
+            retries=0, run_dir=run_dir, pool=backend,
+            fleet=FleetConfig(spans=True),
+        )
+        assert not sweep.failures
+        records = load_span_records(run_dir)
+        run_spans = [r for r in records
+                     if r.get("event") == "span" and r.get("phase") == "run"]
+        keys = {r["key"] for r in run_spans}
+        assert len(keys) == len(sweep.points)
+        # Every attempt names the agent that executed it.
+        assert all(r.get("agent") for r in run_spans)
+        # Agent-side phases were shipped back and mapped onto the
+        # coordinator timeline: they must nest inside the observed run
+        # span (within the clock-sync error bound, well under a second).
+        agent_runs = {r["key"]: r for r in records
+                      if r.get("phase") == "agent_run"}
+        assert set(agent_runs) == keys
+        for span in run_spans:
+            remote = agent_runs[span["key"]]
+            assert remote["t0"] >= span["t0"] - 0.5
+            assert remote["t1"] <= span["t1"] + 0.5
+        # Clock-offset estimates were recorded for the pairing handshake.
+        offsets = {r.get("agent") for r in records
+                   if r.get("event") == "meta"
+                   and r.get("kind") == "agent_clock"}
+        assert len(offsets) == 2
+        __, trace = write_fleet_trace(run_dir)
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert "orchestrator" in lanes
+        assert sum(1 for lane in lanes if lane.startswith("agent ")) == 2
+        assert trace["otherData"]["agents"] == sorted(
+            a for a in offsets
+        )

@@ -66,6 +66,46 @@ class TestMetricsRegistry:
         assert NULL_REGISTRY.enabled is False
         # Every instrument is the same shared no-op object.
         assert NULL_REGISTRY.histogram("h") is NULL_REGISTRY.gauge("g")
+        assert NULL_REGISTRY.histogram("h").quantile(0.5) == 0.0
+
+
+class TestHistogramQuantiles:
+    def _uniform(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", bounds=(10.0, 20.0, 30.0))
+        for value in (5.0, 15.0, 25.0, 35.0):
+            hist.observe(value)
+        return hist
+
+    def test_interpolated_quantiles(self):
+        hist = self._uniform()
+        # Rank 2 of 4 lands at the top of the second bucket.
+        assert hist.quantile(0.5) == pytest.approx(20.0)
+        assert hist.quantile(0.25) == pytest.approx(10.0)
+        # Overflow bucket has no upper bound: clamp to the last one.
+        assert hist.quantile(0.99) == pytest.approx(30.0)
+
+    def test_empty_histogram_is_zero(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.quantile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            self._uniform().quantile(1.5)
+
+    def test_to_dict_carries_p50_p95_p99(self):
+        hist = self._uniform()
+        payload = hist.to_dict()
+        assert payload["p50"] == pytest.approx(hist.quantile(0.50))
+        assert payload["p95"] == pytest.approx(hist.quantile(0.95))
+        assert payload["p99"] == pytest.approx(hist.quantile(0.99))
+        assert payload["count"] == 4
+
+    def test_single_bucket_interpolates_from_zero(self):
+        hist = MetricsRegistry().histogram("one", bounds=(8.0,))
+        hist.observe(1.0)
+        hist.observe(2.0)
+        assert hist.quantile(0.5) == pytest.approx(4.0)
 
 
 class TestTimeSeriesSampler:

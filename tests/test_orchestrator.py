@@ -223,6 +223,27 @@ class TestTelemetry:
         assert summary["done"] == 1
         assert summary["failed"] == 1
         assert summary["workers"] == 2
+        # begin/summary carry epoch stamps so readers can place the run
+        # on the calendar; durations stay monotonic-clock based.
+        assert records[0]["ts"] > 1.6e9
+        assert summary["ts"] >= records[0]["ts"]
+
+    def test_durations_use_the_injected_monotonic_clock(self, tmp_path):
+        from repro.orchestrator.telemetry import RunTelemetry
+
+        ticks = iter([100.0, 100.5, 103.0, 103.0])
+        telemetry = RunTelemetry(path=tmp_path / "t.jsonl", workers=2,
+                                 clock=lambda: next(ticks))
+        telemetry.begin(1)
+        telemetry.job_finished("k", "job", "done", attempts=1, wall_s=2.0,
+                               was_running=False)
+        summary = telemetry.summary()
+        # elapsed is clock deltas (103.0 - 100.0), never wall-clock time,
+        # so an NTP step cannot skew the utilization denominator.
+        assert summary["elapsed_s"] == pytest.approx(3.0)
+        assert summary["worker_utilization"] == pytest.approx(
+            2.0 / (3.0 * 2)
+        )
 
 
 class TestSweepIntegration:
