@@ -10,7 +10,10 @@ committed baseline:
   orchestrator with the warm pool and with spawn-per-job workers
   (``benchmarks/BENCH_sweep.json``);
 * functional — the pinned metadata-traffic functional pass with the
-  vector kernels on and off (``benchmarks/BENCH_functional.json``).
+  vector kernels on and off (``benchmarks/BENCH_functional.json``);
+* timing — the pinned detailed-simulator run with a deep functional
+  warm-up, vector timing plane on and off
+  (``benchmarks/BENCH_timing.json``).
 
 For both: the two modes must produce bit-identical results, and the
 speedup ratio must not regress more than 25% below the committed
@@ -31,6 +34,7 @@ from repro.fastpath.bench import (
     run_pinned,
     run_pinned_functional,
     run_pinned_sweep,
+    run_pinned_timing,
 )
 
 from conftest import publish
@@ -40,6 +44,7 @@ SWEEP_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
 FUNCTIONAL_BASELINE_PATH = (
     pathlib.Path(__file__).parent / "BENCH_functional.json"
 )
+TIMING_BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_timing.json"
 
 
 def test_perf_trajectory(report_dir):
@@ -163,4 +168,45 @@ def test_functional_perf_trajectory(report_dir):
         f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
         "If this follows a deliberate change, re-measure and refresh "
         f"{FUNCTIONAL_BASELINE_PATH.name}."
+    )
+
+
+def test_timing_perf_trajectory(report_dir):
+    repeats = int(os.environ.get("REPRO_BENCH_PERF_REPEATS", "3"))
+    report = run_pinned_timing(repeats=repeats)
+    payload = report.to_dict()
+    (report_dir / "BENCH_timing.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    baseline = json.loads(TIMING_BASELINE_PATH.read_text(encoding="utf-8"))
+    rows = "\n".join(
+        f"  {label:<28}{value}"
+        for label, value in [
+            ("repeats (best-of)", report.repeats),
+            ("vector wall clock (s)", f"{report.fast.wall_s:.3f}"),
+            ("scalar wall clock (s)", f"{report.slow.wall_s:.3f}"),
+            ("vector events/sec", f"{report.fast.events_per_s:.0f}"),
+            ("scalar events/sec", f"{report.slow.events_per_s:.0f}"),
+            ("speedup (scalar/vector)", f"{report.speedup:.2f}x"),
+            ("baseline speedup", f"{baseline['speedup']:.2f}x"),
+            ("bit-identical", report.identical),
+        ]
+    )
+    publish(report_dir, "BENCH_timing",
+            "timing pass (pinned deep-warm-up run, vector vs scalar)\n"
+            + rows)
+
+    assert report.identical, (
+        "vector timing plane is not bit-identical to the scalar loops: "
+        f"vector digest {report.fast.digest[:16]}, "
+        f"scalar digest {report.slow.digest[:16]}"
+    )
+    floor = 0.75 * baseline["speedup"]
+    assert report.speedup >= floor, (
+        f"timing speedup regressed: measured {report.speedup:.2f}x, "
+        f"baseline {baseline['speedup']:.2f}x (gate: >= {floor:.2f}x). "
+        "If this follows a deliberate change, re-measure and refresh "
+        f"{TIMING_BASELINE_PATH.name}."
     )

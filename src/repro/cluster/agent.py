@@ -205,6 +205,19 @@ class AgentServer:
             clock=time.monotonic(),
         ))
         self.stats.sessions += 1
+        # One line per accepted session recording the effective
+        # acceleration flags: results are identical either way, but a
+        # fleet mixing REPRO_FASTPATH/REPRO_VECTOR settings produces
+        # incomparable per-agent wall clocks, and this is the only
+        # place the coordinator's operator can see each agent's mode.
+        from repro import fastpath, kernels
+
+        self._announce(
+            "repro-agent session accepted "
+            f"(fastpath={'on' if fastpath.enabled() else 'off'}, "
+            f"vector={'on' if kernels.enabled() else 'off'})",
+            flush=True,
+        )
         self._serve_jobs(channel)
 
     def _make_backend(self):

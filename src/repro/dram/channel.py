@@ -42,7 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro import fastpath
+from repro import fastpath, kernels
 from repro.dram.config import DramOrganization, DramTiming
 from repro.dram.rank import Rank
 from repro.dram.request import DramRequest
@@ -52,6 +52,17 @@ _CLASS_REFRESH = 0
 _CLASS_COLUMN = 1
 _CLASS_ACTIVATE = 2
 _CLASS_PRECHARGE = 3
+
+#: Minimum (rank, bank) bucket count before the struct-of-arrays
+#: candidate plane beats the scalar fast path.  A vectorized selection
+#: pass costs 10-20 µs of constant numpy overhead per compute; the
+#: scalar dict-cache loop costs ~0.1 µs per active bucket.  Measured
+#: on dense synthetic bursts, the crossover sits near 512 lanes
+#: (~125 simultaneously active buckets): 256-lane organizations still
+#: run ~5% faster on the scalar loop, 512-lane ones ~10% faster on the
+#: vector plane.  Differential tests monkeypatch this to pin the plane's
+#: bit-identical scheduling at small organizations.
+_VECTOR_MIN_LANES = 512
 
 
 @dataclass
@@ -162,6 +173,24 @@ class Channel:
         #: per-rank ``next_refresh_due + t_refi`` (the refresh-debt
         #: preempt threshold); only a REF command moves it.
         self._refresh_debt: List[Optional[float]] = [None] * len(self.ranks)
+        #: Vector timing plane (REPRO_VECTOR): the per-direction bucket
+        #: caches become struct-of-arrays candidate lanes (one flat
+        #: ``rank * banks + bank`` id per bucket) with Python dirty-id
+        #: sets replacing the dict pops, so the selection loop is one
+        #: vectorized min over every active bucket.  An extension of the
+        #: fast path — it reuses the same invariants, version counters
+        #: and event-horizon skipping — so it only arms alongside it,
+        #: and only once the lane count amortises the numpy constant
+        #: (``_VECTOR_MIN_LANES``); either way the candidates are
+        #: bit-identical.
+        lanes = len(self.ranks) * organization.bank_groups * organization.banks_per_group
+        self._vector = (
+            self._fastpath
+            and lanes >= _VECTOR_MIN_LANES
+            and kernels.enabled()
+        )
+        if self._vector:
+            self._init_vector_plane()
         self._skip_version = -1  #: version the event horizon was computed at
         self._skip_until = 0.0  #: no command can issue before this cycle
         self.perf = fastpath.SchedulerCounters()
@@ -174,6 +203,41 @@ class Channel:
         #: Optional event tracer; ``MainMemory`` installs one when the
         #: run is observed so sampled requests get per-command instants.
         self.tracer = None
+
+    def _init_vector_plane(self) -> None:
+        """Allocate the struct-of-arrays candidate lanes.
+
+        One lane per (rank, flat bank) bucket and direction: unclamped
+        candidate time (``inf`` = no valid entry), command class,
+        target arrival, head-of-queue arrival, the starvation flag the
+        lane was computed under, and a parallel Python list holding the
+        target request object.  ``_class_keys`` holds flat lane ids
+        instead of key tuples; ``_vec_dirty`` replaces the dict pops.
+        """
+        import numpy as np
+
+        self._np = np
+        banks = self._org.bank_groups * self._org.banks_per_group
+        total = len(self.ranks) * banks
+        self._vec_banks = banks
+        inf = float("inf")
+        # Index 0: read direction, 1: write direction.
+        self._vec_time = [np.full(total, inf), np.full(total, inf)]
+        self._vec_cls = [
+            np.zeros(total, dtype=np.int64),
+            np.zeros(total, dtype=np.int64),
+        ]
+        self._vec_arrival = [np.zeros(total), np.zeros(total)]
+        self._vec_head = [np.zeros(total), np.zeros(total)]
+        self._vec_starved = [
+            np.zeros(total, dtype=bool),
+            np.zeros(total, dtype=bool),
+        ]
+        self._vec_request: List[List[Optional[DramRequest]]] = [
+            [None] * total,
+            [None] * total,
+        ]
+        self._vec_dirty: List[set] = [set(), set()]
 
     def _log(self, cycle: float, command: str, rank: int, bank: int,
              request: Optional[DramRequest]) -> None:
@@ -225,7 +289,11 @@ class Channel:
         # The appended request can change this bucket's candidate (e.g.
         # it hits the open row where nothing did); other buckets keep
         # their cached candidates.
-        if request.is_write:
+        if self._vector:
+            self._vec_dirty[1 if request.is_write else 0].add(
+                key[0] * self._vec_banks + key[1]
+            )
+        elif request.is_write:
             self._bucket_cache_write.pop(key, None)
         else:
             self._bucket_cache_read.pop(key, None)
@@ -350,6 +418,8 @@ class Channel:
         return best
 
     def _compute_best_candidate(self) -> Optional[_Candidate]:
+        if self._vector:
+            return self._compute_best_candidate_vec()
         if self._fastpath:
             return self._compute_best_candidate_fast()
         best: Optional[_Candidate] = None
@@ -486,6 +556,140 @@ class Channel:
                 best_time = time
                 best_class = _CLASS_REFRESH
                 best_arrival = float("-inf")
+        return best
+
+    def _compute_best_candidate_vec(self) -> Optional[tuple]:
+        """Struct-of-arrays variant of :meth:`_compute_best_candidate_fast`.
+
+        Dirty or starvation-stale lanes recompute through the same
+        ``_bank_candidate_fast`` scalar (writing the lane arrays), then
+        selection is one vectorized ``min`` over ``max(time, clock)``
+        with the scalar's exact tie-break: lexicographic
+        (class, arrival), full ties resolved in bucket-dict insertion
+        order — the order the scalar loop encounters them.
+        """
+        np = self._np
+        self.perf.computes += 1
+        clock = self.clock
+        debt = self._refresh_debt
+        for rank_index, rank in enumerate(self.ranks):
+            threshold = debt[rank_index]
+            if threshold is None:
+                threshold = rank.next_refresh_due + self._t.t_refi
+                debt[rank_index] = threshold
+            if clock > threshold:
+                # Refresh debt of a full interval: refresh preempts all
+                # request scheduling until the rank catches up.
+                return (
+                    rank.earliest_refresh(clock), _CLASS_REFRESH,
+                    float("-inf"), None, rank_index, -1,
+                )
+        buckets = self._active_buckets()
+        direction = 1 if buckets is self._write_by_bank else 0
+        times = self._vec_time[direction]
+        classes = self._vec_cls[direction]
+        arrivals = self._vec_arrival[direction]
+        heads = self._vec_head[direction]
+        starved_flags = self._vec_starved[direction]
+        lane_requests = self._vec_request[direction]
+        dirty = self._vec_dirty[direction]
+        banks = self._vec_banks
+        cap = self._starvation_cap
+        inf = float("inf")
+        # The starvation flag is the only clock-dependent lane input:
+        # find every valid lane whose flag flipped since it was written.
+        stale = np.nonzero(
+            (times != inf) & (((clock - heads) > cap) != starved_flags)
+        )[0]
+        if stale.size:
+            dirty.update(stale.tolist())
+        misses = 0
+        if dirty:
+            class_keys = self._class_keys
+            for flat in dirty:
+                key = (flat // banks, flat % banks)
+                bucket = buckets.get(key)
+                if not bucket:
+                    times[flat] = inf
+                    lane_requests[flat] = None
+                    continue
+                misses += 1
+                arrival = bucket[0].arrival_cycle
+                starved = (clock - arrival) > cap
+                candidate = self._bank_candidate_fast(
+                    key[0], key[1], bucket, starved
+                )
+                times[flat] = candidate[0]
+                classes[flat] = candidate[1]
+                arrivals[flat] = candidate[2]
+                heads[flat] = arrival
+                starved_flags[flat] = starved
+                lane_requests[flat] = candidate[3]
+                class_key = (key[0], candidate[1])
+                members = class_keys.get(class_key)
+                if members is None:
+                    class_keys[class_key] = {flat}
+                else:
+                    members.add(flat)
+            dirty.clear()
+        clamped = np.maximum(times, clock)
+        best_value = clamped.min() if clamped.shape[0] else inf
+        active = int((times != inf).sum())
+        counters = self.perf.bucket
+        counters.misses += misses
+        counters.hits += active - misses
+        perf = self.perf
+        perf.kernel_batches += 1
+        perf.kernel_lanes += active
+        best: Optional[tuple] = None
+        best_time = best_class = None
+        if best_value != inf:
+            ties = np.nonzero(clamped == best_value)[0]
+            if ties.shape[0] == 1:
+                flat = int(ties[0])
+            else:
+                tie_classes = classes[ties]
+                tie_arrivals = arrivals[ties]
+                order = np.lexsort((tie_arrivals, tie_classes))
+                lead = order[0]
+                full_tie = (tie_classes == tie_classes[lead]) & (
+                    tie_arrivals == tie_arrivals[lead]
+                )
+                finalists = ties[full_tie]
+                if finalists.shape[0] == 1:
+                    flat = int(finalists[0])
+                else:
+                    finalist_set = set(finalists.tolist())
+                    for key in buckets:
+                        flat = key[0] * banks + key[1]
+                        if flat in finalist_set:
+                            break
+            best = (
+                float(times[flat]), int(classes[flat]),
+                float(arrivals[flat]), lane_requests[flat],
+                flat // banks, flat % banks,
+            )
+            best_time = float(best_value)
+            best_class = best[1]
+        # Refresh candidates last, identical to the scalar fast path.
+        refresh_cache = self._refresh_unclamped
+        for rank_index, rank in enumerate(self.ranks):
+            time = refresh_cache[rank_index]
+            if time is None:
+                time = rank.earliest_refresh(0.0)
+                refresh_cache[rank_index] = time
+            if time < clock:
+                time = clock
+            if best is not None and time > best_time:
+                continue
+            if best is None or time < best_time or (
+                time == best_time and best_class != _CLASS_REFRESH
+            ):
+                best = (
+                    time, _CLASS_REFRESH, float("-inf"), None, rank_index, -1
+                )
+                best_time = time
+                best_class = _CLASS_REFRESH
         return best
 
     def _bank_candidate_fast(
@@ -786,14 +990,29 @@ class Channel:
     # ------------------------------------------------------------------
 
     def _invalidate_bank(self, rank_index: int, bank_index: int) -> None:
+        if self._vector:
+            flat = rank_index * self._vec_banks + bank_index
+            self._vec_dirty[0].add(flat)
+            self._vec_dirty[1].add(flat)
+            return
         key = (rank_index, bank_index)
         self._bucket_cache_read.pop(key, None)
         self._bucket_cache_write.pop(key, None)
 
     def _invalidate_rank(self, rank_index: int) -> None:
+        class_keys = self._class_keys
+        if self._vector:
+            dirty_read, dirty_write = self._vec_dirty
+            for command_class in (
+                _CLASS_COLUMN, _CLASS_ACTIVATE, _CLASS_PRECHARGE
+            ):
+                members = class_keys.pop((rank_index, command_class), None)
+                if members:
+                    dirty_read.update(members)
+                    dirty_write.update(members)
+            return
         read_pop = self._bucket_cache_read.pop
         write_pop = self._bucket_cache_write.pop
-        class_keys = self._class_keys
         for command_class in (_CLASS_COLUMN, _CLASS_ACTIVATE, _CLASS_PRECHARGE):
             keys = class_keys.pop((rank_index, command_class), None)
             if keys:
@@ -813,6 +1032,10 @@ class Channel:
         """
         keys = self._class_keys.pop((rank_index, command_class), None)
         if keys:
+            if self._vector:
+                self._vec_dirty[0].update(keys)
+                self._vec_dirty[1].update(keys)
+                return
             read_pop = self._bucket_cache_read.pop
             write_pop = self._bucket_cache_write.pop
             for key in keys:

@@ -413,6 +413,110 @@ def run_pinned_functional(repeats: int = 3) -> FunctionalBenchReport:
     )
 
 
+# ----------------------------------------------------------------------
+# The pinned timing pass: vector warm-up/prewarm vs the scalar loops
+# ----------------------------------------------------------------------
+
+#: The pinned timing configuration — the detailed simulator on the same
+#: RAND/attache point as ``run_pinned``, but with a deep functional
+#: warm-up (the paper warms 40 B instructions before timing 4 B; this
+#: pin leans further, 20:1, so the measured phase is the one the vector
+#: plane batches).  Do not change casually:
+#: benchmarks/BENCH_timing.json was measured against exactly this point.
+PINNED_TIMING_BENCHMARK = PINNED_BENCHMARK
+PINNED_TIMING_SYSTEM = PINNED_SYSTEM
+PINNED_TIMING_SEED = PINNED_SEED
+
+
+def pinned_timing_scale() -> ExperimentScale:
+    """The pinned timing workload's scale.
+
+    Unlike :func:`pinned_scale` (``warmup_per_core=0``), this pin puts
+    most of its simulated records in the functional warm-up, the phase
+    the vector plane replaces with array kernels (batched LLC probes,
+    analytic stored state, COPR batch training, memo prewarm).
+    """
+    return ExperimentScale(
+        name="pin-timing", factor=32, cores=4, records_per_core=600,
+        warmup_per_core=12000,
+    )
+
+
+def run_timing_once(vector_on: bool) -> BenchRun:
+    """Run the pinned timing workload once in the requested mode."""
+    from repro import kernels
+
+    with kernels.overridden(vector_on):
+        start = time.perf_counter()
+        result = run_benchmark(
+            PINNED_TIMING_BENCHMARK, PINNED_TIMING_SYSTEM,
+            scale=pinned_timing_scale(), seed=PINNED_TIMING_SEED,
+        )
+        wall = time.perf_counter() - start
+    return BenchRun(
+        wall_s=wall,
+        events=result.instructions,
+        digest=result_digest(result),
+        perf=result.perf,
+    )
+
+
+@dataclass
+class TimingBenchReport:
+    """Best-of-N measurement of the pinned timing pass, both modes."""
+
+    fast: BenchRun  #: best (minimum wall clock) vector run
+    slow: BenchRun  #: best scalar run
+    repeats: int
+    identical: bool  #: every run of both modes produced one digest
+
+    @property
+    def speedup(self) -> float:
+        """slow/fast wall-clock ratio of the best runs (machine-free)."""
+        return self.slow.wall_s / self.fast.wall_s if self.fast.wall_s else 0.0
+
+    def to_dict(self) -> dict:
+        scale = pinned_timing_scale()
+        return {
+            "benchmark": PINNED_TIMING_BENCHMARK,
+            "system": PINNED_TIMING_SYSTEM,
+            "seed": PINNED_TIMING_SEED,
+            "scale": {
+                "factor": scale.factor,
+                "cores": scale.cores,
+                "records_per_core": scale.records_per_core,
+                "warmup_per_core": scale.warmup_per_core,
+            },
+            "repeats": self.repeats,
+            "identical": self.identical,
+            "speedup": round(self.speedup, 3),
+            "fast": self.fast.to_dict(),
+            "slow": self.slow.to_dict(),
+        }
+
+
+def run_pinned_timing(repeats: int = 3) -> TimingBenchReport:
+    """Best-of-*repeats* pinned timing benchmark, vector vs scalar.
+
+    Interleaved like :func:`run_pinned`; the fast path stays ON in both
+    modes, so the ratio isolates exactly what the vector timing plane
+    buys on top of it.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fast_runs, slow_runs = [], []
+    for _ in range(repeats):
+        fast_runs.append(run_timing_once(vector_on=True))
+        slow_runs.append(run_timing_once(vector_on=False))
+    digests = {run.digest for run in fast_runs + slow_runs}
+    return TimingBenchReport(
+        fast=min(fast_runs, key=lambda run: run.wall_s),
+        slow=min(slow_runs, key=lambda run: run.wall_s),
+        repeats=repeats,
+        identical=len(digests) == 1,
+    )
+
+
 __all__ = [
     "PINNED_BENCHMARK",
     "PINNED_FUNCTIONAL_BENCHMARK",
@@ -423,19 +527,26 @@ __all__ = [
     "PINNED_SWEEP_PAPR_ENTRIES",
     "PINNED_SWEEP_SEEDS",
     "PINNED_SWEEP_SYSTEMS",
+    "PINNED_TIMING_BENCHMARK",
+    "PINNED_TIMING_SEED",
+    "PINNED_TIMING_SYSTEM",
     "BenchReport",
     "BenchRun",
     "FunctionalBenchReport",
     "SweepBenchReport",
     "SweepBenchRun",
+    "TimingBenchReport",
     "pinned_scale",
     "pinned_sweep_scale",
     "pinned_sweep_specs",
+    "pinned_timing_scale",
     "result_digest",
     "run_functional_once",
     "run_once",
     "run_pinned",
     "run_pinned_functional",
     "run_pinned_sweep",
+    "run_pinned_timing",
     "run_sweep_once",
+    "run_timing_once",
 ]

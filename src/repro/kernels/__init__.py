@@ -16,7 +16,14 @@ replaces whole per-record loops with columnar numpy kernels:
 * bulk scrambler keystream generation (:mod:`repro.kernels.scramble`);
 * a batched :func:`repro.sim.functional.run_functional` pipeline
   (:mod:`repro.kernels.functional`) built on a chunked-rounds
-  set-associative LRU kernel (:mod:`repro.kernels.lru`).
+  set-associative LRU kernel (:mod:`repro.kernels.lru`);
+* the vector *timing* plane for the detailed simulator: batched
+  functional warm-up and memo prewarm (:mod:`repro.kernels.timing`),
+  batch COPR training (:mod:`repro.kernels.copr`), batched LLC probes
+  (:meth:`repro.cpu.cache.LastLevelCache.access_many`), and the
+  struct-of-arrays FR-FCFS candidate plane inside
+  :class:`repro.dram.channel.Channel` (arms only on organizations
+  large enough to amortise it).
 
 Every kernel is required to be **bit-identical** to the scalar path it
 replaces: ``tests/test_kernels.py`` runs hypothesis differentials per

@@ -256,7 +256,7 @@ class MetricSpec:
     """
 
     name: str
-    kind: str  #: "sample" | "cumulative" | "instant" | "histogram"
+    kind: str  #: "sample" | "cumulative" | "instant" | "histogram" | "perf"
     unit: str
     description: str
 
@@ -271,7 +271,11 @@ class MetricSpec:
 #: Every metric the simulator's observability probe can emit, in the
 #: order the paper's evaluation discusses them.  Cumulative columns are
 #: stored as per-epoch deltas in :class:`repro.obs.ObsRecord`; instant
-#: columns raw at the sample point.
+#: columns raw at the sample point.  ``perf``-kind entries are not obs
+#: columns at all: they are the fast-path's non-serialised telemetry
+#: (``SimulationResult.perf``), surfaced by ``repro profile`` — listed
+#: here so ``repro metrics list`` documents every number the tooling
+#: can print.
 METRIC_CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("cycle", "sample", "bus cycles",
                "epoch sample time on the memory-bus clock"),
@@ -315,6 +319,23 @@ METRIC_CATALOG: Tuple[MetricSpec, ...] = (
                "bus cycles",
                "end-to-end demand-read latency distribution "
                "(to_dict carries p50/p95/p99 bucket estimates)"),
+    MetricSpec("scheduler.horizon_skips", "perf", "advance calls",
+               "channel advances answered by the event-horizon skip "
+               "without touching the issue loop (REPRO_FASTPATH)"),
+    MetricSpec("scheduler.bucket_hits", "perf", "lookups",
+               "per-(rank, bank) candidate-cache hits inside best-"
+               "candidate computes (REPRO_FASTPATH)"),
+    MetricSpec("scheduler.bucket_misses", "perf", "lookups",
+               "candidate-cache misses — buckets recomputed by the "
+               "scalar FR-FCFS scan (REPRO_FASTPATH)"),
+    MetricSpec("scheduler.kernel_batches", "perf", "passes",
+               "vector-plane candidate selection passes; 0 whenever the "
+               "struct-of-arrays plane is unarmed (REPRO_VECTOR and a "
+               "large enough organization)"),
+    MetricSpec("scheduler.kernel_lanes", "perf", "lanes",
+               "active candidate lanes evaluated across those passes "
+               "(lanes/batches ~ mean bank-level parallelism seen by "
+               "the vector scheduler)"),
 )
 
 

@@ -176,6 +176,8 @@ class RunTelemetry:
         the counters then describe how far the run got, not a completed
         sweep, and readers of ``telemetry.jsonl`` can tell the two apart.
         """
+        from repro import fastpath, kernels
+
         counters = self.counters
         elapsed = self.elapsed()
         walls = counters.wall_seconds_per_point
@@ -183,6 +185,12 @@ class RunTelemetry:
             "event": "summary",
             "ts": round(time.time(), 6),
             "aborted": aborted,
+            # Effective acceleration flags (REPRO_FASTPATH/REPRO_VECTOR)
+            # at summary time — results are bit-identical either way,
+            # but wall clocks and throughput numbers are only comparable
+            # between runs that agree on these.
+            "fastpath": fastpath.enabled(),
+            "vector": kernels.enabled(),
             "total": counters.total,
             "done": counters.done,
             "failed": counters.failed,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import kernels
 from repro.core.blem import BlemConfig
 from repro.core.controllers import (
     DEFAULT_METADATA_BASE,
@@ -253,8 +254,21 @@ def run_benchmark(
     )
     controller = factory(workload.data_model, workload.address_span)
     llc = LastLevelCache(config.llc_bytes, config.llc_ways)
+    vector = kernels.enabled()
     if warmup:
-        _warm_up(workload, llc, controller, warmup)
+        warmed = False
+        if vector:
+            from repro.kernels.timing import warm_up_vector
+
+            warmed = warm_up_vector(workload, llc, controller, warmup)
+        if not warmed:
+            _warm_up(workload, llc, controller, warmup)
+    if vector:
+        from repro.kernels.timing import prewarm_timed_phase
+
+        prewarm_timed_phase(
+            workload, controller, warmup, scale.records_per_core
+        )
     simulator = Simulator(config, workload, controller, llc, obs=hub)
     return simulator.run()
 
