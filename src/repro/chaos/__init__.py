@@ -1,0 +1,31 @@
+"""repro.chaos — seeded, deterministic fault injection.
+
+The chaos plane is opt-in (``--chaos SPEC`` / ``REPRO_CHAOS``) and
+zero-cost when off: nothing imports this package on any hot path unless
+a spec is present.  See :mod:`repro.chaos.plan` for the spec grammar and
+site catalogue, :mod:`repro.chaos.backend` for the local worker-fault
+wrapper, and docs/ROBUSTNESS.md for the fault matrix (site x injection x
+expected recovery x test).
+"""
+
+from repro.chaos.backend import ChaosBackend
+from repro.chaos.plan import (
+    MAX_DELAY_S,
+    PROFILES,
+    SITES,
+    ChaosPlan,
+    ChaosSpecError,
+    chaos_from_env,
+    parse_chaos,
+)
+
+__all__ = [
+    "MAX_DELAY_S",
+    "PROFILES",
+    "SITES",
+    "ChaosBackend",
+    "ChaosPlan",
+    "ChaosSpecError",
+    "chaos_from_env",
+    "parse_chaos",
+]

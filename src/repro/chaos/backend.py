@@ -1,0 +1,85 @@
+"""Chaos wrapper around a local execution backend.
+
+:class:`ChaosBackend` sits between the orchestrator's scheduling loop
+and a ``spawn``/``warm`` backend and injects the ``worker.*`` sites:
+right after an attempt launches it may SIGKILL the worker
+(``worker.crash``), SIGTERM it (``worker.oom``) or stall
+(``worker.slow``).  The orchestrator then exercises its *real* recovery
+machinery — dead-worker detection, crash dumps, exponential backoff,
+retries, poison-job quarantine — against a real dead process, not a
+mock.
+
+Decision tokens are ``label:n`` where *n* counts launches of that grid
+point (attempt order is sequential per job, so the n-th launch is the
+n-th attempt): deterministic across runs, distinct across retries, so a
+killed attempt's retry usually survives.
+
+Everything else delegates to the wrapped backend, so cluster backends
+(whose workers live on remote agents) are never wrapped — their chaos
+rides the transport/agent sites instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.chaos.plan import ChaosPlan
+from repro.orchestrator.jobs import JobSpec
+
+
+class ChaosBackend:
+    """Delegating backend proxy that injects ``worker.*`` faults."""
+
+    def __init__(self, inner, plan: ChaosPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._launches: Dict[str, int] = {}
+        self.name = f"chaos({getattr(inner, 'name', type(inner).__name__)})"
+
+    def launch(self, job_payload: dict):
+        label = JobSpec.from_dict(job_payload).describe()
+        count = self._launches.get(label, 0) + 1
+        self._launches[label] = count
+        token = f"{label}:{count}"
+        process, conn, worker = self._inner.launch(job_payload)
+        plan = self._plan
+        if plan.should("worker.slow", token):
+            time.sleep(plan.delay_s("worker.slow", token))
+        if plan.should("worker.crash", token):
+            kill = getattr(process, "kill", None)
+            if callable(kill):
+                kill()
+        elif plan.should("worker.oom", token):
+            terminate = getattr(process, "terminate", None)
+            if callable(terminate):
+                terminate()
+        return process, conn, worker
+
+    # -- pure delegation ------------------------------------------------
+
+    def retire_ok(self, slot) -> None:
+        self._inner.retire_ok(slot)
+
+    def retire_dead(self, slot) -> None:
+        self._inner.retire_dead(slot)
+
+    def kill(self, slot) -> None:
+        self._inner.kill(slot)
+
+    def abort(self, running) -> None:
+        self._inner.abort(running)
+
+    def shutdown(self) -> None:
+        self._inner.shutdown()
+
+    def wait(self, conns, timeout):
+        return self._inner.wait(conns, timeout)
+
+    def __getattr__(self, attribute):
+        # Optional hooks (attach_fleet, prepare, agents, ...) pass through
+        # so the orchestrator sees exactly the wrapped backend's surface.
+        return getattr(self._inner, attribute)
+
+
+__all__ = ["ChaosBackend"]

@@ -576,6 +576,24 @@ def _grid_fleet(args: argparse.Namespace):
     return FleetConfig(spans=spans, status_port=port)
 
 
+def _grid_chaos(args: argparse.Namespace):
+    """The grid's ChaosPlan when ``--chaos`` was passed, else None.
+
+    Lazy: the chaos package is only imported when a spec is present, so
+    plain sweeps never pay for it (``REPRO_CHAOS`` is still honoured
+    downstream by the orchestrator itself).
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None
+    from repro.chaos import ChaosSpecError, parse_chaos
+
+    try:
+        return parse_chaos(spec)
+    except ChaosSpecError as exc:
+        raise SystemExit(f"error: --chaos {spec!r}: {exc}") from None
+
+
 def _run_grid(args: argparse.Namespace, run_dir=None):
     """Shared sweep/orchestrate execution path."""
     from repro.sim.sweep import run_sweep
@@ -595,6 +613,7 @@ def _run_grid(args: argparse.Namespace, run_dir=None):
         pool=args.pool,
         recycle_after=args.recycle_after,
         fleet=_grid_fleet(args),
+        chaos=_grid_chaos(args),
     )
 
 
@@ -741,10 +760,18 @@ def _cluster_agent(args: argparse.Namespace) -> int:
 
 
 def _cluster_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from repro.cluster import connect_cluster
     from repro.orchestrator import ResultCache
     from repro.sim.sweep import run_sweep
 
+    chaos = _grid_chaos(args)
+    if chaos is not None:
+        # Agents this sweep launches inherit the environment, so one
+        # --chaos spec arms transport/worker faults fleet-wide (dialed
+        # agents keep their own REPRO_CHAOS setting).
+        os.environ.setdefault("REPRO_CHAOS", args.chaos)
     backend = connect_cluster(
         args.hosts,
         agent_jobs=args.agent_jobs,
@@ -766,6 +793,7 @@ def _cluster_sweep(args: argparse.Namespace) -> int:
         obs=_grid_obs(args),
         pool=backend,
         fleet=_grid_fleet(args),
+        chaos=chaos,
     )
     csv_text = sweep.to_csv(metrics=list(args.metrics))
     if args.output == "-":
@@ -857,6 +885,7 @@ def _run_grid_with_scale(args, scale, run_dir):
         pool=args.pool,
         recycle_after=args.recycle_after,
         fleet=_grid_fleet(args),
+        chaos=_grid_chaos(args),
     )
 
 
@@ -1231,6 +1260,12 @@ def _add_grid(parser: argparse.ArgumentParser) -> None:
                         help="serve live /status.json + Prometheus "
                              "/metrics on this port while the grid runs "
                              "(0 = OS-chosen; the URL is announced)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="deterministic fault injection: PROFILE"
+                             "[,site=rate...][@seed], e.g. "
+                             "'default@2018' or 'off,worker.crash=0.2'; "
+                             "results stay byte-identical to a "
+                             "fault-free run (see docs/ROBUSTNESS.md)")
     _add_obs(parser)
 
 

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 from repro.cluster.coordinator import (
     AgentLink,
     ClusterBackend,
+    NoAgentsError,
     agent_status,
     pair_agent,
 )
@@ -86,6 +87,7 @@ def run_cluster_sweep(
     retries: int = 1,
     progress: bool = False,
     obs=None,
+    chaos=None,
     **cluster_kwargs,
 ):
     """``run_sweep`` over a cluster of agents instead of local workers.
@@ -115,6 +117,7 @@ def run_cluster_sweep(
         retries=retries,
         progress=progress,
         obs=obs,
+        chaos=chaos,
         pool=backend,
     )
 
@@ -126,6 +129,7 @@ __all__ = [
     "ClusterError",
     "HandshakeError",
     "HostSpec",
+    "NoAgentsError",
     "agent_status",
     "connect_cluster",
     "pair_agent",

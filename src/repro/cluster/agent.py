@@ -59,6 +59,11 @@ from repro.sim.simulator import SimulationResult
 #: the agent declares the coordinator dead and recycles the session.
 DEFAULT_SESSION_TIMEOUT_S = 60.0
 
+#: How long an ``agent.hang`` chaos injection wedges the serve loop —
+#: long enough to trip a test-tightened heartbeat timeout, short enough
+#: not to stall a default-config smoke run forever.
+CHAOS_HANG_S = 2.0
+
 
 @dataclass
 class _LocalJob:
@@ -118,6 +123,16 @@ class AgentServer:
         self._listener = None
         self._session_channel = None
         self._stopping = False
+        #: Agent-side chaos plan from ``REPRO_CHAOS`` (None = inert;
+        #: the chaos package is only imported when the variable is set,
+        #: so unfaulted agents never pay for it).  Launchers propagate
+        #: the coordinator's environment, so one ``--chaos`` spec arms
+        #: every auto-launched local agent identically.
+        self._chaos = None
+        if os.environ.get("REPRO_CHAOS"):
+            from repro.chaos import chaos_from_env
+
+            self._chaos = chaos_from_env()
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -234,6 +249,15 @@ class AgentServer:
 
     def _serve_jobs(self, channel: FrameChannel) -> None:
         backend, cleanup = self._make_backend()
+        if self._chaos is not None:
+            from repro.chaos import ChaosBackend
+
+            # Arm transport faults on our side of the session (the
+            # coordinator sees corrupt/truncated agent frames) and the
+            # worker.* sites on the local pool.  The handshake above ran
+            # clean: chaos tests recovery, not pairing.
+            channel.chaos = self._chaos
+            backend = ChaosBackend(backend, self._chaos)
         agent_cache = AgentCache(self.cache)
         inflight: Dict[str, _LocalJob] = {}
         last_heard = time.monotonic()
@@ -299,6 +323,12 @@ class AgentServer:
                 backend.kill(job)
             return True
         if kind == "job":
+            if self._chaos is not None and self._chaos.should(
+                    "agent.hang", str(message.get("key", ""))):
+                # A wedged agent: go silent (no pong, no result) long
+                # enough for the coordinator's heartbeat to declare us
+                # dead and re-dispatch our in-flight work.
+                time.sleep(CHAOS_HANG_S)
             self._start_job(message, channel, backend, agent_cache, inflight)
             return True
         if kind == "bye":
@@ -428,6 +458,7 @@ def parse_listen(text: str):
 
 
 __all__ = [
+    "CHAOS_HANG_S",
     "DEFAULT_SESSION_TIMEOUT_S",
     "AgentServer",
     "AgentStats",

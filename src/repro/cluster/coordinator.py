@@ -28,6 +28,7 @@ What the backend adds on top of the local ones:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 import time
@@ -41,7 +42,12 @@ from repro.obs.fleet import (
     estimate_clock_offset,
     map_remote_time,
 )
-from repro.cluster.transport import ConnectionClosed, FrameChannel, TransportError
+from repro.cluster.transport import (
+    ChecksumError,
+    ConnectionClosed,
+    FrameChannel,
+    TransportError,
+)
 from repro.cluster.transport import connect as transport_connect
 from repro.orchestrator.cache import ResultCache
 from repro.orchestrator.jobs import JobSpec, code_fingerprint
@@ -58,6 +64,42 @@ DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
 DEFAULT_SPECULATE = 2
 #: Default age before an unsettled tail job is worth duplicating.
 DEFAULT_SPECULATE_AFTER_S = 2.0
+#: Reconnect strikes before a dead agent's circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 3
+#: Base of the exponential reconnect backoff (doubles per strike, plus
+#: deterministic jitter so a fleet of coordinators never thunders).
+DEFAULT_BACKOFF_BASE_S = 0.5
+#: Reconnect backoff ceiling before the breaker opens.
+DEFAULT_BACKOFF_CAP_S = 30.0
+#: Probe cadence for a quarantined (open-breaker) agent: the periodic
+#: half-open attempt that lets a recovered host rejoin the fleet.
+DEFAULT_HALF_OPEN_S = 5.0
+#: Dial timeout for one revival probe (must stay well under the
+#: heartbeat loop's responsibilities).
+REVIVE_DIAL_TIMEOUT_S = 2.0
+
+
+class NoAgentsError(WorkerStartupError):
+    """Every cluster agent is dead or quarantined.
+
+    The orchestrator catches this to degrade gracefully onto the local
+    warm pool instead of aborting the sweep.
+    """
+
+    #: Consulted by the orchestrator's launch loop without importing
+    #: this module (the cluster plane stays off the local hot path).
+    degradable = True
+
+
+def _backoff_jitter(name: str, strikes: int) -> float:
+    """Deterministic jitter factor in [0, 0.25) for one reconnect wait.
+
+    Hash-derived rather than drawn from ``random`` so two runs of the
+    same cluster schedule their probes identically — the same
+    determinism discipline as :mod:`repro.chaos`.
+    """
+    digest = hashlib.sha256(f"{name}:{strikes}".encode("utf-8")).digest()
+    return (int.from_bytes(digest[:4], "big") % 1000) / 4000.0
 
 
 class AgentLink:
@@ -76,6 +118,12 @@ class AgentLink:
         self.inflight: set = set()
         self.served = 0
         self.reader: Optional[threading.Thread] = None
+        #: Circuit-breaker state: consecutive failed reconnect probes,
+        #: whether the breaker is open, and the next probe's monotonic
+        #: deadline (None = not scheduled yet).
+        self.strikes = 0
+        self.quarantined = False
+        self.next_probe: Optional[float] = None
         #: Agent monotonic-clock offset estimate (``local = remote -
         #: offset``) and the RTT of the sample that produced it.  Seeded
         #: by the handshake round trip, refined by every ping/pong.
@@ -153,6 +201,11 @@ class ClusterBackend:
         speculate_after_s: float = DEFAULT_SPECULATE_AFTER_S,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        half_open_s: float = DEFAULT_HALF_OPEN_S,
+        revive: bool = True,
     ) -> None:
         if not links:
             raise WorkerStartupError("a cluster needs at least one agent")
@@ -163,15 +216,24 @@ class ClusterBackend:
         self._speculate_after_s = speculate_after_s
         self._heartbeat_s = heartbeat_s
         self._heartbeat_timeout_s = heartbeat_timeout_s
+        self._breaker_threshold = breaker_threshold
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._half_open_s = half_open_s
+        self._revive = revive
         self._cond = threading.Condition(threading.RLock())
         self._jobs: Dict[str, _ClusterJob] = {}
         self._counter = itertools.count(1)
         self._ping_seq = itertools.count(1)
         self._ping_sent: Dict[int, float] = {}  # seq -> send monotonic
         self._spans = NULL_SPAN_LOG
+        self._chaos = None
         self._closing = False
         self.redispatched = 0  #: jobs re-sent after an agent died
         self.speculated = 0    #: duplicate dispatches of tail jobs
+        self.quarantined_agents = 0  #: breaker-open events
+        self.backoff_retries = 0     #: failed reconnect probes
+        self.revived = 0             #: agents brought back by a probe
         for link in self._links:
             link.reader = threading.Thread(
                 target=self._reader, args=(link,),
@@ -231,6 +293,18 @@ class ClusterBackend:
                            offset=round(link.clock_offset, 6),
                            rtt=round(link.clock_rtt, 6))
 
+    def attach_chaos(self, plan) -> None:
+        """Orchestrator hook: inject transport/agent faults from *plan*.
+
+        Binds the plan to every link's channel (transport sites fire on
+        job-carrying sends) and arms the coordinator-side ``agent.drop``
+        site at dispatch time.
+        """
+        self._chaos = plan
+        with self._cond:
+            for link in self._links:
+                link.channel.chaos = plan
+
     def _broadcast_seed(self, keys: List[str],
                         except_link: Optional[AgentLink] = None) -> None:
         message = protocol.seed(keys)
@@ -252,7 +326,14 @@ class ClusterBackend:
         with self._cond:
             job = _ClusterJob(f"j{next(self._counter)}", key, job_payload)
             self._jobs[job.job_id] = job
-            self._dispatch(job)
+            try:
+                self._dispatch(job)
+            except WorkerStartupError:
+                # No surviving agent: the job never started anywhere, so
+                # it must not linger (speculation would double-run it
+                # after a degraded orchestrator re-runs it locally).
+                del self._jobs[job.job_id]
+                raise
         return job, job, None
 
     def retire_ok(self, slot) -> None:
@@ -334,7 +415,7 @@ class ClusterBackend:
             candidates = [l for l in self._links
                           if l.alive and l not in exclude]
             if not candidates:
-                raise WorkerStartupError("no surviving cluster agents")
+                raise NoAgentsError("no surviving cluster agents")
             idle = [l for l in candidates if l.free_slots > 0]
             # Prefer idle capacity; oversubscribe the least-loaded agent
             # when a death shrank the cluster below the pool size.
@@ -357,6 +438,13 @@ class ClusterBackend:
                 continue
             link.inflight.add(job.job_id)
             job.links.add(link)
+            if (self._chaos is not None and self._chaos.should(
+                    "agent.drop", f"{link.name}:{job.key}")):
+                # Sever the connection right after the dispatch landed:
+                # the reader sees EOF, marks the link dead and re-routes
+                # every orphaned copy; the breaker revives the (still
+                # healthy, still listening) agent after its backoff.
+                link.channel.close()
             return link
 
     def _mapped_timing(self, link: AgentLink,
@@ -458,13 +546,16 @@ class ClusterBackend:
 
     # -- failure handling ----------------------------------------------
 
-    def _mark_dead(self, link: AgentLink) -> None:
+    def _mark_dead(self, link: AgentLink, channel=None) -> None:
         with self._cond:
+            if channel is not None and link.channel is not channel:
+                return  # a stale reader outlived this link's revival
             if not link.alive:
                 return
             link.alive = False
             link.inflight.clear()
             link.channel.close()
+            link.next_probe = None  # heartbeat schedules the first probe
             if self._closing:
                 return
             orphans = [
@@ -482,20 +573,45 @@ class ClusterBackend:
                                      agent=survivor.name,
                                      from_agent=link.name)
                 except WorkerStartupError:
+                    # No agent survives.  Hand the job *back* to the
+                    # orchestrator without burning a retry: the payload's
+                    # ``requeue`` marker tells the scheduling loop this
+                    # was a transport loss, not a job failure, and lets
+                    # it degrade to the local pool if the fleet is gone.
                     job.settled = True
                     job.mailbox = {
                         "status": "error",
+                        "requeue": True,
                         "error": f"agent {link.name} died and no agent "
                                  "survives to re-run the job",
                         "agent": link.name,
                     }
             self._cond.notify_all()
 
+    def _quarantine(self, link: AgentLink, reason: str) -> None:
+        """Open the breaker on *link* (corrupt frame or strike budget)."""
+        with self._cond:
+            if link.quarantined:
+                return
+            link.quarantined = True
+            self.quarantined_agents += 1
+        self._spans.mark("agent_quarantined", agent=link.name,
+                         reason=reason)
+
     def _reader(self, link: AgentLink) -> None:
-        """Per-agent receive loop (runs until the link dies)."""
+        """Per-agent receive loop (runs until this channel dies)."""
+        channel = link.channel
         while True:
             try:
-                message = link.channel.recv()
+                message = channel.recv()
+            except ChecksumError as exc:
+                # A corrupt frame means this path is delivering damaged
+                # bytes: quarantine the agent immediately (open breaker,
+                # half-open probes only) instead of trusting anything
+                # else it sends.  _mark_dead re-dispatches its jobs.
+                if link.channel is channel:
+                    self._quarantine(link, f"corrupt frame: {exc}")
+                break
             except (ConnectionClosed, TransportError, OSError):
                 break
             kind = message.get("kind")
@@ -517,7 +633,7 @@ class ClusterBackend:
             elif kind in ("result", "result_ref", "error"):
                 self._on_outcome(link, message)
             # anything else from an agent is advisory; ignore
-        self._mark_dead(link)
+        self._mark_dead(link, channel=channel)
 
     def _heartbeat_loop(self) -> None:
         while True:
@@ -526,6 +642,7 @@ class ClusterBackend:
                 if self._closing:
                     return
                 links = [l for l in self._links if l.alive]
+                dead = [l for l in self._links if not l.alive]
             now = time.monotonic()
             for link in links:
                 if now - link.last_seen > self._heartbeat_timeout_s:
@@ -540,7 +657,87 @@ class ClusterBackend:
                     link.channel.send(protocol.ping(sequence))
                 except ConnectionClosed:
                     self._mark_dead(link)
+            if self._revive:
+                for link in dead:
+                    self._maybe_probe(link, time.monotonic())
             self._maybe_speculate()
+
+    # -- circuit breaker / revival --------------------------------------
+
+    def _probe_interval(self, link: AgentLink) -> float:
+        """Seconds until the next reconnect probe of *link*.
+
+        Closed breaker: exponential backoff with deterministic jitter
+        (``base * 2**strikes``, capped).  Open breaker (quarantined):
+        the fixed half-open cadence.
+        """
+        if link.quarantined:
+            return self._half_open_s
+        wait = min(self._backoff_cap_s,
+                   self._backoff_base_s * (2 ** link.strikes))
+        return wait * (1.0 + _backoff_jitter(link.name, link.strikes))
+
+    def _maybe_probe(self, link: AgentLink, now: float) -> None:
+        """Attempt one reconnect of a dead link when its backoff expires.
+
+        Links whose auto-launched process has exited can never answer
+        again and are skipped outright; so are addresses that never came
+        from a real dial (unit-test fakes).
+        """
+        if link.process is not None and link.process.poll() is not None:
+            return  # the agent process itself is gone for good
+        host, _, port_text = link.address.rpartition(":")
+        if not host or not port_text.isdigit():
+            return
+        if link.next_probe is None:
+            link.next_probe = now + self._probe_interval(link)
+            return
+        if now < link.next_probe:
+            return
+        try:
+            fresh = pair_agent(host, int(port_text),
+                               timeout=REVIVE_DIAL_TIMEOUT_S)
+        except Exception:
+            link.strikes += 1
+            self.backoff_retries += 1
+            if (not link.quarantined
+                    and link.strikes >= self._breaker_threshold):
+                self._quarantine(
+                    link, f"{link.strikes} failed reconnect probes"
+                )
+            link.next_probe = time.monotonic() + self._probe_interval(link)
+            return
+        self._adopt(link, fresh)
+
+    def _adopt(self, link: AgentLink, fresh: AgentLink) -> None:
+        """Swap a freshly paired session into a dead link (revival)."""
+        with self._cond:
+            if self._closing or link.alive:
+                fresh.channel.close()
+                return
+            link.channel = fresh.channel
+            link.channel.chaos = self._chaos
+            link.slots = fresh.slots
+            link.clock_offset = fresh.clock_offset
+            link.clock_rtt = fresh.clock_rtt
+            link.alive = True
+            link.last_seen = time.monotonic()
+            link.strikes = 0
+            link.quarantined = False
+            link.next_probe = None
+            self.revived += 1
+            link.reader = threading.Thread(
+                target=self._reader, args=(link,),
+                name=f"cluster-reader-{link.name}", daemon=True,
+            )
+            link.reader.start()
+            self._cond.notify_all()
+        self._spans.mark("agent_revived", agent=link.name)
+        if self._spans.enabled:
+            try:
+                link.channel.send(protocol.observe(True))
+            except ConnectionClosed:
+                self._mark_dead(link)
 
     def _maybe_speculate(self) -> None:
         """Duplicate the last few stragglers onto idle agents."""
@@ -623,12 +820,17 @@ def agent_status(host: str, port: int, timeout: float = 10.0) -> dict:
 
 
 __all__ = [
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_BACKOFF_CAP_S",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_HALF_OPEN_S",
     "DEFAULT_HEARTBEAT_S",
     "DEFAULT_HEARTBEAT_TIMEOUT_S",
     "DEFAULT_SPECULATE",
     "DEFAULT_SPECULATE_AFTER_S",
     "AgentLink",
     "ClusterBackend",
+    "NoAgentsError",
     "agent_status",
     "pair_agent",
 ]

@@ -43,7 +43,10 @@ from typing import Dict, Iterable, List, Optional
 #: Bump on any message-vocabulary change; mismatched ends refuse to pair.
 #: v2: fleet observability — ``observe`` advisory, monotonic ``clock``
 #: fields on ``welcome``/``pong``, optional ``timing`` on outcomes.
-PROTOCOL_VERSION = 2
+#: v3: hardened framing — every frame carries a CRC32 body checksum
+#: (:mod:`repro.cluster.transport`); a v2 peer cannot even parse a v3
+#: frame, so the version gate is enforced by the wire format itself.
+PROTOCOL_VERSION = 3
 
 
 class ClusterError(RuntimeError):

@@ -1,15 +1,27 @@
-"""Length-prefixed JSON framing over TCP sockets.
+"""Checksummed length-prefixed JSON framing over TCP sockets.
 
-Every cluster message is one *frame*: a 4-byte big-endian length prefix
-followed by that many bytes of UTF-8 JSON.  Framing keeps the protocol
-trivially inspectable (``tcpdump`` + ``json.loads``) and makes partial
-reads unambiguous: a reader either has a whole message or keeps reading.
+Every cluster message is one *frame*: a 4-byte big-endian length prefix,
+a 4-byte big-endian CRC32 of the body (protocol v3), then that many
+bytes of UTF-8 JSON.  Framing keeps the protocol trivially inspectable
+(``tcpdump`` + ``json.loads``) and makes partial reads unambiguous: a
+reader either has a whole message or keeps reading.  The checksum turns
+silent body corruption — a flipped bit on a bad NIC, a buggy middlebox —
+into a loud :class:`ChecksumError` the coordinator answers with agent
+quarantine and job re-dispatch, never a hung sweep delivering a wrong
+result.
 
 :class:`FrameChannel` wraps one connected socket with thread-safe sends
 (the coordinator's heartbeat thread and scheduling loop share a channel)
 and blocking receives.  A closed or reset peer surfaces as
 :class:`ConnectionClosed` from ``recv`` and ``send`` alike — callers
 treat both as "the other end is gone", never as a protocol error.
+
+Fault injection: when a :class:`repro.chaos.ChaosPlan` is bound to a
+channel (``channel.chaos = plan``), ``send`` may corrupt one body byte
+*after* the CRC is computed (so the receiver's verification catches it),
+truncate the frame and sever the connection, or stall deterministically.
+Only frames carrying a job ``key`` are candidates — the decision token
+must be stable across runs, and heartbeat traffic has no such token.
 """
 
 from __future__ import annotations
@@ -18,6 +30,8 @@ import json
 import socket
 import struct
 import threading
+import time
+import zlib
 from typing import Optional, Tuple
 
 #: Upper bound on one frame's payload.  Result payloads for large obs
@@ -25,15 +39,34 @@ from typing import Optional, Tuple
 #: and keeps a corrupt or hostile length prefix from allocating wildly.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
-_LENGTH = struct.Struct(">I")
+#: v3 frame header: body length + CRC32 of the body.
+_HEADER = struct.Struct(">II")
 
 
 class TransportError(RuntimeError):
-    """Malformed framing (oversized or corrupt length prefix)."""
+    """Malformed framing (oversized, undecodable or corrupt frame)."""
+
+
+class ChecksumError(TransportError):
+    """The frame body does not match its CRC32 (corruption in flight)."""
 
 
 class ConnectionClosed(ConnectionError):
     """The peer hung up (EOF mid-frame or a reset socket)."""
+
+
+def _frame_token(message: dict) -> Optional[str]:
+    """The chaos decision token for one outgoing message, if any.
+
+    Job-carrying messages are keyed on ``kind:key`` — stable across runs
+    (cache keys are content-addressed) and distinct per direction of the
+    exchange.  Control traffic (ping/pong/seed/hello/...) has no stable
+    token and is never injected.
+    """
+    key = message.get("key")
+    if not key:
+        return None
+    return f"{message.get('kind')}:{key}"
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -62,6 +95,9 @@ class FrameChannel:
         # channel); the lock still guards against accidental sharing.
         self._recv_lock = threading.Lock()
         self._closed = False
+        #: Optional bound :class:`repro.chaos.ChaosPlan`; None (the
+        #: default) keeps every send on the plain fast path.
+        self.chaos = None
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -92,7 +128,26 @@ class FrameChannel:
             raise TransportError(
                 f"outgoing frame of {len(encoded)} bytes exceeds cap"
             )
-        frame = _LENGTH.pack(len(encoded)) + encoded
+        crc = zlib.crc32(encoded) & 0xFFFFFFFF
+        sever = False
+        plan = self.chaos
+        if plan is not None:
+            token = _frame_token(message)
+            if token is not None:
+                if plan.should("transport.delay", token):
+                    time.sleep(plan.delay_s("transport.delay", token))
+                if plan.should("transport.corrupt", token):
+                    # Flip one body byte *after* the CRC was computed:
+                    # the receiver's checksum verification must catch it.
+                    corrupted = bytearray(encoded)
+                    corrupted[crc % len(corrupted)] ^= 0x01
+                    encoded = bytes(corrupted)
+                elif plan.should("transport.truncate", token):
+                    encoded = encoded[: max(1, len(encoded) // 2)]
+                    sever = True  # the peer sees EOF mid-frame
+        frame = _HEADER.pack(
+            len(encoded) if not sever else len(encoded) * 2, crc
+        ) + encoded
         with self._send_lock:
             if self._closed:
                 raise ConnectionClosed("channel is closed")
@@ -100,6 +155,8 @@ class FrameChannel:
                 self._sock.sendall(frame)
             except (ConnectionResetError, BrokenPipeError, OSError) as exc:
                 raise ConnectionClosed(f"peer reset: {exc}") from exc
+        if sever:
+            self.close()
 
     def recv(self, timeout: Optional[float] = None) -> dict:
         """Block for the next message (``timeout`` seconds, else forever).
@@ -110,8 +167,8 @@ class FrameChannel:
         with self._recv_lock:
             self._sock.settimeout(timeout)
             try:
-                header = _recv_exact(self._sock, _LENGTH.size)
-                (length,) = _LENGTH.unpack(header)
+                header = _recv_exact(self._sock, _HEADER.size)
+                length, crc = _HEADER.unpack(header)
                 if length > MAX_FRAME_BYTES:
                     raise TransportError(
                         f"incoming frame of {length} bytes exceeds cap"
@@ -122,6 +179,12 @@ class FrameChannel:
                     self._sock.settimeout(None)
                 except OSError:
                     pass
+        actual = zlib.crc32(body) & 0xFFFFFFFF
+        if actual != crc:
+            raise ChecksumError(
+                f"frame checksum mismatch (expected {crc:#010x}, got "
+                f"{actual:#010x}): corruption in flight"
+            )
         try:
             message = json.loads(body.decode("utf-8"))
         except ValueError as exc:
@@ -184,6 +247,7 @@ def listen(host: str, port: int, backlog: int = 8
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "ChecksumError",
     "ConnectionClosed",
     "FrameChannel",
     "TransportError",

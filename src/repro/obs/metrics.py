@@ -256,7 +256,10 @@ class MetricSpec:
     """
 
     name: str
-    kind: str  #: "sample" | "cumulative" | "instant" | "histogram" | "perf"
+    #: "sample" | "cumulative" | "instant" | "histogram" | "perf" | "run"
+    #: ("run" entries are per-run robustness counters from orchestrator
+    #: telemetry/report summaries, not per-epoch obs columns).
+    kind: str
     unit: str
     description: str
 
@@ -336,6 +339,26 @@ METRIC_CATALOG: Tuple[MetricSpec, ...] = (
                "active candidate lanes evaluated across those passes "
                "(lanes/batches ~ mean bank-level parallelism seen by "
                "the vector scheduler)"),
+    MetricSpec("chaos.injections", "run", "faults",
+               "total deterministic fault injections delivered by the "
+               "run's chaos plan (report summary, chaos block)"),
+    MetricSpec("chaos.injections.<site>", "run", "faults",
+               "per-site injection counts keyed by chaos site name "
+               "(e.g. transport.corrupt, worker.crash) in the report "
+               "summary's chaos block"),
+    MetricSpec("cluster.quarantined_agents", "run", "agents",
+               "agents removed from dispatch by the circuit breaker "
+               "(checksum failures or repeated reconnect strikes)"),
+    MetricSpec("cluster.backoff_retries", "run", "dials",
+               "reconnect probes to dead agents scheduled under capped "
+               "exponential backoff with deterministic jitter"),
+    MetricSpec("cache.corrupt_entries", "run", "entries",
+               "present-but-unusable result-cache entries detected "
+               "(checksum/schema failures), unlinked and counted as "
+               "misses"),
+    MetricSpec("cache.put_errors", "run", "stores",
+               "result-cache stores swallowed on filesystem failure "
+               "(disk full) — the sweep continues uncached"),
 )
 
 

@@ -3,18 +3,31 @@
 Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is the sha256 hex
 digest from :meth:`repro.orchestrator.jobs.JobSpec.key`.  Each entry
 stores the ``SimulationResult.to_dict()`` payload plus a small metadata
-envelope.  Writes are atomic (temp file + rename) so a killed sweep can
-never leave a truncated entry; unreadable or schema-mismatched entries
-read as misses, never as errors.
+envelope including a sha256 checksum of the result payload.  Writes are
+atomic (temp file + rename) so a killed sweep can never leave a
+truncated entry; reads never trust the disk — an absent, truncated,
+undecodable, schema-mismatched or checksum-failing entry is a miss, a
+*corrupt-but-present* entry is additionally unlinked (so it cannot keep
+costing a parse per lookup) and counted in
+:attr:`CacheStats.corrupt_entries`.  A full disk degrades ``put`` to a
+counted no-op (:attr:`CacheStats.put_errors`): the cache is an
+optimisation and must never fail a sweep.
+
+Chaos: a bound :class:`repro.chaos.ChaosPlan` (``cache.chaos = plan``)
+may tear an entry on disk right before a read (``cache.torn_read``) or
+raise ``ENOSPC`` inside a store (``cache.disk_full``) — both exercising
+exactly the recovery paths above.
 """
 
 from __future__ import annotations
 
+import errno
+import hashlib
 import json
 import os
 import pathlib
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.sim.simulator import SimulationResult
@@ -25,6 +38,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Present-but-unusable entries found (and unlinked) by ``get``.
+    corrupt_entries: int = 0
+    #: Stores that failed on the filesystem (disk full, permissions) and
+    #: were swallowed — the result still reached the caller.
+    put_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -37,6 +55,13 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+def _result_checksum(result_payload: Dict[str, object]) -> str:
+    """Canonical sha256 over the serialised result payload."""
+    return hashlib.sha256(
+        json.dumps(result_payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
 class ResultCache:
     """Maps job keys to cached :class:`SimulationResult` payloads."""
 
@@ -44,6 +69,8 @@ class ResultCache:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Optional bound :class:`repro.chaos.ChaosPlan` (None = inert).
+        self.chaos = None
 
     def path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -51,40 +78,91 @@ class ResultCache:
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for *key*, or ``None`` on any kind of miss."""
         path = self.path(key)
+        if self.chaos is not None and self.chaos.should("cache.torn_read",
+                                                        key):
+            self._tear(path)
+        present = False
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+            present = True
+            payload = json.loads(text)
+            expected = payload.get("sha256")
+            if expected is not None \
+                    and expected != _result_checksum(payload["result"]):
+                raise ValueError("result checksum mismatch")
             result = SimulationResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Absent, truncated, corrupt or written by another schema
-            # version: all of these are just misses.
+        except OSError:
+            # Absent (or unreadable): the ordinary miss.
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # Present but truncated, corrupt, checksum-failing or written
+            # by another schema: a miss — and the entry is deleted so it
+            # cannot keep masquerading as a hit candidate.
+            if present:
+                self.stats.corrupt_entries += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
 
     def put(self, key: str, result: SimulationResult,
-            meta: Optional[Dict[str, object]] = None) -> pathlib.Path:
-        """Store *result* under *key* atomically; returns the entry path."""
+            meta: Optional[Dict[str, object]] = None
+            ) -> Optional[pathlib.Path]:
+        """Store *result* under *key* atomically; returns the entry path.
+
+        Filesystem failures (a full disk first of all) are swallowed and
+        counted: a sweep must finish even when its cache cannot grow.
+        Returns ``None`` when the store did not land.
+        """
         path = self.path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "meta": dict(meta or {}),
-                   "result": result.to_dict()}
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=str(path.parent),
-            prefix=f".{key[:8]}.", suffix=".tmp", delete=False,
-        )
+        handle = None
         try:
+            if self.chaos is not None and self.chaos.should(
+                    "cache.disk_full", key):
+                raise OSError(errno.ENOSPC, "no space left on device "
+                                            "(chaos)")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            result_payload = result.to_dict()
+            payload = {"key": key, "meta": dict(meta or {}),
+                       "sha256": _result_checksum(result_payload),
+                       "result": result_payload}
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=str(path.parent),
+                prefix=f".{key[:8]}.", suffix=".tmp", delete=False,
+            )
             with handle:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
+        except OSError:
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+            self.stats.put_errors += 1
+            return None
         except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
             raise
         self.stats.stores += 1
         return path
+
+    def _tear(self, path: pathlib.Path) -> None:
+        """Chaos helper: truncate an on-disk entry mid-payload."""
+        try:
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
+        except OSError:
+            pass  # absent entry: nothing to tear
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).is_file()

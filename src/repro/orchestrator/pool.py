@@ -49,6 +49,7 @@ from repro.orchestrator.manifest import RunManifest
 from repro.orchestrator.telemetry import RunTelemetry
 from repro.orchestrator.workers import (
     DEFAULT_RECYCLE_AFTER,
+    WorkerStartupError,
     available_backends,
     backend_factory,
 )
@@ -75,6 +76,9 @@ class JobOutcome:
     error: Optional[str] = None
     result: Optional[SimulationResult] = None
     source: str = "run"  #: "run" | "cache" | "manifest" | "agent-cache"
+    #: True when every attempt killed its worker: the job itself is
+    #: poison (not flaky) and was quarantined after the retry budget.
+    poisoned: bool = False
     #: Path of the final attempt's crash dump (failed jobs in durable
     #: runs only) — the input to ``repro orchestrate replay``.
     crash_dump: Optional[str] = None
@@ -137,6 +141,11 @@ class _Running:
     started: float
     deadline: float  #: monotonic give-up time (inf when no timeout)
     worker: object = None  #: warm-pool worker handle (None in spawn mode)
+    #: The backend that launched this attempt.  After a mid-run
+    #: degradation the loop drives two backends at once (draining
+    #: cluster slots while local ones start), and every retire/kill
+    #: must go back to the slot's own backend.
+    backend: object = None
 
 
 def _available_memory_bytes() -> Optional[int]:
@@ -226,6 +235,10 @@ class Orchestrator:
         bank_dir: workload-bank directory for warm workers; defaults to
             ``<run-dir>/bank`` for durable runs, else a temp directory
             cleaned up after the run.
+        chaos: optional :class:`repro.chaos.ChaosPlan` for deterministic
+            fault injection (``REPRO_CHAOS`` is consulted at run time
+            when unset; ``None``/unset keeps every hook inert and the
+            chaos package unimported).
     """
 
     def __init__(
@@ -241,6 +254,7 @@ class Orchestrator:
         pool: Union[str, object] = "warm",
         recycle_after: int = DEFAULT_RECYCLE_AFTER,
         bank_dir=None,
+        chaos=None,
     ) -> None:
         if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
             raise ValueError('jobs must be >= 1 or "auto"')
@@ -261,6 +275,10 @@ class Orchestrator:
         self.pool = pool
         self.recycle_after = recycle_after
         self.bank_dir = bank_dir
+        #: Optional :class:`repro.chaos.ChaosPlan` (or None).  Falls back
+        #: to ``REPRO_CHAOS`` at run time; ``None``/unset keeps every
+        #: chaos hook inert and the chaos package unimported.
+        self.chaos = chaos
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -299,6 +317,21 @@ class Orchestrator:
             manifest.write_spec(run_spec)
         if manifest is not None and telemetry_path is None:
             telemetry_path = manifest.run_dir / "telemetry.jsonl"
+        if manifest is not None:
+            # A prior run killed mid-append leaves a torn trailing line;
+            # truncate back to the last complete record before replay.
+            manifest.recover()
+
+        plan = self.chaos
+        if plan is None and os.environ.get("REPRO_CHAOS"):
+            from repro.chaos import chaos_from_env
+
+            plan = chaos_from_env()
+        if plan is not None:
+            if self.cache is not None:
+                self.cache.chaos = plan
+            if manifest is not None:
+                manifest.chaos = plan
 
         merged_estimates: Dict[str, float] = (
             manifest.wall_estimates() if manifest is not None else {}
@@ -343,6 +376,10 @@ class Orchestrator:
         #: bank-attach/run phase timestamps only when spans are on.
         self.fleet_timing = bool(fleet.spans)
         fleet_rt = _FleetRuntime(spans)
+        if plan is not None:
+            plan.bind_spans(spans)
+            if spans.enabled:
+                spans.meta("chaos", spec=plan.spec, seed=plan.seed)
 
         pending: "deque[_Pending]" = deque()
         completed_before = manifest.completed_keys() if manifest else {}
@@ -365,7 +402,15 @@ class Orchestrator:
 
         pending = self._lpt_order(pending, specs, None, merged_estimates)
         fleet_rt.pending = pending
-        backend, cleanup = self._make_backend(manifest)
+        backend, cleanup = self._make_backend(manifest, plan)
+        self._plan = plan
+        self._degraded = False
+        self._fallback = None  #: (backend, cleanup) after degradation
+        if plan is not None:
+            attach_chaos = getattr(backend, "attach_chaos", None)
+            if attach_chaos is not None:
+                # Cluster backends arm the transport/agent chaos sites.
+                attach_chaos(plan)
         attach = getattr(backend, "attach_fleet", None)
         if attach is not None and spans.enabled:
             # Cluster backends forward the span log to their agents
@@ -392,6 +437,18 @@ class Orchestrator:
             else:
                 print(f"[fleet] status plane at {url}",
                       file=stream if stream is not None else sys.stderr)
+        def add_recovery_notes() -> None:
+            if manifest is not None and manifest.recovered_bytes:
+                telemetry.note(
+                    "manifest: recovered torn trailing append "
+                    f"({manifest.recovered_bytes} bytes dropped)"
+                )
+            if plan is not None:
+                injected = plan.summary()["injections"]
+                telemetry.note(
+                    f"chaos: {injected} injections under {plan.spec}"
+                )
+
         try:
             try:
                 self._drive(specs, keys, outcomes, pending, manifest,
@@ -401,34 +458,71 @@ class Orchestrator:
                 # from the warm pool — must not leave the telemetry
                 # stream truncated mid-run: flush a terminal summary
                 # marked aborted, then let the failure propagate.
+                add_recovery_notes()
                 telemetry.summary(aborted=True)
                 raise
         finally:
             if plane is not None:
                 plane.stop()
             backend.shutdown()
+            if self._fallback is not None:
+                fallback, fallback_cleanup = self._fallback
+                fallback.shutdown()
+                if fallback_cleanup is not None:
+                    fallback_cleanup()
             if cleanup is not None:
                 cleanup()
 
         report = OrchestrationReport(outcomes=[o for o in outcomes])
+        add_recovery_notes()
         report.summary = telemetry.summary()
         if self.cache is not None:
             report.summary["cache_stats"] = {
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
                 "stores": self.cache.stats.stores,
+                "corrupt_entries": self.cache.stats.corrupt_entries,
+                "put_errors": self.cache.stats.put_errors,
             }
+        if plan is not None:
+            report.summary["chaos"] = plan.summary()
         return report
 
     # ------------------------------------------------------------------
 
-    def _make_backend(self, manifest):
+    def _make_backend(self, manifest, plan=None):
         """Build the execution backend; returns ``(backend, cleanup)``."""
         if not isinstance(self.pool, str):
             # A pre-built backend instance (e.g. ClusterBackend).  The
             # orchestrator still owns its shutdown, but not its cleanup.
             return self.pool, None
-        return backend_factory(self.pool)(self, manifest)
+        backend, cleanup = backend_factory(self.pool)(self, manifest)
+        if plan is not None:
+            # Local pools get the worker.* fault sites; cluster backends
+            # are armed separately through attach_chaos.
+            from repro.chaos import ChaosBackend
+
+            backend = ChaosBackend(backend, plan)
+        return backend, cleanup
+
+    def _degrade_to_local(self, manifest, telemetry, spans, reason: str):
+        """All cluster agents are gone: fall back to the local warm pool.
+
+        Builds a fresh local backend mid-run, records a
+        ``degraded_to_local`` telemetry event plus a span mark, and lets
+        the sweep finish — results stay byte-identical because the jobs
+        themselves are deterministic wherever they run.
+        """
+        self._degraded = True
+        backend, cleanup = backend_factory("warm")(self, manifest)
+        if self._plan is not None:
+            from repro.chaos import ChaosBackend
+
+            backend = ChaosBackend(backend, self._plan)
+        self._fallback = (backend, cleanup)
+        telemetry.degraded("warm", reason)
+        spans.mark("degraded_to_local", reason=reason)
+        return backend
 
     def _status_provider(self, telemetry, backend, outcomes, fleet_rt):
         """The closure the status-plane sampler calls per snapshot.
@@ -571,6 +665,8 @@ class Orchestrator:
             }
             if outcome.error:
                 entry["error"] = outcome.error
+            if outcome.poisoned:
+                entry["poisoned"] = True
             if outcome.crash_dump:
                 entry["crash_dump"] = outcome.crash_dump
             if outcome.agent:
@@ -600,7 +696,8 @@ class Orchestrator:
         deadline = now + self.timeout_s if self.timeout_s else float("inf")
         return _Running(index=item.index, attempt=item.attempt,
                         process=process, conn=conn,
-                        started=now, deadline=deadline, worker=worker)
+                        started=now, deadline=deadline, worker=worker,
+                        backend=backend)
 
     def _drive(self, specs, keys, outcomes, pending, manifest, telemetry,
                backend, fleet_rt: Optional[_FleetRuntime] = None):
@@ -610,9 +707,11 @@ class Orchestrator:
         running: List[_Running] = []
         fleet_rt.running = running
         attempt_wall: Dict[int, float] = {}  # index -> wall over attempts
+        crashes: Dict[int, int] = {}  # index -> attempts that killed a worker
 
         def settle(slot: _Running, failure: Optional[str],
-                   payload: Optional[dict] = None) -> float:
+                   payload: Optional[dict] = None,
+                   crashed: bool = False) -> float:
             """Retire one attempt; retry or finalise its job.
 
             Returns the attempt's wall-clock duration.  Failed attempts
@@ -644,6 +743,8 @@ class Orchestrator:
                            attempt=slot.attempt,
                            agent=(payload or {}).get("agent"))
                 return wall  # success handled by caller
+            if crashed:
+                crashes[index] = crashes.get(index, 0) + 1
             dump_path: Optional[str] = None
             if manifest is not None:
                 try:
@@ -668,36 +769,48 @@ class Orchestrator:
                 spans.mark("retry", settled_at, key=key, index=index,
                            attempt=slot.attempt, error=failure)
             else:
+                # Poison-job quarantine: a job whose *every* attempt
+                # killed its worker is poison — the input, not the
+                # infrastructure, is lethal.  It is marked distinctly so
+                # operators stop retrying it, and the sweep continues.
+                poisoned = crashes.get(index, 0) >= slot.attempt
                 outcome = JobOutcome(
                     spec=spec, key=key, status="failed",
                     attempts=slot.attempt, wall_s=attempt_wall[index],
-                    error=failure, crash_dump=dump_path,
+                    error=(f"poisoned: {failure}" if poisoned else failure),
+                    crash_dump=dump_path, poisoned=poisoned,
                     agent=(payload or {}).get("agent"),
                 )
                 outcomes[index] = outcome
                 self._finalise(outcome, index, manifest, telemetry,
                                was_running=True, busy_wall=wall)
                 fail_args = {"error": failure}
+                if poisoned:
+                    fail_args["poisoned"] = True
                 if dump_path:
                     fail_args["crash_dump"] = dump_path
                 spans.mark("failed", settled_at, key=key, index=index,
                            attempt=slot.attempt, **fail_args)
             return wall
 
+        cell = [backend]
         try:
             self._drive_loop(specs, pending, running, telemetry, settle,
-                             outcomes, keys, attempt_wall, backend, manifest,
-                             spans)
+                             outcomes, keys, attempt_wall, cell, manifest,
+                             spans, fleet_rt)
         except BaseException:
             # Interrupted mid-run (or the pool failed fatally): reap
             # every in-flight worker so nothing is left orphaned.
-            backend.abort(running)
+            cell[0].abort(running)
+            if cell[0] is not backend:
+                backend.abort([])
             raise
 
     def _drive_loop(self, specs, pending, running, telemetry, settle,
-                    outcomes, keys, attempt_wall, backend, manifest,
-                    spans=NULL_SPAN_LOG):
+                    outcomes, keys, attempt_wall, backend_cell, manifest,
+                    spans=NULL_SPAN_LOG, fleet_rt=None):
         while pending or running:
+            backend = backend_cell[0]
             now = time.monotonic()
 
             # Launch every ready job while worker slots are free.
@@ -708,9 +821,22 @@ class Orchestrator:
                     if item.ready_at > now:
                         held.append(item)
                         continue
-                    running.append(
-                        self._launch(backend, specs[item.index], item, now)
-                    )
+                    try:
+                        slot = self._launch(backend, specs[item.index],
+                                            item, now)
+                    except WorkerStartupError as exc:
+                        if self._degraded or not getattr(
+                                exc, "degradable", False):
+                            raise
+                        # Every cluster agent is dead: degrade to the
+                        # local warm pool instead of aborting the sweep.
+                        backend = self._degrade_to_local(
+                            manifest, telemetry, spans, str(exc)
+                        )
+                        backend_cell[0] = backend
+                        pending.appendleft(item)
+                        continue
+                    running.append(slot)
                     telemetry.job_started()
                     if spans.enabled:
                         launched = time.monotonic()
@@ -732,6 +858,11 @@ class Orchestrator:
 
             progressed = False
             for slot in list(running):
+                # After a degradation the loop drains slots of the old
+                # backend alongside fresh local ones: always retire a
+                # slot against the backend that launched it.
+                slot_backend = slot.backend if slot.backend is not None \
+                    else backend
                 payload = None
                 delivered = False
                 if slot.conn.poll():
@@ -750,13 +881,14 @@ class Orchestrator:
                     if payload is None:
                         running.remove(slot)
                         exitcode = slot.process.exitcode
-                        backend.retire_dead(slot)
-                        settle(slot, f"worker crashed (exit code {exitcode})")
+                        slot_backend.retire_dead(slot)
+                        settle(slot, f"worker crashed (exit code {exitcode})",
+                               crashed=True)
                         progressed = True
                         continue
                 elif now > slot.deadline:
                     running.remove(slot)
-                    backend.kill(slot)
+                    slot_backend.kill(slot)
                     settle(slot, f"timeout after {self.timeout_s}s")
                     progressed = True
                     continue
@@ -765,18 +897,43 @@ class Orchestrator:
 
                 running.remove(slot)
                 progressed = True
+                if payload is not None and payload.get("requeue"):
+                    # Infrastructure (not the job) lost this attempt — a
+                    # dead agent with no survivor to re-dispatch to.  Put
+                    # the same attempt back in the queue without burning
+                    # retry budget; degradation (above) or a revived
+                    # agent will pick it up.
+                    slot_backend.retire_ok(slot)
+                    requeued_at = time.monotonic()
+                    wall = requeued_at - slot.started
+                    attempt_wall[slot.index] = (
+                        attempt_wall.get(slot.index, 0.0) + wall
+                    )
+                    reason = payload.get("error", "agent lost")
+                    telemetry.job_requeued(
+                        keys[slot.index], specs[slot.index].describe(),
+                        slot.attempt, reason, wall,
+                    )
+                    spans.mark("requeued", requeued_at,
+                               key=keys[slot.index], index=slot.index,
+                               attempt=slot.attempt, error=reason)
+                    pending.append(_Pending(
+                        index=slot.index, attempt=slot.attempt,
+                        ready_at=requeued_at, queued_at=requeued_at,
+                    ))
+                    continue
                 if payload is None or payload.get("status") != "ok":
                     # A delivered error payload came from a worker that
                     # caught the job's exception and (in warm mode) keeps
                     # serving; a broken channel means the worker is gone.
                     if delivered:
-                        backend.retire_ok(slot)
+                        slot_backend.retire_ok(slot)
                     else:
-                        backend.retire_dead(slot)
+                        slot_backend.retire_dead(slot)
                     error = (payload or {}).get("error", "worker crashed")
-                    settle(slot, error, payload)
+                    settle(slot, error, payload, crashed=not delivered)
                     continue
-                backend.retire_ok(slot)
+                slot_backend.retire_ok(slot)
                 last_wall = settle(slot, None, payload)
                 index = slot.index
                 result = SimulationResult.from_dict(payload["result"])
@@ -803,9 +960,16 @@ class Orchestrator:
                 nearest = min(slot.deadline for slot in running)
                 if nearest != float("inf"):
                     wait_s = min(wait_s, max(0.0, nearest - now))
-                backend.wait(
-                    [slot.conn for slot in running], timeout=wait_s
-                )
+                conns = [
+                    slot.conn for slot in running
+                    if slot.backend is None or slot.backend is backend
+                ]
+                if conns:
+                    backend.wait(conns, timeout=wait_s)
+                else:
+                    # Only stale slots of a replaced backend remain;
+                    # their mailboxes settle without a waitable FD.
+                    time.sleep(min(wait_s, 0.01))
 
 
 __all__ = [

@@ -84,6 +84,8 @@ class RunTelemetry:
         self._start = clock()
         self.counters = RunCounters()
         self._used_cr = False
+        self._notes: List[str] = []
+        self._degraded_to: Optional[str] = None
         if path is not None:
             # Truncate per orchestrator invocation: a resume's telemetry
             # describes that resume, the manifest holds full history.
@@ -168,6 +170,44 @@ class RunTelemetry:
         self._emit(record)
         self._render_progress()
 
+    def note(self, text: str) -> None:
+        """Attach one recovery/warning note to the final summary record."""
+        self._notes.append(text)
+
+    def job_requeued(self, key: str, label: str, attempt: int,
+                     reason: str, wall_s: float) -> None:
+        """One attempt was lost to infrastructure (not the job) and went
+        back to the queue without consuming its retry budget."""
+        self.counters.running -= 1
+        self.counters.busy_seconds += wall_s
+        self._emit({
+            "event": "attempt",
+            "t": round(self.elapsed(), 6),
+            "key": key,
+            "job": label,
+            "attempt": attempt,
+            "requeued": True,
+            "error": reason,
+            "wall_s": round(wall_s, 6),
+        })
+        self._render_progress()
+
+    def degraded(self, to_backend: str, reason: str) -> None:
+        """The run fell back to *to_backend* mid-sweep (and continued).
+
+        Emits a ``degraded_to_local`` event record immediately and flags
+        the final summary — a completed-but-degraded sweep must be
+        distinguishable from a healthy one.
+        """
+        self._degraded_to = to_backend
+        self._emit({
+            "event": "degraded_to_local",
+            "t": round(self.elapsed(), 6),
+            "to": to_backend,
+            "reason": reason,
+        })
+        self.note(f"degraded to {to_backend} backend: {reason}")
+
     def summary(self, aborted: bool = False) -> Dict[str, object]:
         """Emit and return the final run summary record.
 
@@ -210,6 +250,11 @@ class RunTelemetry:
             record["backend"] = self._backend
         if self._jobs_requested is not None:
             record["jobs_requested"] = self._jobs_requested
+        if self._degraded_to is not None:
+            record["degraded_to_local"] = True
+            record["degraded_to"] = self._degraded_to
+        if self._notes:
+            record["notes"] = list(self._notes)
         self._emit(record)
         if self._progress and self._used_cr:
             self._stream.write("\n")

@@ -153,6 +153,7 @@ def run_sweep(
     pool="warm",
     recycle_after: Optional[int] = None,
     fleet=None,
+    chaos=None,
 ) -> Sweep:
     """Run the full cross product of a sweep grid.
 
@@ -194,6 +195,11 @@ def run_sweep(
             orchestration spans + live status plane for the run
             (orchestrated paths only; the serial fast path has no fleet
             to observe).  The default ``None`` is fully inert.
+        chaos: optional :class:`repro.chaos.ChaosPlan` for deterministic
+            fault injection; forces the orchestrated path (the serial
+            loop has no fault surface to inject into).  ``None`` keeps
+            every hook inert — ``REPRO_CHAOS`` may still arm the
+            orchestrator at run time.
     """
     if obs is not None:
         from repro.obs import ObsConfig
@@ -215,7 +221,7 @@ def run_sweep(
     translate = apply_parameters if apply_parameters is not None else (lambda **kw: kw)
 
     if jobs == "auto" and cache_dir is None and run_dir is None \
-            and isinstance(pool, str):
+            and isinstance(pool, str) and chaos is None:
         # Size the pool before deciding between the serial fast path and
         # orchestration: a single-worker ephemeral sweep gains nothing
         # from process isolation, so "auto" resolving to 1 stays
@@ -228,7 +234,7 @@ def run_sweep(
         jobs = auto_jobs(pending=total)
 
     if jobs == 1 and cache_dir is None and run_dir is None \
-            and isinstance(pool, str):
+            and isinstance(pool, str) and chaos is None:
         sweep = Sweep(parameter_keys=grid_keys)
         for benchmark, system, seed, assignment in grid_points(
             benchmarks, systems, seeds, assignments
@@ -275,6 +281,8 @@ def run_sweep(
         "pool": pool if isinstance(pool, str)
                 else getattr(pool, "name", type(pool).__name__),
     }
+    if chaos is not None:
+        run_spec["chaos"] = {"spec": chaos.spec, "seed": chaos.seed}
     pool_kwargs = {"pool": pool}
     if recycle_after is not None:
         pool_kwargs["recycle_after"] = recycle_after
@@ -283,6 +291,7 @@ def run_sweep(
         cache=ResultCache(cache_dir) if cache_dir is not None else None,
         timeout_s=timeout_s,
         retries=retries,
+        chaos=chaos,
         **pool_kwargs,
     )
     report = orchestrator.run(

@@ -8,11 +8,13 @@ killed mid-run and its jobs are transparently re-dispatched.
 """
 
 import hashlib
+import json
 import queue
 import socket
 import struct
 import threading
 import time
+import zlib
 
 import pytest
 
@@ -28,6 +30,7 @@ from repro.cluster.federation import (
 )
 from repro.cluster.ssh import parse_host
 from repro.cluster.transport import (
+    ChecksumError,
     ConnectionClosed,
     FrameChannel,
     TransportError,
@@ -101,7 +104,7 @@ class TestTransport:
 
         left, right = socket.socketpair()
         channel = FrameChannel(right)
-        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        left.sendall(struct.pack(">II", MAX_FRAME_BYTES + 1, 0))
         with pytest.raises(TransportError, match="exceeds cap"):
             channel.recv(timeout=5.0)
         left.close()
@@ -121,11 +124,91 @@ class TestTransport:
         left, right = socket.socketpair()
         channel = FrameChannel(right)
         body = b"[1, 2]"
-        left.sendall(struct.pack(">I", len(body)) + body)
+        left.sendall(struct.pack(">II", len(body), zlib.crc32(body)) + body)
         with pytest.raises(TransportError, match="object"):
             channel.recv(timeout=5.0)
         left.close()
         channel.close()
+
+    def test_crc_mismatch_raises_checksum_error(self):
+        left, right = socket.socketpair()
+        channel = FrameChannel(right)
+        body = b'{"kind": "result"}'
+        wrong = (zlib.crc32(body) ^ 0xDEADBEEF) & 0xFFFFFFFF
+        left.sendall(struct.pack(">II", len(body), wrong) + body)
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            channel.recv(timeout=5.0)
+        left.close()
+        channel.close()
+
+    def test_partial_recv_reassembly(self):
+        """A frame dribbled one byte at a time still arrives whole."""
+        left, right = socket.socketpair()
+        channel = FrameChannel(right)
+        body = b'{"kind": "pong", "seq": 42}'
+        frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
+
+        def dribble():
+            for i in range(len(frame)):
+                left.sendall(frame[i:i + 1])
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=dribble, daemon=True)
+        thread.start()
+        assert channel.recv(timeout=10.0) == {"kind": "pong", "seq": 42}
+        thread.join(timeout=5.0)
+        left.close()
+        channel.close()
+
+    def test_eof_mid_frame_raises_connection_closed(self):
+        """A peer dying mid-frame is a hangup, not a protocol error."""
+        left, right = socket.socketpair()
+        channel = FrameChannel(right)
+        body = b'{"kind": "result"}'
+        frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
+        left.sendall(frame[: len(frame) - 5])
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            channel.recv(timeout=5.0)
+        channel.close()
+
+    def test_chaos_corrupt_injection_caught_by_crc(self):
+        from repro.chaos import parse_chaos
+
+        a, b = _channel_pair()
+        a.chaos = parse_chaos("off,transport.corrupt=1.0@1")
+        a.send({"kind": "result", "id": "j1", "key": "k" * 64})
+        with pytest.raises(ChecksumError):
+            b.recv(timeout=5.0)
+        assert a.chaos.counts.get("transport.corrupt") == 1
+        a.close()
+        b.close()
+
+    def test_chaos_truncate_injection_severs_connection(self):
+        from repro.chaos import parse_chaos
+
+        a, b = _channel_pair()
+        a.chaos = parse_chaos("off,transport.truncate=1.0@1")
+        a.send({"kind": "result", "id": "j1", "key": "k" * 64})
+        with pytest.raises(ConnectionClosed):
+            b.recv(timeout=5.0)
+        assert a.closed
+        b.close()
+
+    def test_control_frames_never_injected(self):
+        """Keyless traffic (pings, handshakes) bypasses chaos entirely."""
+        from repro.chaos import parse_chaos
+
+        a, b = _channel_pair()
+        a.chaos = parse_chaos("heavy,transport.delay=0@9")
+        for sequence in range(5):
+            a.send({"kind": "ping", "seq": sequence})
+        assert [b.recv(timeout=5.0)["seq"] for _ in range(5)] == [
+            0, 1, 2, 3, 4
+        ]
+        assert a.chaos.injections == []
+        a.close()
+        b.close()
 
 
 # ----------------------------------------------------------------------
@@ -274,6 +357,7 @@ class _FakeChannel:
     def __init__(self):
         self.sent = []
         self._incoming = queue.Queue()
+        self.chaos = None
 
     def send(self, message):
         self.sent.append(message)
@@ -282,6 +366,8 @@ class _FakeChannel:
         item = self._incoming.get()
         if item is None:
             raise ConnectionClosed("fake peer hung up")
+        if isinstance(item, Exception):
+            raise item
         return item
 
     def feed(self, message):
@@ -415,6 +501,73 @@ class TestCoordinatorScheduling:
         finally:
             backend.shutdown()
 
+    def test_corrupt_frame_quarantines_and_redispatches(self):
+        link_a, link_b = _fake_link("a"), _fake_link("b")
+        backend = self._backend([link_a, link_b])
+        try:
+            job, _, _ = backend.launch(_spec(seed=1).to_dict())
+            first = next(iter(job.links))
+            survivor = link_b if first is link_a else link_a
+            first.channel.feed(ChecksumError("bit flip in flight"))
+            assert _wait_until(lambda: first.quarantined)
+            assert not first.alive
+            assert backend.quarantined_agents == 1
+            # The orphaned job moved to the surviving agent.
+            assert _wait_until(
+                lambda: any(m["id"] == job.job_id
+                            for m in survivor.channel.sent_of("job"))
+            )
+            assert backend.redispatched == 1
+        finally:
+            backend.shutdown()
+
+    def test_last_agent_death_requeues_not_retries(self):
+        """The no-survivor mailbox is a requeue marker, not a failure."""
+        link_a = _fake_link("a")
+        backend = self._backend([link_a])
+        try:
+            job, _, _ = backend.launch(_spec(seed=1).to_dict())
+            link_a.channel.hang_up()
+            assert _wait_until(job.poll)
+            payload = job.recv()
+            assert payload["status"] == "error"
+            assert payload["requeue"] is True
+        finally:
+            backend.shutdown()
+
+    def test_breaker_opens_after_reconnect_strikes(self):
+        # A dialable-but-refusing address: every probe strikes out.
+        link = AgentLink(channel=_FakeChannel(), name="a", slots=1,
+                         address="127.0.0.1:1")
+        backend = self._backend(
+            [link], backoff_base_s=0.01, backoff_cap_s=0.02,
+            half_open_s=0.05, breaker_threshold=2,
+        )
+        try:
+            link.channel.hang_up()
+            assert _wait_until(lambda: link.quarantined, timeout_s=20.0)
+            assert backend.quarantined_agents == 1
+            assert backend.backoff_retries >= 2
+            strikes_at_open = link.strikes
+            # Half-open probes keep testing the quarantined agent.
+            assert _wait_until(lambda: link.strikes > strikes_at_open,
+                               timeout_s=20.0)
+            assert not link.alive
+        finally:
+            backend.shutdown()
+
+    def test_unparseable_address_is_never_probed(self):
+        link = _fake_link("a")  # address "fake:a" cannot be dialed
+        backend = self._backend([link], backoff_base_s=0.01)
+        try:
+            link.channel.hang_up()
+            assert _wait_until(lambda: not link.alive)
+            time.sleep(0.3)  # several heartbeat ticks
+            assert backend.backoff_retries == 0
+            assert link.next_probe is None
+        finally:
+            backend.shutdown()
+
 
 # ----------------------------------------------------------------------
 # Host grammar
@@ -489,3 +642,54 @@ class TestLoopbackCluster:
         assert digest == local_digest
         assert not victim.alive
         assert backend.redispatched >= 1
+
+    def test_dropped_session_is_revived_by_a_probe(self):
+        # The agent process keeps listening after a session drop; the
+        # coordinator's backoff probes must re-pair it transparently.
+        backend = connect_cluster(
+            ["local"], agent_jobs=1,
+            heartbeat_s=0.05, backoff_base_s=0.05, backoff_cap_s=0.2,
+        )
+        try:
+            link = backend.agents()[0]
+            link.channel.close()  # simulate a severed connection
+            assert _wait_until(lambda: backend.revived >= 1 and link.alive,
+                               timeout_s=20.0)
+            assert link.strikes == 0 and not link.quarantined
+            # The revived session still runs jobs end to end.
+            job, _, _ = backend.launch(_spec(seed=3).to_dict())
+            assert _wait_until(job.poll, timeout_s=30.0)
+            assert job.recv()["status"] == "ok"
+        finally:
+            backend.shutdown()
+
+    def test_fleet_loss_degrades_to_local_same_digest(
+        self, local_digest, tmp_path
+    ):
+        from repro.fastpath.bench import pinned_sweep_specs, result_digest
+
+        backend = connect_cluster(
+            ["local", "local"], agent_jobs=2, revive=False
+        )
+        def _kill_fleet():
+            for link in backend.agents():
+                link.process.kill()
+        timer = threading.Timer(0.4, _kill_fleet)
+        timer.start()
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        try:
+            report = Orchestrator(jobs=4, pool=backend, retries=0).run(
+                pinned_sweep_specs(), telemetry_path=telemetry_path
+            )
+        finally:
+            timer.cancel()
+            backend.shutdown()
+        assert report.ok  # the sweep finished on the local fallback
+        digest = _grid_digest([result_digest(r) for r in report.results])
+        assert digest == local_digest
+        assert report.summary.get("degraded_to_local") is True
+        events = [
+            json.loads(line)
+            for line in telemetry_path.read_text().splitlines()
+        ]
+        assert any(e.get("event") == "degraded_to_local" for e in events)
